@@ -1,0 +1,96 @@
+//! Criterion scaling sweeps over the Theorem 1 synthetic workloads:
+//! reachability/counting cost versus chain length and key width.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Keeps the whole suite bounded: small sample counts, short windows.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+}
+
+use sst_benchmarks::{chain_database, wide_key_database};
+use sst_lookup::{generate_str_t, intersect_dt, LtOptions};
+
+fn bench_chain_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_generate");
+    configure(&mut group);
+    for m in [4usize, 8, 12, 16] {
+        let (db, example) = chain_database(m);
+        let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| {
+                black_box(generate_str_t(
+                    &db,
+                    black_box(&refs),
+                    &example.output,
+                    &LtOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_count");
+    configure(&mut group);
+    for m in [8usize, 16] {
+        let (db, example) = chain_database(m);
+        let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();
+        let d = generate_str_t(&db, &refs, &example.output, &LtOptions::default());
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| black_box(d.count(black_box(db.len()))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_intersect");
+    configure(&mut group);
+    for m in [4usize, 8, 12] {
+        let (db, example) = chain_database(m);
+        let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();
+        let d = generate_str_t(&db, &refs, &example.output, &LtOptions::default());
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| black_box(intersect_dt(black_box(&d), black_box(&d))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wide_key_generate");
+    configure(&mut group);
+    for (n, m) in [(2usize, 2usize), (4, 4), (8, 8)] {
+        let (db, example) = wide_key_database(n, m);
+        let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_m{m}")), |b| {
+            b.iter(|| {
+                black_box(generate_str_t(
+                    &db,
+                    black_box(&refs),
+                    &example.output,
+                    &LtOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_generate,
+    bench_chain_count,
+    bench_chain_intersect,
+    bench_wide_key
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion microbenches over representative §7 tasks: one `GenerateStr_u`
+//! per language flavor, one `Intersect_u`, and end-to-end learning.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sst_benchmarks::all_tasks;
+use sst_core::{generate_str_u, intersect_du, LuOptions, Synthesizer};
+
+/// Keeps the whole suite bounded: small sample counts, short windows.
+fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+}
+
+fn representative_ids() -> Vec<usize> {
+    // Ex. 2 (pure lookup join), Ex. 1 (nested semantic), Ex. 6 (substring-
+    // indexed lookups), Ex. 8 (background data types), pure syntactic.
+    vec![1, 13, 15, 17, 31]
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let tasks = all_tasks();
+    let mut group = c.benchmark_group("generate_str_u");
+    configure(&mut group);
+    for id in representative_ids() {
+        let task = &tasks[id - 1];
+        let opts = LuOptions::default();
+        let example = &task.rows[0];
+        let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();
+        group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
+            b.iter(|| {
+                black_box(generate_str_u(
+                    &task.db,
+                    black_box(&refs),
+                    &example.output,
+                    &opts,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let tasks = all_tasks();
+    let mut group = c.benchmark_group("intersect_du");
+    configure(&mut group);
+    for id in representative_ids() {
+        let task = &tasks[id - 1];
+        let opts = LuOptions::default();
+        let refs0: Vec<&str> = task.rows[0].inputs.iter().map(String::as_str).collect();
+        let refs1: Vec<&str> = task.rows[1].inputs.iter().map(String::as_str).collect();
+        let d0 = generate_str_u(&task.db, &refs0, &task.rows[0].output, &opts);
+        let d1 = generate_str_u(&task.db, &refs1, &task.rows[1].output, &opts);
+        group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
+            b.iter(|| black_box(intersect_du(black_box(&d0), black_box(&d1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_learn_end_to_end(c: &mut Criterion) {
+    let tasks = all_tasks();
+    let mut group = c.benchmark_group("learn");
+    configure(&mut group);
+        for id in representative_ids() {
+        let task = &tasks[id - 1];
+        let synthesizer = Synthesizer::new(task.db.clone());
+        let examples = task.examples(2).to_vec();
+        group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
+            b.iter(|| black_box(synthesizer.learn(black_box(&examples)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_extraction(c: &mut Criterion) {
+    let tasks = all_tasks();
+    let mut group = c.benchmark_group("top_program");
+    configure(&mut group);
+    for id in representative_ids() {
+        let task = &tasks[id - 1];
+        let synthesizer = Synthesizer::new(task.db.clone());
+        let learned = synthesizer.learn(task.examples(2)).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
+            b.iter(|| black_box(learned.top()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_intersect,
+    bench_learn_end_to_end,
+    bench_rank_extraction
+);
+criterion_main!(benches);

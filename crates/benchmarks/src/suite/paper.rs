@@ -1,0 +1,189 @@
+//! Tasks 13–18: the paper's fully-specified `Lu` examples.
+
+use crate::task::{ex, BenchmarkTask, Category};
+
+use super::{db, table};
+use sst_datatypes::{date_ord_table, month_table, time_table};
+use sst_tables::Database;
+
+pub(super) fn tasks() -> Vec<BenchmarkTask> {
+    vec![
+        ex1_selling_price(),
+        ex5_bike_price_concat(),
+        ex6_company_series(),
+        ex7_time_format(),
+        ex8_date_format(),
+        ex4_name_initial(),
+    ]
+}
+
+/// Paper Example 1 / Figure 1: selling price from item + date, combining a
+/// markup lookup, a joined cost lookup keyed by a *substring* of the date,
+/// and syntactic glue.
+fn ex1_selling_price() -> BenchmarkTask {
+    let markup = table(
+        "MarkupRec",
+        &["Id", "Name", "Markup"],
+        &[
+            &["S30", "Stroller", "30%"],
+            &["B56", "Bib", "45%"],
+            &["D32", "Diapers", "35%"],
+            &["W98", "Wipes", "40%"],
+            &["A46", "Aspirator", "30%"],
+        ],
+    );
+    let cost = table(
+        "CostRec",
+        &["Id", "Date", "Price"],
+        &[
+            &["S30", "12/2010", "$145.67"],
+            &["S30", "11/2010", "$142.38"],
+            &["B56", "12/2010", "$3.56"],
+            &["D32", "1/2011", "$21.45"],
+            &["W98", "4/2009", "$5.12"],
+            &["A46", "2/2010", "$2.56"],
+        ],
+    );
+    BenchmarkTask {
+        id: 13,
+        name: "ex1_selling_price",
+        category: Category::Semantic,
+        description: "Compute an item's selling price `price+0.markup*price` \
+                      from its name and selling date: look up the markup by \
+                      name, join into the cost table on (Id, month-of-date), \
+                      and concatenate with constants (paper Example 1).",
+        db: db(vec![markup, cost]),
+        rows: vec![
+            ex(&["Stroller", "10/12/2010"], "$145.67+0.30*145.67"),
+            ex(&["Bib", "23/12/2010"], "$3.56+0.45*3.56"),
+            ex(&["Diapers", "21/1/2011"], "$21.45+0.35*21.45"),
+            ex(&["Wipes", "2/4/2009"], "$5.12+0.40*5.12"),
+            ex(&["Aspirator", "23/2/2010"], "$2.56+0.30*2.56"),
+        ],
+    }
+}
+
+/// Paper Example 5 / Figure 6: index a price table with the concatenation
+/// of the two input columns.
+fn ex5_bike_price_concat() -> BenchmarkTask {
+    let prices = table(
+        "BikePrices",
+        &["Bike", "Price"],
+        &[
+            &["Ducati100", "10,000"],
+            &["Ducati125", "12,500"],
+            &["Ducati250", "18,000"],
+            &["Honda125", "11,500"],
+            &["Honda250", "19,000"],
+        ],
+    );
+    BenchmarkTask {
+        id: 14,
+        name: "ex5_bike_price_concat",
+        category: Category::Semantic,
+        description: "Quote a bike price by concatenating the bike name and \
+                      engine cc before looking up the single-column key \
+                      (paper Example 5).",
+        db: db(vec![prices]),
+        rows: vec![
+            ex(&["Honda", "125"], "11,500"),
+            ex(&["Ducati", "100"], "10,000"),
+            ex(&["Honda", "250"], "19,000"),
+            ex(&["Ducati", "250"], "18,000"),
+            ex(&["Ducati", "125"], "12,500"),
+        ],
+    }
+}
+
+/// Paper Example 6 / Figure 7: expand a series of company codes into the
+/// corresponding series of company names.
+fn ex6_company_series() -> BenchmarkTask {
+    let comp = table(
+        "Comp",
+        &["Id", "Name"],
+        &[
+            &["c1", "Microsoft"],
+            &["c2", "Google"],
+            &["c3", "Apple"],
+            &["c4", "Facebook"],
+            &["c5", "IBM"],
+            &["c6", "Xerox"],
+        ],
+    );
+    BenchmarkTask {
+        id: 15,
+        name: "ex6_company_series",
+        category: Category::Semantic,
+        description: "Expand `c4 c3 c1` into `Facebook Apple Microsoft`: \
+                      three lookups indexed by substrings of the input, \
+                      concatenated with spaces (paper Example 6).",
+        db: db(vec![comp]),
+        rows: vec![
+            ex(&["c4 c3 c1"], "Facebook Apple Microsoft"),
+            ex(&["c2 c5 c6"], "Google IBM Xerox"),
+            ex(&["c1 c5 c4"], "Microsoft IBM Facebook"),
+            ex(&["c2 c3 c4"], "Google Apple Facebook"),
+        ],
+    }
+}
+
+/// Paper Example 7 / Figure 9: spot times to `h:mm AM/PM` using the Time
+/// background table.
+fn ex7_time_format() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 16,
+        name: "ex7_time_format",
+        category: Category::Semantic,
+        description: "Convert spot times like `815` to `8:15 AM`: the hour \
+                      prefix keys into the Time table for the 12-hour clock \
+                      and AM/PM, the minute suffix is copied (paper \
+                      Example 7).",
+        db: db(vec![time_table()]),
+        rows: vec![
+            ex(&["815"], "8:15 AM"),
+            ex(&["1530"], "3:30 PM"),
+            ex(&["2245"], "10:45 PM"),
+            ex(&["1205"], "12:05 PM"),
+            ex(&["940"], "9:40 AM"),
+        ],
+    }
+}
+
+/// Paper Example 8 / Figure 10: reformat dates with month abbreviation and
+/// ordinal suffix using the Month and DateOrd background tables.
+fn ex8_date_format() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 17,
+        name: "ex8_date_format",
+        category: Category::Semantic,
+        description: "Format `6-3-2008` as `Jun 3rd, 2008`: month number \
+                      keys into Month (abbreviated to 3 letters), day keys \
+                      into DateOrd for the ordinal suffix (paper Example 8).",
+        db: db(vec![month_table(), date_ord_table()]),
+        rows: vec![
+            ex(&["6-3-2008"], "Jun 3rd, 2008"),
+            ex(&["3-26-2010"], "Mar 26th, 2010"),
+            ex(&["8-1-2009"], "Aug 1st, 2009"),
+            ex(&["9-24-2007"], "Sep 24th, 2007"),
+        ],
+    }
+}
+
+/// Paper Example 4: last name followed by the first initial — the one
+/// purely syntactic task the paper spells out (QuickCode-expressible).
+fn ex4_name_initial() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 18,
+        name: "ex4_name_initial",
+        category: Category::Semantic,
+        description: "Reformat `Alan Turing` as `Turing A` — substring and \
+                      concatenation only, no tables (paper Example 4).",
+        db: Database::new(),
+        rows: vec![
+            ex(&["Alan Turing"], "Turing A"),
+            ex(&["Grace Hopper"], "Hopper G"),
+            ex(&["Barbara Liskov"], "Liskov B"),
+            ex(&["Donald Knuth"], "Knuth D"),
+        ],
+    }
+}

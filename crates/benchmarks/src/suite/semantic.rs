@@ -1,0 +1,734 @@
+//! Tasks 19–28, 33–44 and 46–50: semantic (`Lu`) tasks reconstructed from
+//! the help-forum patterns the paper describes — lookups indexed by
+//! manipulated strings, syntactic manipulation of lookup outputs, and
+//! multi-lookup reports glued with constants.
+
+use crate::task::{ex, BenchmarkTask, Category};
+
+use super::{db, table};
+use sst_datatypes::{
+    currency_table, isd_table, month_table, time_table, us_states_table,
+};
+
+pub(super) fn tasks() -> Vec<BenchmarkTask> {
+    vec![
+        month_name_to_number(),
+        weekday_abbrev_expand(),
+        state_abbrev_expand(),
+        city_state_to_abbrev(),
+        phone_isd_prefix(),
+        currency_symbol_amount(),
+        currency_name_parenthetical(),
+        dept_domain_email(),
+        order_status_message(),
+        flight_gate_report(),
+        course_code_expand(),
+        airport_route_expand(),
+        discount_formula(),
+        time_hour_ampm(),
+        product_restock_note(),
+        student_report_line(),
+        iso_date_euro_abbrev(),
+        city_state_paren(),
+        code_to_country_colon(),
+        book_citation(),
+        username_generation(),
+        month_cost_lookup(),
+        file_extension_mime(),
+        greeting_by_language(),
+        team_captain_line(),
+        iso_date_full_month(),
+        invoice_summary(),
+    ]
+}
+
+/// Month name + day -> `M/D`.
+fn month_name_to_number() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 19,
+        name: "month_name_to_number",
+        category: Category::Semantic,
+        description: "Rewrite `March 5` as `3/5`: the month name keys into \
+                      the Month table for its number; the day is copied.",
+        db: db(vec![month_table()]),
+        rows: vec![
+            ex(&["March 5"], "3/5"),
+            ex(&["August 21"], "8/21"),
+            ex(&["December 9"], "12/9"),
+            ex(&["July 4"], "7/4"),
+        ],
+    }
+}
+
+/// Weekday abbreviation -> full name.
+fn weekday_abbrev_expand() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 20,
+        name: "weekday_abbrev_expand",
+        category: Category::Semantic,
+        description: "Expand a dotted weekday abbreviation (`Mon.`) to the \
+                      full name: the dot must be stripped before keying \
+                      into the Weekday background table.",
+        db: db(vec![sst_datatypes::weekday_table()]),
+        rows: vec![
+            ex(&["Mon."], "Monday"),
+            ex(&["Tue."], "Tuesday"),
+            ex(&["Fri."], "Friday"),
+            ex(&["Sun."], "Sunday"),
+            ex(&["Wed."], "Wednesday"),
+        ],
+    }
+}
+
+/// Expand the state abbreviation inside a city-state string.
+fn state_abbrev_expand() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 21,
+        name: "state_abbrev_expand",
+        category: Category::Semantic,
+        description: "Rewrite `Seattle, WA` as `Seattle, Washington`: copy \
+                      the city prefix and expand the trailing abbreviation \
+                      through UsStates.",
+        db: db(vec![us_states_table()]),
+        rows: vec![
+            ex(&["Seattle, WA"], "Seattle, Washington"),
+            ex(&["Austin, TX"], "Austin, Texas"),
+            ex(&["Boise, ID"], "Boise, Idaho"),
+            ex(&["Miami, FL"], "Miami, Florida"),
+        ],
+    }
+}
+
+/// Compress the state name inside a city-state string.
+fn city_state_to_abbrev() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 22,
+        name: "city_state_to_abbrev",
+        category: Category::Semantic,
+        description: "Rewrite `Dallas, Texas` as `Dallas, TX` — the reverse \
+                      of state_abbrev_expand.",
+        db: db(vec![us_states_table()]),
+        rows: vec![
+            ex(&["Dallas, Texas"], "Dallas, TX"),
+            ex(&["Denver, Colorado"], "Denver, CO"),
+            ex(&["Portland, Oregon"], "Portland, OR"),
+            ex(&["Tampa, Florida"], "Tampa, FL"),
+        ],
+    }
+}
+
+/// Prefix a phone number with the country's ISD code.
+fn phone_isd_prefix() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 23,
+        name: "phone_isd_prefix",
+        category: Category::Semantic,
+        description: "Build `+<isd>-<number>` from a country and a local \
+                      number using the IsdCodes background table (§6's \
+                      phone-number knowledge).",
+        db: db(vec![isd_table()]),
+        rows: vec![
+            ex(&["Turkey", "5551234"], "+90-5551234"),
+            ex(&["India", "2223344"], "+91-2223344"),
+            ex(&["France", "6788765"], "+33-6788765"),
+            ex(&["Japan", "3344556"], "+81-3344556"),
+        ],
+    }
+}
+
+/// Currency code + amount -> symbol-prefixed amount.
+fn currency_symbol_amount() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 24,
+        name: "currency_symbol_amount",
+        category: Category::Semantic,
+        description: "Render `(USD, 20)` as `$20`: the code keys into the \
+                      Currency table for its symbol.",
+        db: db(vec![currency_table()]),
+        rows: vec![
+            ex(&["USD", "20"], "$20"),
+            ex(&["GBP", "75"], "£75"),
+            ex(&["JPY", "900"], "¥900"),
+            ex(&["INR", "640"], "₹640"),
+        ],
+    }
+}
+
+/// Currency code -> `Name (CODE)`.
+fn currency_name_parenthetical() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 25,
+        name: "currency_name_parenthetical",
+        category: Category::Semantic,
+        description: "Render `USD` as `US Dollar (USD)`: a lookup output \
+                      concatenated with the input itself.",
+        db: db(vec![currency_table()]),
+        rows: vec![
+            ex(&["USD"], "US Dollar (USD)"),
+            ex(&["EUR"], "Euro (EUR)"),
+            ex(&["CHF"], "Swiss Franc (CHF)"),
+            ex(&["TRY"], "Turkish Lira (TRY)"),
+        ],
+    }
+}
+
+/// Email address from a name and a two-table chain for the domain.
+fn dept_domain_email() -> BenchmarkTask {
+    let emp = table(
+        "Emp",
+        &["Name", "Dept"],
+        &[
+            &["Alan Turing", "Research"],
+            &["Grace Hopper", "Systems"],
+            &["Barbara Liskov", "Research"],
+            &["Donald Knuth", "Teaching"],
+        ],
+    );
+    let domains = table(
+        "DeptDomain",
+        &["Dept", "Domain"],
+        &[
+            &["Research", "research.org"],
+            &["Systems", "sys.net"],
+            &["Teaching", "teach.edu"],
+        ],
+    );
+    BenchmarkTask {
+        id: 26,
+        name: "dept_domain_email",
+        category: Category::Semantic,
+        description: "Build `Turing@research.org` from `Alan Turing`: last \
+                      name, `@`, and the domain found by chaining Emp to \
+                      DeptDomain.",
+        db: db(vec![emp, domains]),
+        rows: vec![
+            ex(&["Alan Turing"], "Turing@research.org"),
+            ex(&["Grace Hopper"], "Hopper@sys.net"),
+            ex(&["Barbara Liskov"], "Liskov@research.org"),
+            ex(&["Donald Knuth"], "Knuth@teach.edu"),
+        ],
+    }
+}
+
+/// Status message combining the input and a lookup.
+fn order_status_message() -> BenchmarkTask {
+    let orders = table(
+        "Orders",
+        &["Id", "Status"],
+        &[
+            &["O42", "Shipped"],
+            &["O87", "Pending"],
+            &["O13", "Delivered"],
+            &["O55", "Cancelled"],
+        ],
+    );
+    BenchmarkTask {
+        id: 27,
+        name: "order_status_message",
+        category: Category::Semantic,
+        description: "Render `O42` as `Order O42: Shipped` — constant text, \
+                      the input, and a status lookup.",
+        db: db(vec![orders]),
+        rows: vec![
+            ex(&["O42"], "Order O42: Shipped"),
+            ex(&["O87"], "Order O87: Pending"),
+            ex(&["O13"], "Order O13: Delivered"),
+            ex(&["O55"], "Order O55: Cancelled"),
+        ],
+    }
+}
+
+/// Two lookups from the same row glued with constants. The key is
+/// declared explicitly: gates/terminals are incidental identifiers, and
+/// declaring `Flight` keeps the predicate search space honest.
+fn flight_gate_report() -> BenchmarkTask {
+    let flights = super::table_keys(
+        "Flights",
+        &["Flight", "Gate", "Terminal"],
+        &[
+            &["UA123", "B7", "2"],
+            &["DL88", "C2", "3"],
+            &["AA450", "A19", "1"],
+            &["BA9", "D4", "5"],
+        ],
+        &[&["Flight"]],
+    );
+    BenchmarkTask {
+        id: 28,
+        name: "flight_gate_report",
+        category: Category::Semantic,
+        description: "Render `UA123` as `Gate B7 (Terminal 2)`: two lookups \
+                      from the same flights row with constant glue.",
+        db: db(vec![flights]),
+        rows: vec![
+            ex(&["UA123"], "Gate B7 (Terminal 2)"),
+            ex(&["DL88"], "Gate C2 (Terminal 3)"),
+            ex(&["AA450"], "Gate A19 (Terminal 1)"),
+            ex(&["BA9"], "Gate D4 (Terminal 5)"),
+        ],
+    }
+}
+
+/// Department code prefix of a course code keys into a name table.
+fn course_code_expand() -> BenchmarkTask {
+    let depts = table(
+        "Depts",
+        &["Code", "Name"],
+        &[
+            &["CS", "Computer Science"],
+            &["EE", "Electrical Engineering"],
+            &["ME", "Mechanical Engineering"],
+            &["BIO", "Biology"],
+        ],
+    );
+    BenchmarkTask {
+        id: 33,
+        name: "course_code_expand",
+        category: Category::Semantic,
+        description: "Expand `CS101` to `Computer Science 101`: the alpha \
+                      prefix keys into Depts; the number is copied.",
+        db: db(vec![depts]),
+        rows: vec![
+            ex(&["CS101"], "Computer Science 101"),
+            ex(&["EE210"], "Electrical Engineering 210"),
+            ex(&["BIO42"], "Biology 42"),
+            ex(&["ME305"], "Mechanical Engineering 305"),
+        ],
+    }
+}
+
+/// Both halves of a route key into an airport table.
+fn airport_route_expand() -> BenchmarkTask {
+    let airports = table(
+        "Airports",
+        &["Code", "City"],
+        &[
+            &["SEA", "Seattle"],
+            &["LAX", "Los Angeles"],
+            &["PDX", "Portland"],
+            &["SFO", "San Francisco"],
+            &["JFK", "New York"],
+        ],
+    );
+    BenchmarkTask {
+        id: 34,
+        name: "airport_route_expand",
+        category: Category::Semantic,
+        description: "Expand `SEA-LAX` to `Seattle to Los Angeles`: both \
+                      code halves key into the Airports table.",
+        db: db(vec![airports]),
+        rows: vec![
+            ex(&["SEA-LAX"], "Seattle to Los Angeles"),
+            ex(&["PDX-JFK"], "Portland to New York"),
+            ex(&["SFO-SEA"], "San Francisco to Seattle"),
+            ex(&["JFK-PDX"], "New York to Portland"),
+        ],
+    }
+}
+
+/// Discount annotation: amount, dash, looked-up percentage.
+fn discount_formula() -> BenchmarkTask {
+    let discounts = table(
+        "Discounts",
+        &["Item", "Pct"],
+        &[
+            &["Lamp", "10%"],
+            &["Chair", "25%"],
+            &["Desk", "40%"],
+            &["Sofa", "15%"],
+        ],
+    );
+    BenchmarkTask {
+        id: 35,
+        name: "discount_formula",
+        category: Category::Semantic,
+        description: "Render `(Lamp, $80)` as `$80-10%`: the price is \
+                      copied and the discount percentage is looked up.",
+        db: db(vec![discounts]),
+        rows: vec![
+            ex(&["Lamp", "$80"], "$80-10%"),
+            ex(&["Chair", "$120"], "$120-25%"),
+            ex(&["Desk", "$310"], "$310-40%"),
+            ex(&["Sofa", "$95"], "$95-15%"),
+        ],
+    }
+}
+
+/// Spot time -> hour + AM/PM (minutes dropped).
+fn time_hour_ampm() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 36,
+        name: "time_hour_ampm",
+        category: Category::Semantic,
+        description: "Convert `1530` to `3 PM`: the hour prefix keys into \
+                      the Time table twice (12-hour clock and AM/PM); the \
+                      minutes are dropped.",
+        db: db(vec![time_table()]),
+        rows: vec![
+            ex(&["1530"], "3 PM"),
+            ex(&["815"], "8 AM"),
+            ex(&["2245"], "10 PM"),
+            ex(&["1140"], "11 AM"),
+        ],
+    }
+}
+
+/// Restock note around a product-name lookup.
+fn product_restock_note() -> BenchmarkTask {
+    let products = table(
+        "ProductCodes",
+        &["Code", "Name"],
+        &[
+            &["W-42", "Widget"],
+            &["G-7", "Gadget"],
+            &["S-19", "Sprocket"],
+            &["C-3", "Cog"],
+        ],
+    );
+    BenchmarkTask {
+        id: 37,
+        name: "product_restock_note",
+        category: Category::Semantic,
+        description: "Render `W-42` as `Reorder Widget (W-42)` — lookup \
+                      plus the original code in parentheses.",
+        db: db(vec![products]),
+        rows: vec![
+            ex(&["W-42"], "Reorder Widget (W-42)"),
+            ex(&["G-7"], "Reorder Gadget (G-7)"),
+            ex(&["S-19"], "Reorder Sprocket (S-19)"),
+            ex(&["C-3"], "Reorder Cog (C-3)"),
+        ],
+    }
+}
+
+/// Two lookups from one roster row.
+fn student_report_line() -> BenchmarkTask {
+    let students = table(
+        "Students",
+        &["Id", "Name", "Grade"],
+        &[
+            &["st1", "Alice", "A"],
+            &["st2", "Bob", "B+"],
+            &["st3", "Carol", "B+"],
+            &["st4", "Dan", "C"],
+        ],
+    );
+    BenchmarkTask {
+        id: 38,
+        name: "student_report_line",
+        category: Category::Semantic,
+        description: "Render `st2` as `Bob: B+`: name and grade lookups \
+                      from the same roster row.",
+        db: db(vec![students]),
+        rows: vec![
+            ex(&["st2"], "Bob: B+"),
+            ex(&["st1"], "Alice: A"),
+            ex(&["st4"], "Dan: C"),
+            ex(&["st3"], "Carol: B+"),
+        ],
+    }
+}
+
+/// ISO-ish date -> European format with month abbreviation.
+fn iso_date_euro_abbrev() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 39,
+        name: "iso_date_euro_abbrev",
+        category: Category::Semantic,
+        description: "Rewrite `2010-6-15` as `15 Jun 2010`: month number \
+                      keys into Month, abbreviated to three letters.",
+        db: db(vec![month_table()]),
+        rows: vec![
+            ex(&["2010-6-15"], "15 Jun 2010"),
+            ex(&["2009-12-3"], "3 Dec 2009"),
+            ex(&["2011-4-28"], "28 Apr 2011"),
+            ex(&["2008-9-7"], "7 Sep 2008"),
+        ],
+    }
+}
+
+/// Separate city/abbr columns -> `City (State)`.
+fn city_state_paren() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 40,
+        name: "city_state_paren",
+        category: Category::Semantic,
+        description: "Render `(Seattle, WA)` as `Seattle (Washington)`: \
+                      copy the city, expand the abbreviation via UsStates.",
+        db: db(vec![us_states_table()]),
+        rows: vec![
+            ex(&["Seattle", "WA"], "Seattle (Washington)"),
+            ex(&["Reno", "NV"], "Reno (Nevada)"),
+            ex(&["Salem", "OR"], "Salem (Oregon)"),
+            ex(&["Laredo", "TX"], "Laredo (Texas)"),
+        ],
+    }
+}
+
+/// Reverse ISD lookup from a dialed number.
+fn code_to_country_colon() -> BenchmarkTask {
+    let codes = table(
+        "CountryCodes",
+        &["Code", "Country"],
+        &[
+            &["90", "Turkey"],
+            &["91", "India"],
+            &["44", "United Kingdom"],
+            &["81", "Japan"],
+            &["33", "France"],
+        ],
+    );
+    BenchmarkTask {
+        id: 41,
+        name: "code_to_country_colon",
+        category: Category::Semantic,
+        description: "Rewrite `+90 5551234` as `Turkey: 5551234`: the \
+                      leading code keys into CountryCodes; the local part \
+                      is copied.",
+        db: db(vec![codes]),
+        rows: vec![
+            ex(&["+90 5551234"], "Turkey: 5551234"),
+            ex(&["+44 2079460"], "United Kingdom: 2079460"),
+            ex(&["+81 3344556"], "Japan: 3344556"),
+            ex(&["+33 6788765"], "France: 6788765"),
+        ],
+    }
+}
+
+/// Three lookups from a catalog row with punctuation glue.
+fn book_citation() -> BenchmarkTask {
+    let books = table(
+        "BookInfo",
+        &["ISBN", "Title", "Author", "Year"],
+        &[
+            &["978-0131103627", "The C Programming Language", "Kernighan", "1988"],
+            &["978-0262033848", "Introduction to Algorithms", "Cormen", "2009"],
+            &["978-0201633610", "Design Patterns", "Gamma", "1994"],
+            &["978-1449373320", "Designing Data-Intensive Applications", "Kleppmann", "2017"],
+        ],
+    );
+    BenchmarkTask {
+        id: 42,
+        name: "book_citation",
+        category: Category::Semantic,
+        description: "Render an ISBN as `Author, Title (Year)` with three \
+                      lookups from the catalog row.",
+        db: db(vec![books]),
+        rows: vec![
+            ex(
+                &["978-0262033848"],
+                "Cormen, Introduction to Algorithms (2009)",
+            ),
+            ex(
+                &["978-0131103627"],
+                "Kernighan, The C Programming Language (1988)",
+            ),
+            ex(&["978-0201633610"], "Gamma, Design Patterns (1994)"),
+            ex(
+                &["978-1449373320"],
+                "Kleppmann, Designing Data-Intensive Applications (2017)",
+            ),
+        ],
+    }
+}
+
+/// Username from initials plus a department-code lookup.
+fn username_generation() -> BenchmarkTask {
+    let emp = table(
+        "EmpDept",
+        &["Name", "DeptCode"],
+        &[
+            &["Alan Turing", "CS"],
+            &["Grace Hopper", "EE"],
+            &["Barbara Liskov", "CS"],
+            &["Rosalind Franklin", "BIO"],
+        ],
+    );
+    BenchmarkTask {
+        id: 43,
+        name: "username_generation",
+        category: Category::Semantic,
+        description: "Build `ATuring-CS` from `Alan Turing`: first initial, \
+                      last name, dash, and the department code lookup.",
+        db: db(vec![emp]),
+        rows: vec![
+            ex(&["Alan Turing"], "ATuring-CS"),
+            ex(&["Grace Hopper"], "GHopper-EE"),
+            ex(&["Barbara Liskov"], "BLiskov-CS"),
+            ex(&["Rosalind Franklin"], "RFranklin-BIO"),
+        ],
+    }
+}
+
+/// Example 1's join without the arithmetic-looking glue: just the price.
+fn month_cost_lookup() -> BenchmarkTask {
+    let markup = table(
+        "MarkupRec",
+        &["Id", "Name", "Markup"],
+        &[
+            &["S30", "Stroller", "30%"],
+            &["B56", "Bib", "45%"],
+            &["D32", "Diapers", "35%"],
+            &["W98", "Wipes", "40%"],
+            &["A46", "Aspirator", "30%"],
+        ],
+    );
+    let cost = table(
+        "CostRec",
+        &["Id", "Date", "Price"],
+        &[
+            &["S30", "12/2010", "$145.67"],
+            &["S30", "11/2010", "$142.38"],
+            &["B56", "12/2010", "$3.56"],
+            &["D32", "1/2011", "$21.45"],
+            &["W98", "4/2009", "$5.12"],
+            &["A46", "2/2010", "$2.56"],
+        ],
+    );
+    BenchmarkTask {
+        id: 44,
+        name: "month_cost_lookup",
+        category: Category::Semantic,
+        description: "Find an item's purchase price for the month of sale: \
+                      markup-table join keyed by a substring of the date \
+                      (Example 1 without the concatenation).",
+        db: db(vec![markup, cost]),
+        rows: vec![
+            ex(&["Stroller", "10/12/2010"], "$145.67"),
+            ex(&["Bib", "23/12/2010"], "$3.56"),
+            ex(&["Diapers", "21/1/2011"], "$21.45"),
+            ex(&["Wipes", "2/4/2009"], "$5.12"),
+            ex(&["Aspirator", "23/2/2010"], "$2.56"),
+        ],
+    }
+}
+
+/// File extension keys into a MIME table.
+fn file_extension_mime() -> BenchmarkTask {
+    let mime = table(
+        "MimeTypes",
+        &["Ext", "Mime"],
+        &[
+            &["pdf", "application/pdf"],
+            &["png", "image/png"],
+            &["txt", "text/plain"],
+            &["zip", "application/zip"],
+        ],
+    );
+    BenchmarkTask {
+        id: 46,
+        name: "file_extension_mime",
+        category: Category::Semantic,
+        description: "Map `report.pdf` to `application/pdf`: the extension \
+                      after the dot keys into MimeTypes.",
+        db: db(vec![mime]),
+        rows: vec![
+            ex(&["report.pdf"], "application/pdf"),
+            ex(&["logo.png"], "image/png"),
+            ex(&["notes.txt"], "text/plain"),
+            ex(&["backup.zip"], "application/zip"),
+        ],
+    }
+}
+
+/// Language-code greeting plus the name.
+fn greeting_by_language() -> BenchmarkTask {
+    let greetings = table(
+        "Greetings",
+        &["Code", "Greeting"],
+        &[
+            &["fr", "Bonjour"],
+            &["es", "Hola"],
+            &["de", "Hallo"],
+            &["it", "Ciao"],
+        ],
+    );
+    BenchmarkTask {
+        id: 47,
+        name: "greeting_by_language",
+        category: Category::Semantic,
+        description: "Render `(fr, Marie)` as `Bonjour, Marie!`: greeting \
+                      lookup, the name, and punctuation.",
+        db: db(vec![greetings]),
+        rows: vec![
+            ex(&["fr", "Marie"], "Bonjour, Marie!"),
+            ex(&["es", "Diego"], "Hola, Diego!"),
+            ex(&["de", "Klaus"], "Hallo, Klaus!"),
+            ex(&["it", "Sofia"], "Ciao, Sofia!"),
+        ],
+    }
+}
+
+/// Captain report with jersey number.
+fn team_captain_line() -> BenchmarkTask {
+    let teams = table(
+        "Teams",
+        &["Team", "Captain", "Jersey"],
+        &[
+            &["Hawks", "Mia Wong", "9"],
+            &["Bears", "Leo Cruz", "14"],
+            &["Owls", "Zoe Hart", "7"],
+            &["Pumas", "Raj Iyer", "23"],
+        ],
+    );
+    BenchmarkTask {
+        id: 48,
+        name: "team_captain_line",
+        category: Category::Semantic,
+        description: "Render `Hawks` as `Captain: Mia Wong (#9)`: two \
+                      lookups from the team row with constant glue.",
+        db: db(vec![teams]),
+        rows: vec![
+            ex(&["Hawks"], "Captain: Mia Wong (#9)"),
+            ex(&["Bears"], "Captain: Leo Cruz (#14)"),
+            ex(&["Owls"], "Captain: Zoe Hart (#7)"),
+            ex(&["Pumas"], "Captain: Raj Iyer (#23)"),
+        ],
+    }
+}
+
+/// ISO-ish date -> US long format with the full month name.
+fn iso_date_full_month() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 49,
+        name: "iso_date_full_month",
+        category: Category::Semantic,
+        description: "Rewrite `2008-6-3` as `June 3, 2008` with the full \
+                      month name from the Month table.",
+        db: db(vec![month_table()]),
+        rows: vec![
+            ex(&["2008-6-3"], "June 3, 2008"),
+            ex(&["2010-3-26"], "March 26, 2010"),
+            ex(&["2009-8-1"], "August 1, 2009"),
+            ex(&["2007-9-24"], "September 24, 2007"),
+        ],
+    }
+}
+
+/// Invoice summary line from one row.
+fn invoice_summary() -> BenchmarkTask {
+    let invoices = table(
+        "Invoices",
+        &["Id", "Amount", "Due"],
+        &[
+            &["INV-7", "$450", "6/1"],
+            &["INV-12", "$1,200", "7/15"],
+            &["INV-3", "$88", "5/20"],
+            &["INV-9", "$675", "8/2"],
+        ],
+    );
+    BenchmarkTask {
+        id: 50,
+        name: "invoice_summary",
+        category: Category::Semantic,
+        description: "Render `INV-7` as `INV-7: $450 (6/1)`: the id plus \
+                      amount and due-date lookups.",
+        db: db(vec![invoices]),
+        rows: vec![
+            ex(&["INV-7"], "INV-7: $450 (6/1)"),
+            ex(&["INV-12"], "INV-12: $1,200 (7/15)"),
+            ex(&["INV-3"], "INV-3: $88 (5/20)"),
+            ex(&["INV-9"], "INV-9: $675 (8/2)"),
+        ],
+    }
+}

@@ -1,0 +1,99 @@
+//! Tasks 29–32 and 45: purely syntactic tasks (no tables). Still `Lu`
+//! benchmarks — the lookup learner cannot express them — but they exercise
+//! the `Ls` substrate end-to-end through the unified synthesizer.
+
+use crate::task::{ex, BenchmarkTask, Category};
+use sst_tables::Database;
+
+pub(super) fn tasks() -> Vec<BenchmarkTask> {
+    vec![
+        date_dmy_to_mdy(),
+        extract_area_code(),
+        name_swap_comma(),
+        initials_dotted(),
+        log_timestamp_extract(),
+    ]
+}
+
+fn date_dmy_to_mdy() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 29,
+        name: "date_dmy_to_mdy",
+        category: Category::Semantic,
+        description: "Swap day and month: `23/12/2010` becomes \
+                      `12/23/2010` (pure reordering of number tokens).",
+        db: Database::new(),
+        rows: vec![
+            ex(&["23/12/2010"], "12/23/2010"),
+            ex(&["5/11/2009"], "11/5/2009"),
+            ex(&["17/6/2011"], "6/17/2011"),
+            ex(&["30/1/2008"], "1/30/2008"),
+        ],
+    }
+}
+
+fn extract_area_code() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 30,
+        name: "extract_area_code",
+        category: Category::Semantic,
+        description: "Extract the area code from `(425) 555-7890`.",
+        db: Database::new(),
+        rows: vec![
+            ex(&["(425) 555-7890"], "425"),
+            ex(&["(206) 123-4567"], "206"),
+            ex(&["(917) 900-1122"], "917"),
+            ex(&["(360) 333-8080"], "360"),
+        ],
+    }
+}
+
+fn name_swap_comma() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 31,
+        name: "name_swap_comma",
+        category: Category::Semantic,
+        description: "Rewrite `Turing, Alan` as `Alan Turing`.",
+        db: Database::new(),
+        rows: vec![
+            ex(&["Turing, Alan"], "Alan Turing"),
+            ex(&["Hopper, Grace"], "Grace Hopper"),
+            ex(&["Liskov, Barbara"], "Barbara Liskov"),
+            ex(&["Knuth, Donald"], "Donald Knuth"),
+        ],
+    }
+}
+
+fn initials_dotted() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 32,
+        name: "initials_dotted",
+        category: Category::Semantic,
+        description: "Abbreviate `Alan Mathison Turing` to `A.M.T.` — the \
+                      three capital initials with dots.",
+        db: Database::new(),
+        rows: vec![
+            ex(&["Alan Mathison Turing"], "A.M.T."),
+            ex(&["Grace Brewster Hopper"], "G.B.H."),
+            ex(&["John William Backus"], "J.W.B."),
+            ex(&["Frances Elizabeth Allen"], "F.E.A."),
+        ],
+    }
+}
+
+fn log_timestamp_extract() -> BenchmarkTask {
+    BenchmarkTask {
+        id: 45,
+        name: "log_timestamp_extract",
+        category: Category::Semantic,
+        description: "Pull the clock time out of a log line like \
+                      `[2024-01-15 08:32] ERROR`.",
+        db: Database::new(),
+        rows: vec![
+            ex(&["[2024-01-15 08:32] ERROR"], "08:32"),
+            ex(&["[2023-11-02 14:05] WARN"], "14:05"),
+            ex(&["[2024-06-30 23:59] INFO"], "23:59"),
+            ex(&["[2022-03-09 07:45] DEBUG"], "07:45"),
+        ],
+    }
+}

@@ -1,0 +1,398 @@
+//! `GenerateStr_u`: synthesis of all `Lu` programs consistent with one
+//! example (§5.3).
+//!
+//! The procedure is `GenerateStr'_t` followed by a final `GenerateStr_s`:
+//!
+//! 1. **Relaxed reachability.** Like `GenerateStr_t`, but a cell `T[C, r]`
+//!    is reachable from the frontier when it can be *syntactically
+//!    assembled* from known strings — not only when it equals one. Per the
+//!    paper's practical restriction we first require a substring relation
+//!    (`T[C,r] ⊑ w` or `w ⊑ T[C,r]` for some known `w`), then require the
+//!    assembly DAG to contain an expression using at least one non-constant
+//!    atom ("uses a variable from σ ∪ η̃").
+//! 2. **Generalized conditions.** For an activated row, each candidate-key
+//!    column `C'` gets the predicate `C' = GenerateStr_s(σ ∪ η̃, T[C', r])`
+//!    — a nested DAG whose constant paths subsume `Lt`'s `C' = s`.
+//! 3. **Top-level DAG.** `GenerateStr_s(σ ∪ η̃, s)` over all reachable
+//!    strings builds the output DAG whose atoms reference lookup nodes.
+//!
+//! The iteration bound `k` defaults to the number of tables (§4.3).
+
+use std::collections::{HashMap, HashSet};
+
+use sst_lookup::NodeId;
+use sst_syntactic::{generate_dag, Dag, GenOptions};
+use sst_tables::{ColId, Database, RowId, TableId};
+
+use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
+
+/// Options for `Lu` generation.
+#[derive(Debug, Clone)]
+pub struct LuOptions {
+    /// Reachability depth bound; `None` = number of tables.
+    pub max_depth: Option<usize>,
+    /// Syntactic-layer options (token set, context bound).
+    pub syntactic: GenOptions,
+    /// §5.3's "stronger restriction": only consider cells in a substring
+    /// relation with a known string. `true` (the paper's experimental
+    /// setting, and ours) trades a sliver of completeness for large
+    /// speedups; `false` gates on assemblability alone.
+    pub substring_gate: bool,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions {
+            max_depth: None,
+            syntactic: GenOptions::default(),
+            substring_gate: true,
+        }
+    }
+}
+
+impl LuOptions {
+    /// Effective depth bound for a database.
+    pub fn depth_for(&self, db: &Database) -> usize {
+        self.max_depth.unwrap_or_else(|| db.len().max(1))
+    }
+}
+
+/// Builds the `Du` structure of all `Lu` programs consistent with one
+/// input-output example. Never fails: the all-constant program always
+/// exists (ranking deprioritizes it).
+pub fn generate_str_u(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+) -> SemDStruct {
+    let k = opts.depth_for(db);
+    let mut d = SemDStruct::default();
+    let mut val_to_node: HashMap<String, NodeId> = HashMap::new();
+
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for (i, value) in inputs.iter().enumerate() {
+        if value.is_empty() {
+            continue;
+        }
+        let node = match val_to_node.get(*value) {
+            Some(&id) => id,
+            None => {
+                let id = NodeId(d.nodes.len() as u32);
+                d.nodes.push(SemNode::default());
+                d.nodes[id.0 as usize].vals = vec![(*value).to_string()];
+                val_to_node.insert((*value).to_string(), id);
+                frontier.push(id);
+                id
+            }
+        };
+        d.nodes[node.0 as usize].progs.push(GenLookupU::Var(i as u32));
+    }
+
+    for _step in 0..k {
+        if frontier.is_empty() {
+            break;
+        }
+        // Candidate cells: substring-related to some frontier string (the
+        // paper's experimental restriction), or every cell when the gate
+        // is disabled.
+        let mut candidates: HashSet<(TableId, RowId, ColId)> = HashSet::new();
+        if opts.substring_gate {
+            for &node in &frontier {
+                let w = d.nodes[node.0 as usize].vals[0].clone();
+                for (tid, table) in db.iter() {
+                    for (cell, _) in table.cells_related_to(&w) {
+                        candidates.insert((tid, cell.row, cell.col));
+                    }
+                }
+            }
+        } else {
+            for (tid, table) in db.iter() {
+                for (cell, v) in table.iter_cells() {
+                    if !v.is_empty() {
+                        candidates.insert((tid, cell.row, cell.col));
+                    }
+                }
+            }
+        }
+        // NOTE: cells hit by an earlier frontier are *revisited* when the
+        // current frontier relates to them again — the paper's line-15
+        // behavior of adding a Select with the updated condition set `B`
+        // (richer sources). Duplicate Selects are deduplicated below.
+        let mut ordered: Vec<(TableId, RowId, ColId)> = candidates.into_iter().collect();
+        ordered.sort_unstable();
+
+        // Gate: the matched cell must be assemblable with ≥1 non-constant
+        // atom from the *current* sources. (Snapshot the strings so nodes
+        // can be appended below.)
+        let sources_owned = current_sources(&d);
+        let sources: Vec<(NodeId, &str)> = sources_owned
+            .iter()
+            .map(|(n, s)| (*n, s.as_str()))
+            .collect();
+        let mut passed: Vec<(TableId, RowId, ColId)> = Vec::new();
+        for &(tid, row, col) in &ordered {
+            let value = db.table(tid).cell(col, row);
+            let dag = generate_dag(&sources, value, &opts.syntactic);
+            if dag.has_nonconst_program() {
+                passed.push((tid, row, col));
+            }
+        }
+
+        // Pass 1: materialize nodes for the *other* columns of activated
+        // rows — the matched column itself is not a lookup output (it is
+        // merely assemblable), so it only becomes a node if some other
+        // activation reaches it.
+        let mut next_frontier: Vec<NodeId> = Vec::new();
+        for &(tid, row, col) in &passed {
+            let table = db.table(tid);
+            for c in 0..table.width() as ColId {
+                if c == col {
+                    continue;
+                }
+                let value = table.cell(c, row);
+                if value.is_empty() || val_to_node.contains_key(value) {
+                    continue;
+                }
+                let id = NodeId(d.nodes.len() as u32);
+                d.nodes.push(SemNode {
+                    vals: vec![value.to_string()],
+                    progs: Vec::new(),
+                });
+                val_to_node.insert(value.to_string(), id);
+                next_frontier.push(id);
+            }
+        }
+
+        // Pass 2: build B (predicate DAGs over the *pre-expansion* sources,
+        // matching the paper's σ ∪ η̃ at this step) and attach Selects.
+        for &(tid, row, col) in &passed {
+            let table = db.table(tid);
+            let conds: Vec<GenCondU> = table
+                .candidate_keys()
+                .iter()
+                .enumerate()
+                .map(|(key_idx, key)| GenCondU {
+                    key: key_idx,
+                    preds: key
+                        .iter()
+                        .map(|&kc| GenPredU {
+                            col: kc,
+                            dag: generate_dag(&sources, table.cell(kc, row), &opts.syntactic),
+                        })
+                        .collect(),
+                })
+                .collect();
+            if conds.is_empty() {
+                continue;
+            }
+            for c in 0..table.width() as ColId {
+                if c == col {
+                    continue;
+                }
+                let value = table.cell(c, row);
+                if value.is_empty() {
+                    continue;
+                }
+                let node = val_to_node[value];
+                let prog = GenLookupU::Select {
+                    col: c,
+                    table: tid,
+                    conds: conds.clone(),
+                };
+                if !d.nodes[node.0 as usize].progs.contains(&prog) {
+                    d.nodes[node.0 as usize].progs.push(prog);
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    // Top-level DAG over every known string.
+    let sources_owned = current_sources(&d);
+    let sources: Vec<(NodeId, &str)> = sources_owned
+        .iter()
+        .map(|(n, s)| (*n, s.as_str()))
+        .collect();
+    let top: Dag<NodeId> = generate_dag(&sources, output, &opts.syntactic);
+    d.top = Some(top);
+    d
+}
+
+fn current_sources(d: &SemDStruct) -> Vec<(NodeId, String)> {
+    d.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (NodeId(i as u32), n.vals[0].clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_sem;
+    use crate::rank::LuRankWeights;
+    use sst_tables::Table;
+
+    fn comp_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+                vec!["c4", "Facebook"],
+                vec!["c5", "IBM"],
+                vec!["c6", "Xerox"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    fn bike_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "BikePrices",
+            vec!["Bike", "Price"],
+            vec![
+                vec!["Ducati100", "10,000"],
+                vec!["Ducati125", "12,500"],
+                vec!["Ducati250", "18,000"],
+                vec!["Honda125", "11,500"],
+                vec!["Honda250", "19,000"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_lookup_still_works() {
+        let db = comp_db();
+        let d = generate_str_u(&db, &["c2"], "Google", &LuOptions::default());
+        assert!(d.has_programs());
+        // The top DAG's full edge should offer a lookup-node atom.
+        assert!(d.count(2) > sst_counting::BigUint::one());
+    }
+
+    #[test]
+    fn example6_substring_indexed_lookup_reachable() {
+        // "c4 c3 c1" -> "Facebook Apple Microsoft": cells c4/c3/c1 are
+        // substrings of the input, so their rows activate and the names
+        // become sources for the top DAG.
+        let db = comp_db();
+        let d = generate_str_u(
+            &db,
+            &["c4 c3 c1"],
+            "Facebook Apple Microsoft",
+            &LuOptions::default(),
+        );
+        assert!(d.has_programs());
+        // Extraction must produce a program that generalizes.
+        let w = LuRankWeights::default();
+        let prog = w.best(&d, 2).expect("top program");
+        let got = eval_sem(
+            &prog.expr,
+            &db,
+            &["c2 c5 c6"],
+            &LuOptions::default().syntactic.token_set,
+        );
+        assert_eq!(got.as_deref(), Some("Google IBM Xerox"));
+    }
+
+    #[test]
+    fn example5_concat_indexed_lookup_reachable() {
+        let db = bike_db();
+        let d = generate_str_u(&db, &["Honda", "125"], "11,500", &LuOptions::default());
+        assert!(d.has_programs());
+        let w = LuRankWeights::default();
+        let prog = w.best(&d, 2).expect("top program");
+        let got = eval_sem(
+            &prog.expr,
+            &db,
+            &["Ducati", "250"],
+            &LuOptions::default().syntactic.token_set,
+        );
+        assert_eq!(got.as_deref(), Some("18,000"));
+    }
+
+    #[test]
+    fn unrelated_output_const_only() {
+        let db = comp_db();
+        let d = generate_str_u(&db, &["zzz"], "!!??!!", &LuOptions::default());
+        // Still has (constant) programs...
+        assert!(d.has_programs());
+        // ...and exactly the constant decompositions: no lookup atoms.
+        assert_eq!(d.len(), 1, "no cells relate to zzz");
+    }
+
+    #[test]
+    fn empty_output_has_empty_program() {
+        let db = comp_db();
+        let d = generate_str_u(&db, &["c1"], "", &LuOptions::default());
+        assert!(d.has_programs());
+        assert_eq!(d.count(1).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn depth_bound_limits_expansion() {
+        let db = comp_db();
+        let opts = LuOptions {
+            max_depth: Some(0),
+            ..Default::default()
+        };
+        let d = generate_str_u(&db, &["c2"], "Google", &opts);
+        // No reachability: only the input node exists and the output is
+        // only constant-representable.
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn disabling_gate_finds_concat_assembled_keys() {
+        // Key "XY" is assemblable from "X-Y" but not substring-related to
+        // it: the paper's general condition (gate off) reaches the row,
+        // the experimental restriction (gate on) does not.
+        let db = Database::from_tables(vec![Table::new(
+            "Pairs",
+            vec!["Key", "Val"],
+            vec![vec!["XY", "ok1"], vec!["ZW", "ok2"]],
+        )
+        .unwrap()])
+        .unwrap();
+        let gated = generate_str_u(&db, &["X-Y"], "ok1", &LuOptions::default());
+        assert_eq!(gated.len(), 1, "gate should block the XY row");
+        let open = generate_str_u(
+            &db,
+            &["X-Y"],
+            "ok1",
+            &LuOptions {
+                substring_gate: false,
+                ..Default::default()
+            },
+        );
+        assert!(open.len() > 1, "general condition should reach the row");
+        let vals: Vec<&str> = open.nodes.iter().map(|n| n.vals[0].as_str()).collect();
+        assert!(vals.contains(&"ok1"));
+        // The learned program under the open gate generalizes.
+        let w = LuRankWeights::default();
+        let prog = w.best(&open, 2).unwrap();
+        let got = eval_sem(
+            &prog.expr,
+            &db,
+            &["Z-W"],
+            &LuOptions::default().syntactic.token_set,
+        );
+        assert_eq!(got.as_deref(), Some("ok2"));
+    }
+
+    #[test]
+    fn substring_relation_gate_blocks_unrelated_cells() {
+        let db = comp_db();
+        let d = generate_str_u(&db, &["c2"], "Google", &LuOptions::default());
+        // c2's row activates; unrelated rows (c4, Facebook, ...) must not.
+        let vals: Vec<&str> = d.nodes.iter().map(|n| n.vals[0].as_str()).collect();
+        assert!(vals.contains(&"Google"));
+        assert!(!vals.contains(&"Facebook"));
+    }
+}

@@ -1,0 +1,255 @@
+//! `Intersect_u`: intersecting two `Du` structures (§5.3).
+//!
+//! The procedure is the union of the `Intersect_t` and `Intersect_s` rules
+//! plus the four bridging rules of the paper:
+//!
+//! * top-level DAGs intersect like automata (`Dag × Dag`), with atom source
+//!   handles intersected by *lookup-node pairing*;
+//! * node pairs intersect their generalized lookups (`Var`/`Var` by index,
+//!   `Select`/`Select` by column+table, conditions by candidate key);
+//! * predicate DAGs (`C = ẽ_s`) intersect recursively with the same node
+//!   pairing, closing the mutual recursion.
+//!
+//! Pairing is lazy (only pairs referenced from the intersected top DAG or
+//! some predicate DAG are created) and the result is pruned for
+//! productivity, which is where pairs whose only derivations are infinite
+//! disappear.
+
+use std::collections::HashMap;
+
+use sst_lookup::NodeId;
+use sst_syntactic::intersect_dags;
+
+use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
+
+/// Intersects two `Du` structures. The result's `top` is `None` when no
+/// common program survives.
+pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
+    let (Some(ta), Some(tb)) = (&a.top, &b.top) else {
+        return SemDStruct::default();
+    };
+    let mut ctx = Ctx {
+        a,
+        b,
+        out_nodes: Vec::new(),
+        memo: HashMap::new(),
+    };
+    let top = intersect_dags(ta, tb, &mut |x: &NodeId, y: &NodeId| Some(ctx.pair(*x, *y)));
+    let mut out = SemDStruct {
+        nodes: ctx.out_nodes,
+        top,
+    };
+    if !out.prune() {
+        out.top = None;
+    }
+    out
+}
+
+struct Ctx<'a> {
+    a: &'a SemDStruct,
+    b: &'a SemDStruct,
+    out_nodes: Vec<SemNode>,
+    memo: HashMap<(u32, u32), NodeId>,
+}
+
+impl Ctx<'_> {
+    fn pair(&mut self, na: NodeId, nb: NodeId) -> NodeId {
+        if let Some(&id) = self.memo.get(&(na.0, nb.0)) {
+            return id;
+        }
+        let id = NodeId(self.out_nodes.len() as u32);
+        let mut vals = self.a.node(na).vals.clone();
+        vals.extend(self.b.node(nb).vals.iter().cloned());
+        self.out_nodes.push(SemNode {
+            vals,
+            progs: Vec::new(),
+        });
+        self.memo.insert((na.0, nb.0), id);
+
+        let a_progs = self.a.node(na).progs.clone();
+        let b_progs = self.b.node(nb).progs.clone();
+        let mut progs: Vec<GenLookupU> = Vec::new();
+        for ga in &a_progs {
+            for gb in &b_progs {
+                if let Some(g) = self.intersect_prog(ga, gb) {
+                    progs.push(g);
+                }
+            }
+        }
+        self.out_nodes[id.0 as usize].progs = progs;
+        id
+    }
+
+    fn intersect_prog(&mut self, ga: &GenLookupU, gb: &GenLookupU) -> Option<GenLookupU> {
+        match (ga, gb) {
+            (GenLookupU::Var(i), GenLookupU::Var(j)) if i == j => Some(GenLookupU::Var(*i)),
+            (
+                GenLookupU::Select {
+                    col: c1,
+                    table: t1,
+                    conds: conds1,
+                },
+                GenLookupU::Select {
+                    col: c2,
+                    table: t2,
+                    conds: conds2,
+                },
+            ) if c1 == c2 && t1 == t2 => {
+                let mut conds = Vec::new();
+                for x in conds1 {
+                    let Some(y) = conds2.iter().find(|y| y.key == x.key) else {
+                        continue;
+                    };
+                    if let Some(c) = self.intersect_cond(x, y) {
+                        conds.push(c);
+                    }
+                }
+                if conds.is_empty() {
+                    None
+                } else {
+                    Some(GenLookupU::Select {
+                        col: *c1,
+                        table: *t1,
+                        conds,
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn intersect_cond(&mut self, x: &GenCondU, y: &GenCondU) -> Option<GenCondU> {
+        if x.preds.len() != y.preds.len() {
+            return None;
+        }
+        let mut preds = Vec::with_capacity(x.preds.len());
+        for (p, q) in x.preds.iter().zip(&y.preds) {
+            if p.col != q.col {
+                return None;
+            }
+            let dag = intersect_dags(&p.dag, &q.dag, &mut |u: &NodeId, v: &NodeId| {
+                Some(self.pair(*u, *v))
+            })?;
+            preds.push(GenPredU { col: p.col, dag });
+        }
+        Some(GenCondU {
+            key: x.key,
+            preds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_sem;
+    use crate::generate::{generate_str_u, LuOptions};
+    use crate::rank::LuRankWeights;
+    use sst_tables::{Database, Table};
+
+    fn comp_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+                vec!["c4", "Facebook"],
+                vec!["c5", "IBM"],
+                vec!["c6", "Xerox"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    fn gen(db: &Database, inputs: &[&str], output: &str) -> SemDStruct {
+        generate_str_u(db, inputs, output, &LuOptions::default())
+    }
+
+    #[test]
+    fn intersection_keeps_common_lookup_program() {
+        let db = comp_db();
+        let d1 = gen(&db, &["c2"], "Google");
+        let d2 = gen(&db, &["c5"], "IBM");
+        let inter = intersect_du(&d1, &d2);
+        assert!(inter.has_programs());
+        let prog = LuRankWeights::default().best(&inter, 2).unwrap();
+        let tokens = LuOptions::default().syntactic.token_set;
+        assert_eq!(
+            eval_sem(&prog.expr, &db, &["c2"], &tokens).as_deref(),
+            Some("Google")
+        );
+        assert_eq!(
+            eval_sem(&prog.expr, &db, &["c6"], &tokens).as_deref(),
+            Some("Xerox")
+        );
+    }
+
+    #[test]
+    fn intersection_of_incompatible_examples_dies() {
+        let db = comp_db();
+        // No program can map c2 -> Google and c2 -> Apple.
+        let d1 = gen(&db, &["c2"], "Google");
+        let d2 = gen(&db, &["c2"], "Apple");
+        let inter = intersect_du(&d1, &d2);
+        assert!(!inter.has_programs());
+    }
+
+    #[test]
+    fn const_program_survives_when_outputs_equal() {
+        let db = comp_db();
+        let d1 = gen(&db, &["c2"], "same");
+        let d2 = gen(&db, &["c5"], "same");
+        let inter = intersect_du(&d1, &d2);
+        assert!(inter.has_programs());
+        let prog = LuRankWeights::default().best(&inter, 2).unwrap();
+        let tokens = LuOptions::default().syntactic.token_set;
+        assert_eq!(
+            eval_sem(&prog.expr, &db, &["c1"], &tokens).as_deref(),
+            Some("same")
+        );
+    }
+
+    #[test]
+    fn intersection_size_does_not_blow_up() {
+        // Fig. 12(b)'s claim: intersection typically shrinks the structure.
+        let db = comp_db();
+        let d1 = gen(&db, &["c4 c3 c1"], "Facebook Apple Microsoft");
+        let d2 = gen(&db, &["c2 c5 c6"], "Google IBM Xerox");
+        let s1 = d1.size();
+        let inter = intersect_du(&d1, &d2);
+        assert!(inter.has_programs());
+        let si = inter.size();
+        assert!(
+            si < s1 * s1,
+            "quadratic blowup: {si} vs first-example size {s1}"
+        );
+    }
+
+    #[test]
+    fn missing_top_on_either_side_gives_empty() {
+        let db = comp_db();
+        let d1 = gen(&db, &["c2"], "Google");
+        let empty = SemDStruct::default();
+        assert!(!intersect_du(&d1, &empty).has_programs());
+        assert!(!intersect_du(&empty, &d1).has_programs());
+    }
+
+    #[test]
+    fn three_example_chain_intersection() {
+        let db = comp_db();
+        let d1 = gen(&db, &["c2"], "Google");
+        let d2 = gen(&db, &["c5"], "IBM");
+        let d3 = gen(&db, &["c3"], "Apple");
+        let inter = intersect_du(&intersect_du(&d1, &d2), &d3);
+        assert!(inter.has_programs());
+        let prog = LuRankWeights::default().best(&inter, 2).unwrap();
+        let tokens = LuOptions::default().syntactic.token_set;
+        assert_eq!(
+            eval_sem(&prog.expr, &db, &["c1"], &tokens).as_deref(),
+            Some("Microsoft")
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Best-effort English paraphrasing of learned programs (§3.2 suggests
+//! showing transformations "paraphrased in a natural language" so end-users
+//! can pick the intended one).
+
+use sst_syntactic::{AtomicExpr, PosExpr};
+use sst_tables::Database;
+
+use crate::language::{LookupU, PredRhsU, SemExpr};
+
+/// Renders a program as one English sentence.
+pub fn paraphrase_sem(e: &SemExpr, db: &Database) -> String {
+    let parts: Vec<String> = e.atoms.iter().map(|a| paraphrase_atom(a, db)).collect();
+    match parts.len() {
+        0 => "output the empty string".to_string(),
+        1 => format!("output {}", parts[0]),
+        _ => format!("concatenate {}", join_with_and(&parts)),
+    }
+}
+
+fn join_with_and(parts: &[String]) -> String {
+    match parts.len() {
+        0 => String::new(),
+        1 => parts[0].clone(),
+        2 => format!("{} and {}", parts[0], parts[1]),
+        _ => format!(
+            "{}, and {}",
+            parts[..parts.len() - 1].join(", "),
+            parts[parts.len() - 1]
+        ),
+    }
+}
+
+fn paraphrase_atom(a: &AtomicExpr<LookupU>, db: &Database) -> String {
+    match a {
+        AtomicExpr::ConstStr(s) => format!("the constant {s:?}"),
+        AtomicExpr::Whole(src) => paraphrase_lookup(src, db),
+        AtomicExpr::SubStr { src, p1, p2 } => format!(
+            "the substring of {} from {} to {}",
+            paraphrase_lookup(src, db),
+            paraphrase_pos(p1),
+            paraphrase_pos(p2)
+        ),
+    }
+}
+
+fn paraphrase_lookup(l: &LookupU, db: &Database) -> String {
+    match l {
+        LookupU::Var(v) => format!("input column {}", v + 1),
+        LookupU::Select { col, table, cond } => {
+            let t = db.table(*table);
+            let preds: Vec<String> = cond
+                .iter()
+                .map(|p| {
+                    let rhs = match &p.rhs {
+                        PredRhsU::Const(s) => format!("{s:?}"),
+                        PredRhsU::Expr(e) => paraphrase_sem_inline(e, db),
+                    };
+                    format!("{} equals {rhs}", t.column_name(p.col))
+                })
+                .collect();
+            format!(
+                "the {} entry of table {} whose {}",
+                t.column_name(*col),
+                t.name(),
+                join_with_and(&preds)
+            )
+        }
+    }
+}
+
+fn paraphrase_sem_inline(e: &SemExpr, db: &Database) -> String {
+    let p = paraphrase_sem(e, db);
+    p.strip_prefix("output ").unwrap_or(&p).to_string()
+}
+
+fn paraphrase_pos(p: &PosExpr) -> String {
+    match p {
+        PosExpr::CPos(0) => "the start".to_string(),
+        PosExpr::CPos(-1) => "the end".to_string(),
+        PosExpr::CPos(k) if *k >= 0 => format!("position {k}"),
+        PosExpr::CPos(k) => format!("{} before the end", -k - 1),
+        PosExpr::Pos { r1, r2, c } => {
+            let side = if *c >= 0 { "th" } else { "th-from-last" };
+            let idx = c.unsigned_abs();
+            if r1.is_epsilon() {
+                format!("the {idx}{side} start of {r2}")
+            } else if r2.is_epsilon() {
+                format!("the {idx}{side} end of {r1}")
+            } else {
+                format!("the {idx}{side} boundary between {r1} and {r2}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::PredicateU;
+    use sst_syntactic::{RegexSeq, StringExpr, Token};
+    use sst_tables::Table;
+
+    fn db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![vec!["c1", "Microsoft"]],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn paraphrases_lookup() {
+        let e = StringExpr::atom(AtomicExpr::Whole(LookupU::Select {
+            col: 1,
+            table: 0,
+            cond: vec![PredicateU {
+                col: 0,
+                rhs: PredRhsU::Expr(StringExpr::atom(AtomicExpr::Whole(LookupU::Var(0)))),
+            }],
+        }));
+        assert_eq!(
+            paraphrase_sem(&e, &db()),
+            "output the Name entry of table Comp whose Id equals input column 1"
+        );
+    }
+
+    #[test]
+    fn paraphrases_concatenation_and_substr() {
+        let e = StringExpr {
+            atoms: vec![
+                AtomicExpr::ConstStr("# ".into()),
+                AtomicExpr::SubStr {
+                    src: LookupU::Var(0),
+                    p1: PosExpr::CPos(0),
+                    p2: PosExpr::Pos {
+                        r1: RegexSeq::token(Token::Num),
+                        r2: RegexSeq::epsilon(),
+                        c: 1,
+                    },
+                },
+            ],
+        };
+        let p = paraphrase_sem(&e, &db());
+        assert!(p.starts_with("concatenate the constant \"# \" and the substring"));
+        assert!(p.contains("from the start to the 1th end of NumTok"));
+    }
+
+    #[test]
+    fn paraphrases_const_pred() {
+        let e = StringExpr::atom(AtomicExpr::Whole(LookupU::Select {
+            col: 0,
+            table: 0,
+            cond: vec![PredicateU {
+                col: 1,
+                rhs: PredRhsU::Const("Microsoft".into()),
+            }],
+        }));
+        assert!(paraphrase_sem(&e, &db()).contains("Name equals \"Microsoft\""));
+    }
+}

@@ -1,0 +1,357 @@
+//! The end-user facing synthesizer (§3's `Synthesize` driver).
+//!
+//! `Synthesize((σ₁,s₁),...,(σₙ,sₙ))` = `GenerateStr_u` on the first example,
+//! then `Intersect_u` with each subsequent example's structure, then rank.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use sst_counting::BigUint;
+use sst_syntactic::TokenSet;
+use sst_tables::Database;
+
+use crate::dstruct::SemDStruct;
+use crate::eval::eval_sem;
+use crate::generate::{generate_str_u, LuOptions};
+use crate::intersect::intersect_du;
+use crate::language::{display_sem, SemExpr};
+use crate::paraphrase::paraphrase_sem;
+use crate::rank::LuRankWeights;
+
+/// One input-output example: an input row and its desired output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// Input columns `v_1, ..., v_m`.
+    pub inputs: Vec<String>,
+    /// Desired output string.
+    pub output: String,
+}
+
+impl Example {
+    /// Convenience constructor.
+    pub fn new<S: Into<String>>(inputs: Vec<S>, output: impl Into<String>) -> Self {
+        Example {
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            output: output.into(),
+        }
+    }
+
+    /// Input columns as `&str`s.
+    pub fn input_refs(&self) -> Vec<&str> {
+        self.inputs.iter().map(String::as_str).collect()
+    }
+}
+
+/// Failures of [`Synthesizer::learn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// No examples were provided.
+    NoExamples,
+    /// Examples disagree on the number of input columns.
+    ArityMismatch {
+        /// Arity of the first example.
+        expected: usize,
+        /// Index of the offending example.
+        example: usize,
+        /// Its arity.
+        found: usize,
+    },
+    /// No `Lu` program is consistent with all examples.
+    NoConsistentProgram,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoExamples => f.write_str("no input-output examples provided"),
+            SynthesisError::ArityMismatch {
+                expected,
+                example,
+                found,
+            } => write!(
+                f,
+                "example {example} has {found} input columns, expected {expected}"
+            ),
+            SynthesisError::NoConsistentProgram => {
+                f.write_str("no transformation in the language is consistent with all examples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Synthesis configuration: generation options plus ranking weights.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisOptions {
+    /// Generation options (depth bound, token set).
+    pub lu: LuOptions,
+    /// Ranking weights.
+    pub weights: LuRankWeights,
+}
+
+/// The programming-by-example synthesizer for semantic string
+/// transformations.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    db: Arc<Database>,
+    options: SynthesisOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer over a database with default options.
+    pub fn new(db: Database) -> Self {
+        Synthesizer {
+            db: Arc::new(db),
+            options: SynthesisOptions::default(),
+        }
+    }
+
+    /// Creates a synthesizer with explicit options.
+    pub fn with_options(db: Database, options: SynthesisOptions) -> Self {
+        Synthesizer {
+            db: Arc::new(db),
+            options,
+        }
+    }
+
+    /// The database (user tables + background knowledge).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// Learns the set of all programs consistent with the examples.
+    pub fn learn(&self, examples: &[Example]) -> Result<LearnedPrograms, SynthesisError> {
+        let first = examples.first().ok_or(SynthesisError::NoExamples)?;
+        let arity = first.inputs.len();
+        for (i, e) in examples.iter().enumerate().skip(1) {
+            if e.inputs.len() != arity {
+                return Err(SynthesisError::ArityMismatch {
+                    expected: arity,
+                    example: i,
+                    found: e.inputs.len(),
+                });
+            }
+        }
+        let mut d = generate_str_u(
+            &self.db,
+            &first.input_refs(),
+            &first.output,
+            &self.options.lu,
+        );
+        for e in &examples[1..] {
+            let next = generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu);
+            d = intersect_du(&d, &next);
+            if !d.has_programs() {
+                return Err(SynthesisError::NoConsistentProgram);
+            }
+        }
+        if !d.has_programs() {
+            return Err(SynthesisError::NoConsistentProgram);
+        }
+        Ok(LearnedPrograms {
+            depth: self.options.lu.depth_for(&self.db),
+            dstruct: d,
+            db: Arc::clone(&self.db),
+            options: self.options.clone(),
+        })
+    }
+}
+
+/// The set of all consistent programs, plus ranking; the result of
+/// [`Synthesizer::learn`].
+#[derive(Debug, Clone)]
+pub struct LearnedPrograms {
+    dstruct: SemDStruct,
+    db: Arc<Database>,
+    options: SynthesisOptions,
+    depth: usize,
+}
+
+impl LearnedPrograms {
+    /// The underlying `Du` data structure.
+    pub fn dstruct(&self) -> &SemDStruct {
+        &self.dstruct
+    }
+
+    /// Exact number of consistent programs with lookup depth ≤ k
+    /// (Figure 11a's metric).
+    pub fn count(&self) -> BigUint {
+        self.dstruct.count(self.depth)
+    }
+
+    /// Data-structure size in terminal symbols (Figure 11b's metric).
+    pub fn size(&self) -> usize {
+        self.dstruct.size()
+    }
+
+    /// The top-ranked program.
+    pub fn top(&self) -> Option<Program> {
+        self.options
+            .weights
+            .best(&self.dstruct, self.depth)
+            .map(|r| Program {
+                expr: r.expr,
+                cost: r.cost,
+                db: Arc::clone(&self.db),
+                tokens: self.options.lu.syntactic.token_set.clone(),
+            })
+    }
+
+    /// Up to `k` top-ranked programs, ascending cost.
+    pub fn top_k(&self, k: usize) -> Vec<Program> {
+        self.options
+            .weights
+            .top_k(&self.dstruct, self.depth, k)
+            .into_iter()
+            .map(|r| Program {
+                expr: r.expr,
+                cost: r.cost,
+                db: Arc::clone(&self.db),
+                tokens: self.options.lu.syntactic.token_set.clone(),
+            })
+            .collect()
+    }
+
+    /// Runs the top program on a fresh input row.
+    pub fn run(&self, inputs: &[&str]) -> Option<String> {
+        self.top()?.run(inputs)
+    }
+
+    /// Distinct outputs produced by the `k` best programs on an input —
+    /// the §3.2 interaction model flags inputs where this set has ≥ 2
+    /// entries.
+    pub fn outputs(&self, inputs: &[&str], k: usize) -> BTreeSet<String> {
+        self.top_k(k)
+            .iter()
+            .filter_map(|p| p.run(inputs))
+            .collect()
+    }
+}
+
+/// A concrete, runnable transformation (bundles the database and token set
+/// so it can be applied anywhere).
+#[derive(Debug, Clone)]
+pub struct Program {
+    expr: SemExpr,
+    cost: u64,
+    db: Arc<Database>,
+    tokens: TokenSet,
+}
+
+impl Program {
+    /// The program's expression tree.
+    pub fn expr(&self) -> &SemExpr {
+        &self.expr
+    }
+
+    /// The ranking cost (lower = preferred).
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Applies the program to an input row.
+    pub fn run(&self, inputs: &[&str]) -> Option<String> {
+        eval_sem(&self.expr, &self.db, inputs, &self.tokens)
+    }
+
+    /// An English description of the program (§3.2's paraphrasing).
+    pub fn paraphrase(&self) -> String {
+        paraphrase_sem(&self.expr, &self.db)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&display_sem(&self.expr, &self.db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_tables::Table;
+
+    fn comp_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn learn_simple_lookup() {
+        let s = Synthesizer::new(comp_db());
+        let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        let top = learned.top().unwrap();
+        assert_eq!(top.run(&["c1"]).as_deref(), Some("Microsoft"));
+        assert!(top.to_string().contains("Select(Name, Comp"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = Synthesizer::new(comp_db());
+        assert_eq!(s.learn(&[]).unwrap_err(), SynthesisError::NoExamples);
+        let err = s
+            .learn(&[
+                Example::new(vec!["a"], "x"),
+                Example::new(vec!["a", "b"], "y"),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::ArityMismatch { .. }));
+        let err = s
+            .learn(&[
+                Example::new(vec!["c2"], "Google"),
+                Example::new(vec!["c2"], "Apple"),
+            ])
+            .unwrap_err();
+        assert_eq!(err, SynthesisError::NoConsistentProgram);
+    }
+
+    #[test]
+    fn outputs_reports_ambiguity() {
+        let s = Synthesizer::new(comp_db());
+        let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        // On the training input every program agrees.
+        let outs = learned.outputs(&["c2"], 5);
+        assert_eq!(outs.len(), 1);
+        assert!(outs.contains("Google"));
+        // On a new input the constant program (if present among top-k)
+        // disagrees with the lookup.
+        let outs = learned.outputs(&["c3"], 8);
+        assert!(outs.contains("Apple"));
+    }
+
+    #[test]
+    fn count_and_size_metrics() {
+        let s = Synthesizer::new(comp_db());
+        let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        assert!(learned.count() > BigUint::from(1u64));
+        assert!(learned.size() > 0);
+    }
+
+    #[test]
+    fn two_examples_converge() {
+        let s = Synthesizer::new(comp_db());
+        let learned = s
+            .learn(&[
+                Example::new(vec!["c2"], "Google"),
+                Example::new(vec!["c1"], "Microsoft"),
+            ])
+            .unwrap();
+        assert_eq!(learned.run(&["c3"]).as_deref(), Some("Apple"));
+    }
+}

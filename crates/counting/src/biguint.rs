@@ -1,0 +1,455 @@
+//! A little-endian limb-vector unsigned big integer.
+//!
+//! Limbs are `u64`; arithmetic goes through `u128` intermediates. The
+//! representation is normalized: no trailing zero limbs, and zero is the
+//! empty limb vector.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// Arbitrary-precision unsigned integer used for counting program sets.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian 64-bit limbs; normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// 10^exp, handy for tests against the paper's scientific-notation axes.
+    pub fn pow10(exp: u32) -> Self {
+        let mut out = BigUint::one();
+        for _ in 0..exp {
+            out *= &BigUint::from(10u64);
+        }
+        out
+    }
+
+    /// `self ^ exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Number of bits in the value (0 for the value 0).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Lossy conversion for plotting / log-scale comparisons.
+    pub fn to_f64(&self) -> f64 {
+        let mut out = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            out = out * 18446744073709551616.0 + limb as f64;
+        }
+        out
+    }
+
+    /// Base-10 logarithm (lossy; `-inf` for zero).
+    pub fn log10(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        // For values outside f64 range, use bits * log10(2) with a mantissa
+        // correction from the top 128 bits.
+        let bits = self.bits();
+        if bits <= 1000 {
+            return self.to_f64().log10();
+        }
+        let top = self.limbs[self.limbs.len() - 1] as f64 * 18446744073709551616.0
+            + self.limbs[self.limbs.len() - 2] as f64;
+        top.log10() + (self.limbs.len() as f64 - 2.0) * 64.0 * std::f64::consts::LOG10_2
+    }
+
+    /// Exact value as `u64` when it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Decimal string in scientific notation with 3 significant digits,
+    /// e.g. `"4.25e+12"`; small numbers print exactly.
+    pub fn to_scientific(&self) -> String {
+        let digits = self.to_decimal();
+        if digits.len() <= 6 {
+            return digits;
+        }
+        let mantissa: String = digits.chars().take(3).collect();
+        format!(
+            "{}.{}e+{}",
+            &mantissa[..1],
+            &mantissa[1..],
+            digits.len() - 1
+        )
+    }
+
+    /// Full decimal expansion.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Repeated division by 10^19 (the largest power of 10 in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut limbs = self.limbs.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !limbs.is_empty() {
+            let mut rem: u128 = 0;
+            for limb in limbs.iter_mut().rev() {
+                let cur = (rem << 64) | *limb as u128;
+                *limb = (cur / CHUNK as u128) as u64;
+                rem = cur % CHUNK as u128;
+            }
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(rem as u64);
+        }
+        let mut out = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for chunk in chunks.into_iter().rev() {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let mut out = BigUint { limbs: vec![v] };
+        out.normalize();
+        out
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut out = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        out.normalize();
+        out
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry = 0u128;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let sum = *limb as u128 + *rhs.limbs.get(i).unwrap_or(&0) as u128 + carry;
+            *limb = sum as u64;
+            carry = sum >> 64;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self += &rhs;
+        self
+    }
+}
+
+impl AddAssign<u64> for BigUint {
+    fn add_assign(&mut self, rhs: u64) {
+        *self += &BigUint::from(rhs);
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + a as u128 * b as u128 + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = limbs[k] as u128 + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign<u64> for BigUint {
+    fn mul_assign(&mut self, rhs: u64) {
+        *self = &*self * &BigUint::from(rhs);
+    }
+}
+
+impl Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> Self {
+        let mut acc = BigUint::zero();
+        for v in iter {
+            acc += &v;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+        assert_eq!(BigUint::one().to_decimal(), "1");
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+    }
+
+    #[test]
+    fn add_small() {
+        let a = BigUint::from(7u64);
+        let b = BigUint::from(35u64);
+        assert_eq!((&a + &b).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1u64);
+        let c = &a + &b;
+        assert_eq!(c.to_decimal(), "18446744073709551616");
+        assert_eq!(c.bits(), 65);
+    }
+
+    #[test]
+    fn mul_small() {
+        let a = BigUint::from(123u64);
+        let b = BigUint::from(4567u64);
+        assert_eq!((&a * &b).to_u64(), Some(123 * 4567));
+    }
+
+    #[test]
+    fn mul_by_zero() {
+        let a = BigUint::from(u64::MAX);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert!((&BigUint::zero() * &a).is_zero());
+    }
+
+    #[test]
+    fn pow10_matches_decimal() {
+        assert_eq!(BigUint::pow10(0).to_decimal(), "1");
+        assert_eq!(BigUint::pow10(1).to_decimal(), "10");
+        let p30 = BigUint::pow10(30).to_decimal();
+        assert_eq!(p30.len(), 31);
+        assert!(p30.starts_with('1'));
+        assert!(p30[1..].chars().all(|c| c == '0'));
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        assert_eq!(BigUint::from(2u64).pow(10).to_u64(), Some(1024));
+        assert_eq!(BigUint::from(3u64).pow(0).to_u64(), Some(1));
+        assert_eq!(
+            BigUint::from(2u64).pow(128).to_decimal(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn scientific_formatting() {
+        assert_eq!(BigUint::from(123u64).to_scientific(), "123");
+        assert_eq!(BigUint::from(1_234_567u64).to_scientific(), "1.23e+6");
+        assert_eq!(BigUint::pow10(30).to_scientific(), "1.00e+30");
+    }
+
+    #[test]
+    fn to_f64_and_log10() {
+        assert_eq!(BigUint::from(1000u64).to_f64(), 1000.0);
+        let l = BigUint::pow10(25).log10();
+        assert!((l - 25.0).abs() < 1e-9, "log10(1e25) = {l}");
+        // A number big enough to overflow f64 still gets a sensible log10.
+        let huge = BigUint::from(7u64).pow(2000);
+        let expect = 2000.0 * 7f64.log10();
+        assert!((huge.log10() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::pow10(25);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1..=10u64).map(BigUint::from).sum();
+        assert_eq!(total.to_u64(), Some(55));
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = u128::MAX;
+        assert_eq!(
+            BigUint::from(v).to_decimal(),
+            "340282366920938463463374607431768211455"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigUint::from(a) + &BigUint::from(b);
+            prop_assert_eq!(big, BigUint::from(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigUint::from(a) * &BigUint::from(b);
+            prop_assert_eq!(big, BigUint::from(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn decimal_roundtrips_u128(v in 0u128..) {
+            prop_assert_eq!(BigUint::from(v).to_decimal(), v.to_string());
+        }
+
+        #[test]
+        fn add_commutes(a in 0u128.., b in 0u128..) {
+            let x = &BigUint::from(a) + &BigUint::from(b);
+            let y = &BigUint::from(b) + &BigUint::from(a);
+            prop_assert_eq!(x, y);
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in 0u64.., b in 0u64.., c in 0u64..) {
+            let (a, b, c) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
+            let lhs = &a * &(&b + &c);
+            let rhs = &(&a * &b) + &(&a * &c);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn ordering_matches_u128(a in 0u128.., b in 0u128..) {
+            prop_assert_eq!(BigUint::from(a).cmp(&BigUint::from(b)), a.cmp(&b));
+        }
+    }
+}

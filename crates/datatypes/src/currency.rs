@@ -1,0 +1,56 @@
+//! Currency background knowledge.
+
+use sst_tables::Table;
+
+/// Builds the `Currency` table: ISO code ↔ symbol ↔ currency name ↔ major
+/// country. `Code` and `Name` are candidate keys (symbols repeat: `$`).
+pub fn currency_table() -> Table {
+    const ROWS: [[&str; 4]; 14] = [
+        ["USD", "$", "US Dollar", "United States"],
+        ["EUR", "€", "Euro", "Eurozone"],
+        ["GBP", "£", "Pound Sterling", "United Kingdom"],
+        ["JPY", "¥", "Yen", "Japan"],
+        ["CHF", "Fr", "Swiss Franc", "Switzerland"],
+        ["CAD", "C$", "Canadian Dollar", "Canada"],
+        ["AUD", "A$", "Australian Dollar", "Australia"],
+        ["INR", "₹", "Indian Rupee", "India"],
+        ["CNY", "元", "Renminbi", "China"],
+        ["TRY", "₺", "Turkish Lira", "Turkey"],
+        ["BRL", "R$", "Real", "Brazil"],
+        ["MXN", "Mex$", "Mexican Peso", "Mexico"],
+        ["SEK", "kr", "Swedish Krona", "Sweden"],
+        ["ZAR", "R", "Rand", "South Africa"],
+    ];
+    let rows: Vec<Vec<String>> = ROWS
+        .iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect();
+    Table::with_keys(
+        "Currency",
+        vec!["Code", "Symbol", "Name", "Country"],
+        rows,
+        vec![vec!["Code"], vec!["Name"], vec!["Country"]],
+    )
+    .expect("Currency table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_to_symbol() {
+        let t = currency_table();
+        let row = t.find_unique_row(&[(0, "GBP")]).unwrap();
+        assert_eq!(t.cell(1, row), "£");
+        assert_eq!(t.cell(3, row), "United Kingdom");
+    }
+
+    #[test]
+    fn symbol_is_not_a_key() {
+        let t = currency_table();
+        // `$`-like symbols repeat across rows, so Symbol must not be
+        // declared a key; Code/Name/Country are.
+        assert_eq!(t.candidate_keys(), &[vec![0], vec![2], vec![3]]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Date-related background tables of paper Example 8.
+
+use sst_tables::Table;
+
+/// Builds the `Month` table: `MN` (1..12) ↔ `MW` (January..December).
+/// Both columns are candidate keys by themselves.
+pub fn month_table() -> Table {
+    const NAMES: [&str; 12] = [
+        "January",
+        "February",
+        "March",
+        "April",
+        "May",
+        "June",
+        "July",
+        "August",
+        "September",
+        "October",
+        "November",
+        "December",
+    ];
+    let rows: Vec<Vec<String>> = NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| vec![(i + 1).to_string(), (*name).to_string()])
+        .collect();
+    Table::with_keys(
+        "Month",
+        vec!["MN", "MW"],
+        rows,
+        vec![vec!["MN"], vec!["MW"]],
+    )
+    .expect("Month table is well-formed")
+}
+
+/// Builds the `DateOrd` table: day number (1..31) → ordinal suffix
+/// (`st`, `nd`, `rd`, `th`). `Num` is the primary key.
+pub fn date_ord_table() -> Table {
+    let rows: Vec<Vec<String>> = (1..=31u32)
+        .map(|d| vec![d.to_string(), ordinal_suffix(d).to_string()])
+        .collect();
+    Table::with_keys(
+        "DateOrd",
+        vec!["Num", "Ord"],
+        rows,
+        vec![vec!["Num"]],
+    )
+    .expect("DateOrd table is well-formed")
+}
+
+/// Ordinal suffix for a day-of-month.
+pub fn ordinal_suffix(d: u32) -> &'static str {
+    match (d % 100, d % 10) {
+        (11..=13, _) => "th",
+        (_, 1) => "st",
+        (_, 2) => "nd",
+        (_, 3) => "rd",
+        _ => "th",
+    }
+}
+
+/// Builds the `Weekday` table: `WN` (1..7, Monday=1) ↔ `WW` (Monday..
+/// Sunday), plus a 3-letter abbreviation column `WA` (also a key).
+pub fn weekday_table() -> Table {
+    const NAMES: [&str; 7] = [
+        "Monday",
+        "Tuesday",
+        "Wednesday",
+        "Thursday",
+        "Friday",
+        "Saturday",
+        "Sunday",
+    ];
+    let rows: Vec<Vec<String>> = NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                (i + 1).to_string(),
+                (*name).to_string(),
+                name[..3].to_string(),
+            ]
+        })
+        .collect();
+    Table::with_keys(
+        "Weekday",
+        vec!["WN", "WW", "WA"],
+        rows,
+        vec![vec!["WN"], vec!["WW"], vec!["WA"]],
+    )
+    .expect("Weekday table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_bidirectional_keys() {
+        let t = month_table();
+        assert_eq!(t.len(), 12);
+        let row = t.find_unique_row(&[(0, "6")]).unwrap();
+        assert_eq!(t.cell(1, row), "June");
+        let row = t.find_unique_row(&[(1, "December")]).unwrap();
+        assert_eq!(t.cell(0, row), "12");
+    }
+
+    #[test]
+    fn date_ord_suffixes_match_english() {
+        let t = date_ord_table();
+        assert_eq!(t.len(), 31);
+        let check = |num: &str, ord: &str| {
+            let row = t.find_unique_row(&[(0, num)]).unwrap();
+            assert_eq!(t.cell(1, row), ord, "day {num}");
+        };
+        check("1", "st");
+        check("2", "nd");
+        check("3", "rd");
+        check("4", "th");
+        check("11", "th");
+        check("12", "th");
+        check("13", "th");
+        check("21", "st");
+        check("22", "nd");
+        check("23", "rd");
+        check("31", "st");
+    }
+
+    #[test]
+    fn ordinal_suffix_helper() {
+        assert_eq!(ordinal_suffix(101), "st");
+        assert_eq!(ordinal_suffix(111), "th");
+    }
+
+    #[test]
+    fn weekday_three_keys() {
+        let t = weekday_table();
+        assert_eq!(t.candidate_keys().len(), 3);
+        let row = t.find_unique_row(&[(2, "Wed")]).unwrap();
+        assert_eq!(t.cell(1, row), "Wednesday");
+    }
+}

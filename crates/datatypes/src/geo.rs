@@ -1,0 +1,87 @@
+//! Geographic background knowledge: US states (a perennial help-forum
+//! lookup: abbreviation ↔ full name).
+
+use sst_tables::Table;
+
+/// Builds the `UsStates` table: postal abbreviation ↔ state name. Both
+/// columns are candidate keys.
+pub fn us_states_table() -> Table {
+    const ROWS: [(&str, &str); 50] = [
+        ("AL", "Alabama"),
+        ("AK", "Alaska"),
+        ("AZ", "Arizona"),
+        ("AR", "Arkansas"),
+        ("CA", "California"),
+        ("CO", "Colorado"),
+        ("CT", "Connecticut"),
+        ("DE", "Delaware"),
+        ("FL", "Florida"),
+        ("GA", "Georgia"),
+        ("HI", "Hawaii"),
+        ("ID", "Idaho"),
+        ("IL", "Illinois"),
+        ("IN", "Indiana"),
+        ("IA", "Iowa"),
+        ("KS", "Kansas"),
+        ("KY", "Kentucky"),
+        ("LA", "Louisiana"),
+        ("ME", "Maine"),
+        ("MD", "Maryland"),
+        ("MA", "Massachusetts"),
+        ("MI", "Michigan"),
+        ("MN", "Minnesota"),
+        ("MS", "Mississippi"),
+        ("MO", "Missouri"),
+        ("MT", "Montana"),
+        ("NE", "Nebraska"),
+        ("NV", "Nevada"),
+        ("NH", "New Hampshire"),
+        ("NJ", "New Jersey"),
+        ("NM", "New Mexico"),
+        ("NY", "New York"),
+        ("NC", "North Carolina"),
+        ("ND", "North Dakota"),
+        ("OH", "Ohio"),
+        ("OK", "Oklahoma"),
+        ("OR", "Oregon"),
+        ("PA", "Pennsylvania"),
+        ("RI", "Rhode Island"),
+        ("SC", "South Carolina"),
+        ("SD", "South Dakota"),
+        ("TN", "Tennessee"),
+        ("TX", "Texas"),
+        ("UT", "Utah"),
+        ("VT", "Vermont"),
+        ("VA", "Virginia"),
+        ("WA", "Washington"),
+        ("WV", "West Virginia"),
+        ("WI", "Wisconsin"),
+        ("WY", "Wyoming"),
+    ];
+    let rows: Vec<Vec<String>> = ROWS
+        .iter()
+        .map(|(a, n)| vec![(*a).to_string(), (*n).to_string()])
+        .collect();
+    Table::with_keys(
+        "UsStates",
+        vec!["Abbr", "State"],
+        rows,
+        vec![vec!["Abbr"], vec!["State"]],
+    )
+    .expect("UsStates table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_states_bidirectional() {
+        let t = us_states_table();
+        assert_eq!(t.len(), 50);
+        let row = t.find_unique_row(&[(0, "WA")]).unwrap();
+        assert_eq!(t.cell(1, row), "Washington");
+        let row = t.find_unique_row(&[(1, "Texas")]).unwrap();
+        assert_eq!(t.cell(0, row), "TX");
+    }
+}

@@ -1,0 +1,62 @@
+//! Telephone background knowledge (§6 mentions "90 is the ISD code for
+//! Turkey").
+
+use sst_tables::Table;
+
+/// Builds the `IsdCodes` table: country → international dialing code.
+/// `Country` is the primary key (codes repeat: USA/Canada share 1).
+pub fn isd_table() -> Table {
+    const ROWS: [(&str, &str); 20] = [
+        ("United States", "1"),
+        ("Canada", "1"),
+        ("United Kingdom", "44"),
+        ("France", "33"),
+        ("Germany", "49"),
+        ("Italy", "39"),
+        ("Spain", "34"),
+        ("Turkey", "90"),
+        ("India", "91"),
+        ("China", "86"),
+        ("Japan", "81"),
+        ("Brazil", "55"),
+        ("Mexico", "52"),
+        ("Australia", "61"),
+        ("Russia", "7"),
+        ("South Africa", "27"),
+        ("Sweden", "46"),
+        ("Switzerland", "41"),
+        ("Netherlands", "31"),
+        ("Singapore", "65"),
+    ];
+    let rows: Vec<Vec<String>> = ROWS
+        .iter()
+        .map(|(c, code)| vec![(*c).to_string(), (*code).to_string()])
+        .collect();
+    Table::with_keys(
+        "IsdCodes",
+        vec!["Country", "Isd"],
+        rows,
+        vec![vec!["Country"]],
+    )
+    .expect("IsdCodes table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turkey_is_90() {
+        let t = isd_table();
+        let row = t.find_unique_row(&[(0, "Turkey")]).unwrap();
+        assert_eq!(t.cell(1, row), "90");
+    }
+
+    #[test]
+    fn shared_codes_allowed() {
+        let t = isd_table();
+        // Code 1 is shared; only Country is a key.
+        assert_eq!(t.candidate_keys(), &[vec![0]]);
+        assert_eq!(t.find_unique_row(&[(1, "1")]), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! The `Time` table of paper Example 7.
+
+use sst_tables::Table;
+
+/// Builds the `Time` table: 24 rows mapping the 24-hour clock to the
+/// 12-hour clock with AM/PM. The paper declares two candidate keys:
+/// `24Hour` alone, and `(12Hour, AMPM)` together.
+///
+/// Rows are `(0, 12, AM), (1, 1, AM), ..., (12, 12, PM), (13, 1, PM), ...`.
+/// (The paper's row list starts `(0, 0, AM)`; we use the conventional
+/// `12 AM` for midnight so that looked-up strings match real spreadsheet
+/// data, and keep `(12Hour, AMPM)` a key either way.)
+pub fn time_table() -> Table {
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(24);
+    for h in 0..24u32 {
+        let h12 = match h % 12 {
+            0 => 12,
+            other => other,
+        };
+        let ampm = if h < 12 { "AM" } else { "PM" };
+        rows.push(vec![h.to_string(), h12.to_string(), ampm.to_string()]);
+    }
+    Table::with_keys(
+        "Time",
+        vec!["24Hour", "12Hour", "AMPM"],
+        rows,
+        vec![vec!["24Hour"], vec!["12Hour", "AMPM"]],
+    )
+    .expect("Time table is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_24_rows_and_declared_keys() {
+        let t = time_table();
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.candidate_keys(), &[vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn midnight_noon_and_afternoon() {
+        let t = time_table();
+        let row = t.find_unique_row(&[(0, "0")]).unwrap();
+        assert_eq!(t.cell(1, row), "12");
+        assert_eq!(t.cell(2, row), "AM");
+        let row = t.find_unique_row(&[(0, "12")]).unwrap();
+        assert_eq!(t.cell(1, row), "12");
+        assert_eq!(t.cell(2, row), "PM");
+        let row = t.find_unique_row(&[(0, "13")]).unwrap();
+        assert_eq!(t.cell(1, row), "1");
+        assert_eq!(t.cell(2, row), "PM");
+    }
+
+    #[test]
+    fn reverse_lookup_by_pair() {
+        let t = time_table();
+        let row = t.find_unique_row(&[(1, "1"), (2, "PM")]).unwrap();
+        assert_eq!(t.cell(0, row), "13");
+    }
+}

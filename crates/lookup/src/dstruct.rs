@@ -1,0 +1,594 @@
+//! The data structure `Dt` for sets of `Lt` expressions (§4.2, Fig. 3b/3c).
+//!
+//! A [`LookupDStruct`] is the paper's `(η̃, η_t, Progs)`: a set of *nodes*,
+//! each standing for one string value per example, and a map from nodes to
+//! sets of generalized expressions. Sharing is what makes it succinct:
+//!
+//! * a generalized predicate `C = {s, η}` stores a constant *and* a node
+//!   whose whole program set may be substituted (Fig. 3c's
+//!   `[[C = {s, η}]] = [[C = s]] ∪ [[C = η]]`), and
+//! * a generalized `Select` keeps one generalized condition per candidate
+//!   key of its table, in the table's key order — the ordering
+//!   `Intersect_t` relies on.
+//!
+//! The node graph may be cyclic (mutually reachable table entries), while
+//! the *language* only has finite expression trees, so every consumer below
+//! is either depth-bounded (counting, ranking, enumeration — matching the
+//! algorithm's `k`-completeness) or a fixpoint (productivity pruning).
+
+use std::collections::HashMap;
+
+use sst_counting::BigUint;
+use sst_tables::{ColId, TableId};
+
+use crate::language::{LookupExpr, PredRhs, Predicate, VarId};
+
+/// Handle of a node (`η`) in a [`LookupDStruct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Generalized predicate `C = {s, η}` (either component may be absent, but
+/// not both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenPred {
+    /// Constrained column.
+    pub col: ColId,
+    /// Constant alternative (`C = s`).
+    pub constant: Option<String>,
+    /// Node alternative (`C = η`): any program of the node may appear.
+    pub node: Option<NodeId>,
+}
+
+impl GenPred {
+    /// True iff at least one alternative is present.
+    pub fn is_viable(&self) -> bool {
+        self.constant.is_some() || self.node.is_some()
+    }
+}
+
+/// Generalized condition: the predicates of one candidate key, in key order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenCond {
+    /// Index of the candidate key within the table's key list. Conditions
+    /// are intersected *by key identity* (Fig. 5b keeps the orderings
+    /// aligned); carrying the index keeps that alignment stable even after
+    /// pruning drops some conditions.
+    pub key: usize,
+    /// One generalized predicate per key column.
+    pub preds: Vec<GenPred>,
+}
+
+/// A generalized `Lt` expression (`f̃` of Fig. 3b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenLookup {
+    /// The input variable `v_i`.
+    Var(VarId),
+    /// Generalized select: one [`GenCond`] per candidate key of `table`.
+    Select {
+        /// Projected column.
+        col: ColId,
+        /// Table identifier.
+        table: TableId,
+        /// Conditions, ordered like the table's candidate keys.
+        conds: Vec<GenCond>,
+    },
+}
+
+/// Per-node data: the string value of the node under each example's input
+/// state, plus the generalized programs that produce it.
+#[derive(Debug, Clone, Default)]
+pub struct NodeData {
+    /// One value per example this structure is consistent with.
+    pub vals: Vec<String>,
+    /// Generalized expression set (`Progs[η]`).
+    pub progs: Vec<GenLookup>,
+}
+
+/// The `Dt` data structure: `(η̃, η_t, Progs)`.
+#[derive(Debug, Clone, Default)]
+pub struct LookupDStruct {
+    /// All nodes.
+    pub nodes: Vec<NodeData>,
+    /// The node denoting the output string, if the output was reachable.
+    pub target: Option<NodeId>,
+}
+
+impl LookupDStruct {
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes (reachable strings).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the structure has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True iff at least one consistent program exists.
+    pub fn has_programs(&self) -> bool {
+        self.target
+            .is_some_and(|t| !self.node(t).progs.is_empty())
+    }
+
+    /// Number of expressions of `Select`-depth ≤ `depth` represented at the
+    /// target (exact, arbitrary precision). This is the Figure 11(a)
+    /// metric restricted to `Lt`.
+    pub fn count(&self, depth: usize) -> BigUint {
+        match self.target {
+            None => BigUint::zero(),
+            Some(t) => {
+                let mut memo: HashMap<(u32, usize), BigUint> = HashMap::new();
+                self.count_at(t, depth, &mut memo)
+            }
+        }
+    }
+
+    /// Number of depth-bounded expressions represented at one node.
+    pub fn count_at(
+        &self,
+        node: NodeId,
+        depth: usize,
+        memo: &mut HashMap<(u32, usize), BigUint>,
+    ) -> BigUint {
+        if let Some(c) = memo.get(&(node.0, depth)) {
+            return c.clone();
+        }
+        let mut total = BigUint::zero();
+        for prog in &self.node(node).progs {
+            match prog {
+                GenLookup::Var(_) => total += 1u64,
+                GenLookup::Select { conds, .. } => {
+                    if depth == 0 {
+                        continue;
+                    }
+                    for cond in conds {
+                        let mut product = BigUint::one();
+                        for pred in &cond.preds {
+                            let mut options = BigUint::zero();
+                            if pred.constant.is_some() {
+                                options += 1u64;
+                            }
+                            if let Some(n) = pred.node {
+                                options += &self.count_at(n, depth - 1, memo);
+                            }
+                            product = product * options;
+                            if product.is_zero() {
+                                break;
+                            }
+                        }
+                        total += &product;
+                    }
+                }
+            }
+        }
+        memo.insert((node.0, depth), total.clone());
+        total
+    }
+
+    /// Size in terminal symbols (Figure 11(b)'s unit): every variable,
+    /// column, table, constant and node reference counts one.
+    pub fn size(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.progs.iter())
+            .map(|p| match p {
+                GenLookup::Var(_) => 1,
+                GenLookup::Select { conds, .. } => {
+                    2 + conds
+                        .iter()
+                        .flat_map(|c| c.preds.iter())
+                        .map(|p| {
+                            1 + usize::from(p.constant.is_some()) + usize::from(p.node.is_some())
+                        })
+                        .sum::<usize>()
+                }
+            })
+            .sum()
+    }
+
+    /// Enumerates up to `limit` concrete expressions of depth ≤ `depth` at
+    /// `node` (testing aid; exponential in general).
+    pub fn enumerate_at(&self, node: NodeId, depth: usize, limit: usize) -> Vec<LookupExpr> {
+        let mut out = Vec::new();
+        for prog in &self.node(node).progs {
+            if out.len() >= limit {
+                break;
+            }
+            match prog {
+                GenLookup::Var(v) => out.push(LookupExpr::Var(*v)),
+                GenLookup::Select { col, table, conds } => {
+                    if depth == 0 {
+                        continue;
+                    }
+                    for cond in conds {
+                        // Cross product over predicate options.
+                        let mut partial: Vec<Vec<Predicate>> = vec![Vec::new()];
+                        for pred in &cond.preds {
+                            let mut options: Vec<PredRhs> = Vec::new();
+                            if let Some(s) = &pred.constant {
+                                options.push(PredRhs::Const(s.clone()));
+                            }
+                            if let Some(n) = pred.node {
+                                for sub in self.enumerate_at(n, depth - 1, limit) {
+                                    options.push(PredRhs::Expr(Box::new(sub)));
+                                }
+                            }
+                            let mut next = Vec::new();
+                            for prefix in &partial {
+                                for opt in &options {
+                                    if next.len() > limit * 4 {
+                                        break;
+                                    }
+                                    let mut p = prefix.clone();
+                                    p.push(Predicate {
+                                        col: pred.col,
+                                        rhs: opt.clone(),
+                                    });
+                                    next.push(p);
+                                }
+                            }
+                            partial = next;
+                        }
+                        for preds in partial {
+                            if out.len() >= limit {
+                                break;
+                            }
+                            out.push(LookupExpr::Select {
+                                col: *col,
+                                table: *table,
+                                cond: preds,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deletes nodes (and program options) that cannot derive any finite
+    /// expression, then drops nodes unreachable from the target. Returns
+    /// `false` when the target itself dies (no consistent program).
+    ///
+    /// Needed after intersection: the lazy product can manufacture cyclic
+    /// node pairs whose only derivations are infinite.
+    pub fn prune(&mut self) -> bool {
+        let n = self.nodes.len();
+        let mut productive = vec![false; n];
+        // Fixpoint: a node is productive if some program is derivable.
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if productive[i] {
+                    continue;
+                }
+                let ok = self.nodes[i].progs.iter().any(|p| match p {
+                    GenLookup::Var(_) => true,
+                    GenLookup::Select { conds, .. } => conds.iter().any(|c| {
+                        !c.preds.is_empty()
+                            && c.preds.iter().all(|pred| {
+                                pred.constant.is_some()
+                                    || pred
+                                        .node
+                                        .is_some_and(|nid| productive[nid.0 as usize])
+                            })
+                    }),
+                });
+                if ok {
+                    productive[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let Some(target) = self.target else {
+            return false;
+        };
+        if !productive[target.0 as usize] {
+            return false;
+        }
+        // Rewrite programs: drop dead node refs and dead options.
+        for i in 0..n {
+            let progs = std::mem::take(&mut self.nodes[i].progs);
+            self.nodes[i].progs = progs
+                .into_iter()
+                .filter_map(|p| match p {
+                    GenLookup::Var(v) => Some(GenLookup::Var(v)),
+                    GenLookup::Select { col, table, conds } => {
+                        let conds: Vec<GenCond> = conds
+                            .into_iter()
+                            .filter_map(|c| {
+                                let preds: Vec<GenPred> = c
+                                    .preds
+                                    .into_iter()
+                                    .map(|mut pred| {
+                                        if pred
+                                            .node
+                                            .is_some_and(|nid| !productive[nid.0 as usize])
+                                        {
+                                            pred.node = None;
+                                        }
+                                        pred
+                                    })
+                                    .collect();
+                                (!preds.is_empty() && preds.iter().all(GenPred::is_viable))
+                                    .then_some(GenCond { key: c.key, preds })
+                            })
+                            .collect();
+                        (!conds.is_empty()).then_some(GenLookup::Select { col, table, conds })
+                    }
+                })
+                .collect();
+        }
+        // GC: keep nodes reachable from the target through program refs.
+        let mut reachable = vec![false; n];
+        let mut stack = vec![target.0 as usize];
+        reachable[target.0 as usize] = true;
+        while let Some(i) = stack.pop() {
+            for p in &self.nodes[i].progs {
+                if let GenLookup::Select { conds, .. } = p {
+                    for pred in conds.iter().flat_map(|c| c.preds.iter()) {
+                        if let Some(nid) = pred.node {
+                            let j = nid.0 as usize;
+                            if !reachable[j] {
+                                reachable[j] = true;
+                                stack.push(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; n];
+        let mut kept = Vec::with_capacity(n);
+        for i in 0..n {
+            if reachable[i] {
+                remap[i] = kept.len() as u32;
+                kept.push(std::mem::take(&mut self.nodes[i]));
+            }
+        }
+        for node in &mut kept {
+            for p in &mut node.progs {
+                if let GenLookup::Select { conds, .. } = p {
+                    for pred in conds.iter_mut().flat_map(|c| c.preds.iter_mut()) {
+                        if let Some(nid) = &mut pred.node {
+                            *nid = NodeId(remap[nid.0 as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        self.target = Some(NodeId(remap[target.0 as usize]));
+        self.nodes = kept;
+        !self.node(self.target.unwrap()).progs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Example 3 chain structure by hand:
+    /// `Progs[η_1] = {v1}`, `Progs[η_2] = {Select(C2,T1,{C1={s1,η1}})}`,
+    /// `Progs[η_i] = {Select(C2,T_{i-1},{C1={s_{i-1},η_{i-1}}}),
+    ///                Select(C3,T_{i-2},{C1={s_{i-2},η_{i-2}}})}`.
+    fn chain(m: usize) -> LookupDStruct {
+        let mut d = LookupDStruct::default();
+        for i in 0..m {
+            d.nodes.push(NodeData {
+                vals: vec![format!("s{}", i + 1)],
+                progs: Vec::new(),
+            });
+        }
+        d.nodes[0].progs.push(GenLookup::Var(0));
+        let sel = |col: ColId, table: usize, from: usize| GenLookup::Select {
+            col,
+            table: table as TableId,
+            conds: vec![GenCond {
+                key: 0,
+                preds: vec![GenPred {
+                    col: 0,
+                    constant: Some(format!("s{}", from + 1)),
+                    node: Some(NodeId(from as u32)),
+                }],
+            }],
+        };
+        if m > 1 {
+            d.nodes[1].progs.push(sel(1, 0, 0));
+        }
+        for i in 2..m {
+            d.nodes[i].progs.push(sel(1, i - 1, i - 1));
+            d.nodes[i].progs.push(sel(2, i - 2, i - 2));
+        }
+        d.target = Some(NodeId(m as u32 - 1));
+        d
+    }
+
+    #[test]
+    fn chain_counts_follow_paper_recurrence() {
+        // N(1)=1; N(2)=1+N(1) (η₂ has a single Select whose predicate has a
+        // const and a node option); N(i)=2+N(i-1)+N(i-2) for the two-Select
+        // nodes, matching §4.2.
+        let expect = |m: usize| -> u64 {
+            let mut n = vec![0u64; m + 1];
+            n[1] = 1;
+            if m >= 2 {
+                n[2] = 1 + n[1];
+            }
+            for i in 3..=m {
+                n[i] = 2 + n[i - 1] + n[i - 2];
+            }
+            n[m]
+        };
+        for m in 1..=12 {
+            let d = chain(m);
+            assert_eq!(
+                d.count(m).to_u64(),
+                Some(expect(m)),
+                "chain length {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_count_grows_exponentially_size_linearly() {
+        // Theorem 1: the chain of Example 3 represents Θ(φ^m) expressions
+        // (Fibonacci-like recurrence) in O(m) space.
+        let c9 = chain(9).count(9).to_u64().unwrap();
+        let c18 = chain(18).count(18).to_u64().unwrap();
+        assert!(c18 as f64 > 50.0 * c9 as f64, "c9={c9}, c18={c18}");
+        // Size is exactly linear: Var(1) + first Select(5) + 10 per link.
+        for m in [4, 9, 18] {
+            assert_eq!(chain(m).size(), 10 * m - 14, "size at m={m}");
+        }
+    }
+
+    #[test]
+    fn depth_bound_cuts_counts() {
+        let d = chain(5);
+        assert_eq!(d.count(0).to_u64(), Some(0)); // target is not a var
+        assert!(d.count(2) < d.count(5));
+    }
+
+    #[test]
+    fn enumerate_matches_count_small() {
+        let d = chain(4);
+        let total = d.count(4).to_u64().unwrap() as usize;
+        let exprs = d.enumerate_at(d.target.unwrap(), 4, 1000);
+        assert_eq!(exprs.len(), total);
+        // All distinct.
+        let dedup: std::collections::HashSet<_> = exprs.iter().collect();
+        assert_eq!(dedup.len(), total);
+    }
+
+    #[test]
+    fn size_counts_terminals() {
+        let d = chain(2);
+        // Var(1 terminal) + Select(col+table=2, pred col=1, const=1, node=1).
+        assert_eq!(d.size(), 1 + 5);
+    }
+
+    #[test]
+    fn prune_kills_pure_cycle() {
+        // Two nodes referencing each other with no const fallback and no
+        // var: nothing is derivable.
+        let mut d = LookupDStruct::default();
+        for i in 0..2 {
+            d.nodes.push(NodeData {
+                vals: vec![format!("x{i}")],
+                progs: Vec::new(),
+            });
+        }
+        let sel = |other: u32| GenLookup::Select {
+            col: 0,
+            table: 0,
+            conds: vec![GenCond {
+                key: 0,
+                preds: vec![GenPred {
+                    col: 1,
+                    constant: None,
+                    node: Some(NodeId(other)),
+                }],
+            }],
+        };
+        d.nodes[0].progs.push(sel(1));
+        d.nodes[1].progs.push(sel(0));
+        d.target = Some(NodeId(0));
+        assert!(!d.prune());
+    }
+
+    #[test]
+    fn prune_keeps_cycle_with_const_escape() {
+        // Same cycle but one predicate also carries a constant: the cycle
+        // unrolls into finite expressions at every depth.
+        let mut d = LookupDStruct::default();
+        for i in 0..2 {
+            d.nodes.push(NodeData {
+                vals: vec![format!("x{i}")],
+                progs: Vec::new(),
+            });
+        }
+        let sel = |other: u32, constant: Option<&str>| GenLookup::Select {
+            col: 0,
+            table: 0,
+            conds: vec![GenCond {
+                key: 0,
+                preds: vec![GenPred {
+                    col: 1,
+                    constant: constant.map(str::to_string),
+                    node: Some(NodeId(other)),
+                }],
+            }],
+        };
+        d.nodes[0].progs.push(sel(1, None));
+        d.nodes[1].progs.push(sel(0, Some("k")));
+        d.target = Some(NodeId(0));
+        assert!(d.prune());
+        assert_eq!(d.len(), 2);
+        // Depth 2: Select(... node -> Select(... const))
+        assert_eq!(d.count(2).to_u64(), Some(1));
+        assert!(d.count(6) > d.count(2));
+    }
+
+    #[test]
+    fn prune_gcs_unreachable_nodes() {
+        let mut d = chain(3);
+        // Add an orphan node not referenced by the target.
+        d.nodes.push(NodeData {
+            vals: vec!["orphan".into()],
+            progs: vec![GenLookup::Var(5)],
+        });
+        let before_count = d.count(3);
+        assert!(d.prune());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.count(3), before_count);
+    }
+
+    #[test]
+    fn prune_drops_dead_node_refs_keeps_const() {
+        let mut d = LookupDStruct::default();
+        d.nodes.push(NodeData {
+            vals: vec!["dead".into()],
+            progs: Vec::new(), // no programs: unproductive
+        });
+        d.nodes.push(NodeData {
+            vals: vec!["out".into()],
+            progs: vec![GenLookup::Select {
+                col: 0,
+                table: 0,
+                conds: vec![GenCond {
+                    key: 0,
+                    preds: vec![GenPred {
+                        col: 1,
+                        constant: Some("k".into()),
+                        node: Some(NodeId(0)),
+                    }],
+                }],
+            }],
+        });
+        d.target = Some(NodeId(1));
+        assert!(d.prune());
+        assert_eq!(d.len(), 1);
+        match &d.node(d.target.unwrap()).progs[0] {
+            GenLookup::Select { conds, .. } => {
+                assert_eq!(conds[0].preds[0].node, None);
+                assert_eq!(conds[0].preds[0].constant.as_deref(), Some("k"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_target_means_no_programs() {
+        let d = LookupDStruct::default();
+        assert!(!d.has_programs());
+        assert!(d.count(5).is_zero());
+    }
+}

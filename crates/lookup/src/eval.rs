@@ -1,0 +1,157 @@
+//! Evaluation of `Lt` expressions (§4.1 semantics).
+//!
+//! `Select(C, T, b)` evaluates `b`'s nested expressions first, then returns
+//! `T[C, r]` for the unique row `r` satisfying `b`; if no (single) row
+//! satisfies the condition the expression returns the empty string, exactly
+//! as specified in the paper.
+
+use sst_tables::Database;
+
+use crate::language::{LookupExpr, PredRhs};
+
+/// Evaluates an `Lt` expression on an input row.
+///
+/// Returns `None` only when the expression references a missing variable —
+/// a failed lookup yields `Some("")` per the paper's semantics.
+pub fn eval_lookup(expr: &LookupExpr, db: &Database, inputs: &[&str]) -> Option<String> {
+    match expr {
+        LookupExpr::Var(v) => inputs.get(*v as usize).map(|s| (*s).to_string()),
+        LookupExpr::Select { col, table, cond } => {
+            let t = db.table(*table);
+            let mut resolved: Vec<(u32, String)> = Vec::with_capacity(cond.len());
+            for p in cond {
+                let value = match &p.rhs {
+                    PredRhs::Const(s) => s.clone(),
+                    PredRhs::Expr(e) => eval_lookup(e, db, inputs)?,
+                };
+                resolved.push((p.col, value));
+            }
+            let conds: Vec<(u32, &str)> =
+                resolved.iter().map(|(c, v)| (*c, v.as_str())).collect();
+            Some(match t.find_unique_row(&conds) {
+                Some(row) => t.cell(*col, row).to_string(),
+                None => String::new(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::Predicate;
+    use sst_tables::Table;
+
+    fn db() -> Database {
+        Database::from_tables(vec![
+            Table::new(
+                "CustData",
+                vec!["Name", "Addr", "St"],
+                vec![
+                    vec!["Sean Riley", "432", "15th"],
+                    vec!["Peter Shaw", "24", "18th"],
+                    vec!["Mike Henry", "432", "18th"],
+                    vec!["Gary Lamb", "104", "12th"],
+                ],
+            )
+            .unwrap(),
+            Table::new(
+                "Sale",
+                vec!["Addr", "St", "Date", "Price"],
+                vec![
+                    vec!["24", "18th", "5/21", "110"],
+                    vec!["104", "12th", "5/23", "225"],
+                    vec!["432", "18th", "5/20", "2015"],
+                    vec!["432", "15th", "5/24", "495"],
+                ],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    /// The paper's Example 2 expression:
+    /// `Select(Price, Sale, Addr = Select(Addr, CustData, Name = v1)
+    ///                    ∧ St = Select(St, CustData, Name = v1))`.
+    fn example2_expr(db: &Database) -> LookupExpr {
+        let cust = db.table_id("CustData").unwrap();
+        let sale = db.table_id("Sale").unwrap();
+        let sub = |col: u32| {
+            Box::new(LookupExpr::Select {
+                col,
+                table: cust,
+                cond: vec![Predicate {
+                    col: 0,
+                    rhs: PredRhs::Expr(Box::new(LookupExpr::Var(0))),
+                }],
+            })
+        };
+        LookupExpr::Select {
+            col: 3,
+            table: sale,
+            cond: vec![
+                Predicate {
+                    col: 0,
+                    rhs: PredRhs::Expr(sub(1)),
+                },
+                Predicate {
+                    col: 1,
+                    rhs: PredRhs::Expr(sub(2)),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn example2_join_evaluates() {
+        let db = db();
+        let e = example2_expr(&db);
+        assert_eq!(eval_lookup(&e, &db, &["Peter Shaw"]).as_deref(), Some("110"));
+        assert_eq!(eval_lookup(&e, &db, &["Gary Lamb"]).as_deref(), Some("225"));
+        assert_eq!(eval_lookup(&e, &db, &["Mike Henry"]).as_deref(), Some("2015"));
+        assert_eq!(eval_lookup(&e, &db, &["Sean Riley"]).as_deref(), Some("495"));
+    }
+
+    #[test]
+    fn missing_row_yields_empty_string() {
+        let db = db();
+        let e = example2_expr(&db);
+        assert_eq!(eval_lookup(&e, &db, &["Nobody"]).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn missing_variable_is_none() {
+        let db = db();
+        assert_eq!(eval_lookup(&LookupExpr::Var(3), &db, &["x"]), None);
+    }
+
+    #[test]
+    fn const_predicate_lookup() {
+        let db = db();
+        let e = LookupExpr::Select {
+            col: 0,
+            table: 0,
+            cond: vec![Predicate {
+                col: 1,
+                rhs: PredRhs::Const("104".into()),
+            }],
+        };
+        // Addr alone is not a key, but 104 is unique in the data.
+        assert_eq!(eval_lookup(&e, &db, &[]).as_deref(), Some("Gary Lamb"));
+    }
+
+    #[test]
+    fn ambiguous_condition_yields_empty() {
+        let db = db();
+        let e = LookupExpr::Select {
+            col: 0,
+            table: 0,
+            cond: vec![Predicate {
+                col: 1,
+                rhs: PredRhs::Const("432".into()),
+            }],
+        };
+        // Two rows share Addr=432: defensive empty result.
+        assert_eq!(eval_lookup(&e, &db, &[]).as_deref(), Some(""));
+    }
+}

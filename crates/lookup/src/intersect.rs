@@ -1,0 +1,335 @@
+//! `Intersect_t`: intersecting two `Dt` structures (Fig. 5b).
+//!
+//! The intersection of `(η̃₁, η_t¹, Progs₁)` and `(η̃₂, η_t², Progs₂)` pairs
+//! nodes; we build the product *lazily* from the target pair instead of
+//! materializing `η̃₁ × η̃₂`, so only pairs that can actually appear inside
+//! some intersected expression are created. Rules, per the paper:
+//!
+//! * `v_i ∩ v_i = v_i`;
+//! * two `Select`s intersect iff column and table agree; their generalized
+//!   conditions intersect per candidate key, predicates positionally;
+//! * `C = {s, η₁} ∩ C = {s, η₂} = C = {s, (η₁, η₂)}`, and when the
+//!   constants differ only the node pair survives;
+//! * everything else is empty.
+//!
+//! Node pairs can be cyclic, so after construction [`LookupDStruct::prune`]
+//! removes pairs that cannot derive a finite expression.
+
+use std::collections::HashMap;
+
+use crate::dstruct::{GenCond, GenLookup, GenPred, LookupDStruct, NodeData, NodeId};
+
+/// Intersects two `Dt` structures. The result's target is `None` (no
+/// consistent program) when either input lacks one or the intersection dies
+/// during pruning.
+pub fn intersect_dt(a: &LookupDStruct, b: &LookupDStruct) -> LookupDStruct {
+    let (Some(ta), Some(tb)) = (a.target, b.target) else {
+        return LookupDStruct::default();
+    };
+    let mut ctx = Ctx {
+        a,
+        b,
+        out: LookupDStruct::default(),
+        memo: HashMap::new(),
+    };
+    let target = ctx.pair(ta, tb);
+    let mut out = ctx.out;
+    out.target = Some(target);
+    if !out.prune() {
+        out.target = None;
+    }
+    out
+}
+
+struct Ctx<'a> {
+    a: &'a LookupDStruct,
+    b: &'a LookupDStruct,
+    out: LookupDStruct,
+    memo: HashMap<(u32, u32), NodeId>,
+}
+
+impl Ctx<'_> {
+    /// Gets or builds the intersection node for the pair `(na, nb)`.
+    fn pair(&mut self, na: NodeId, nb: NodeId) -> NodeId {
+        if let Some(&id) = self.memo.get(&(na.0, nb.0)) {
+            return id;
+        }
+        let id = NodeId(self.out.nodes.len() as u32);
+        let mut vals = self.a.node(na).vals.clone();
+        vals.extend(self.b.node(nb).vals.iter().cloned());
+        self.out.nodes.push(NodeData {
+            vals,
+            progs: Vec::new(),
+        });
+        // Insert before recursing: cycles resolve to this id.
+        self.memo.insert((na.0, nb.0), id);
+
+        let mut progs: Vec<GenLookup> = Vec::new();
+        let a_progs = self.a.node(na).progs.clone();
+        let b_progs = self.b.node(nb).progs.clone();
+        for ga in &a_progs {
+            for gb in &b_progs {
+                if let Some(g) = self.intersect_prog(ga, gb) {
+                    if !progs.contains(&g) {
+                        progs.push(g);
+                    }
+                }
+            }
+        }
+        self.out.nodes[id.0 as usize].progs = progs;
+        id
+    }
+
+    fn intersect_prog(&mut self, ga: &GenLookup, gb: &GenLookup) -> Option<GenLookup> {
+        match (ga, gb) {
+            (GenLookup::Var(i), GenLookup::Var(j)) if i == j => Some(GenLookup::Var(*i)),
+            (
+                GenLookup::Select {
+                    col: c1,
+                    table: t1,
+                    conds: conds1,
+                },
+                GenLookup::Select {
+                    col: c2,
+                    table: t2,
+                    conds: conds2,
+                },
+            ) if c1 == c2 && t1 == t2 => {
+                let mut conds = Vec::new();
+                for x in conds1 {
+                    let Some(y) = conds2.iter().find(|y| y.key == x.key) else {
+                        continue;
+                    };
+                    if let Some(c) = self.intersect_cond(x, y) {
+                        conds.push(c);
+                    }
+                }
+                if conds.is_empty() {
+                    None
+                } else {
+                    Some(GenLookup::Select {
+                        col: *c1,
+                        table: *t1,
+                        conds,
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn intersect_cond(&mut self, x: &GenCond, y: &GenCond) -> Option<GenCond> {
+        if x.preds.len() != y.preds.len() {
+            return None;
+        }
+        let mut preds = Vec::with_capacity(x.preds.len());
+        for (p, q) in x.preds.iter().zip(&y.preds) {
+            if p.col != q.col {
+                return None;
+            }
+            let constant = match (&p.constant, &q.constant) {
+                (Some(s1), Some(s2)) if s1 == s2 => Some(s1.clone()),
+                _ => None,
+            };
+            let node = match (p.node, q.node) {
+                (Some(n1), Some(n2)) => Some(self.pair(n1, n2)),
+                _ => None,
+            };
+            let pred = GenPred {
+                col: p.col,
+                constant,
+                node,
+            };
+            if !pred.is_viable() {
+                return None;
+            }
+            preds.push(pred);
+        }
+        Some(GenCond {
+            key: x.key,
+            preds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_lookup;
+    use crate::generate::{generate_str_t, LtOptions};
+    use crate::language::LookupExpr;
+    use sst_tables::{Database, Table};
+
+    fn comp_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    fn join_db() -> Database {
+        Database::from_tables(vec![
+            Table::new(
+                "CustData",
+                vec!["Name", "Addr", "St"],
+                vec![
+                    vec!["Sean Riley", "432", "15th"],
+                    vec!["Peter Shaw", "24", "18th"],
+                    vec!["Mike Henry", "432", "18th"],
+                    vec!["Gary Lamb", "104", "12th"],
+                ],
+            )
+            .unwrap(),
+            Table::new(
+                "Sale",
+                vec!["Addr", "St", "Date", "Price"],
+                vec![
+                    vec!["24", "18th", "5/21", "110"],
+                    vec!["104", "12th", "5/23", "225"],
+                    vec!["432", "18th", "5/20", "2015"],
+                    vec!["432", "15th", "5/24", "495"],
+                ],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn intersection_sound_on_both_examples() {
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["c1"], "Microsoft", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        assert!(inter.has_programs());
+        let exprs = inter.enumerate_at(inter.target.unwrap(), 2, 200);
+        assert!(!exprs.is_empty());
+        for e in &exprs {
+            assert_eq!(eval_lookup(e, &db, &["c2"]).as_deref(), Some("Google"));
+            assert_eq!(eval_lookup(e, &db, &["c1"]).as_deref(), Some("Microsoft"));
+        }
+    }
+
+    #[test]
+    fn intersection_drops_conflicting_constants() {
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["c1"], "Microsoft", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        // No surviving predicate may pin Id to a constant: those differ.
+        for node in &inter.nodes {
+            for prog in &node.progs {
+                if let GenLookup::Select { conds, .. } = prog {
+                    for pred in conds.iter().flat_map(|c| c.preds.iter()) {
+                        assert!(
+                            pred.constant.is_none(),
+                            "constant {:?} should have died",
+                            pred.constant
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Definition 2 (soundness + completeness of `Intersect_t`), checked
+    /// extensionally on a bounded depth: the set of expressions in the
+    /// intersection equals the set-intersection of the inputs' expressions.
+    #[test]
+    fn intersection_equals_set_intersection() {
+        use std::collections::HashSet;
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["c1"], "Microsoft", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        let depth = 2;
+        let s1: HashSet<_> = d1
+            .enumerate_at(d1.target.unwrap(), depth, 100_000)
+            .into_iter()
+            .collect();
+        let s2: HashSet<_> = d2
+            .enumerate_at(d2.target.unwrap(), depth, 100_000)
+            .into_iter()
+            .collect();
+        let si: HashSet<_> = inter
+            .enumerate_at(inter.target.unwrap(), depth, 100_000)
+            .into_iter()
+            .collect();
+        let expected: HashSet<_> = s1.intersection(&s2).cloned().collect();
+        assert_eq!(si, expected);
+        assert!(!si.is_empty());
+    }
+
+    #[test]
+    fn join_intersection_converges_to_join_program() {
+        let db = join_db();
+        let d1 = generate_str_t(&db, &["Peter Shaw"], "110", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["Gary Lamb"], "225", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        let exprs = inter.enumerate_at(inter.target.unwrap(), 2, 500);
+        // Every surviving program must generalize to a third customer.
+        for e in &exprs {
+            assert_eq!(
+                eval_lookup(e, &db, &["Mike Henry"]).as_deref(),
+                Some("2015"),
+                "non-generalizing program survived: {}",
+                e.display(&db)
+            );
+        }
+        assert!(!exprs.is_empty());
+    }
+
+    #[test]
+    fn disjoint_examples_empty_intersection() {
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        // Identity on an unrelated string: only program is Var, which does
+        // not intersect with the Select-only structure.
+        let d2 = generate_str_t(&db, &["zz"], "zz", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        assert!(!inter.has_programs());
+    }
+
+    #[test]
+    fn missing_target_yields_empty() {
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["c2"], "Amazon", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        assert!(!inter.has_programs());
+    }
+
+    #[test]
+    fn var_programs_intersect_by_index() {
+        let db = comp_db();
+        let d1 = generate_str_t(&db, &["q", "c2"], "q", &LtOptions::default());
+        let d2 = generate_str_t(&db, &["r", "c9"], "r", &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        let exprs = inter.enumerate_at(inter.target.unwrap(), 1, 10);
+        assert_eq!(exprs, vec![LookupExpr::Var(0)]);
+    }
+
+    #[test]
+    fn self_intersection_preserves_program_set() {
+        use std::collections::HashSet;
+        let db = comp_db();
+        let d = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let inter = intersect_dt(&d, &d);
+        let s: HashSet<_> = d
+            .enumerate_at(d.target.unwrap(), 2, 100_000)
+            .into_iter()
+            .collect();
+        let si: HashSet<_> = inter
+            .enumerate_at(inter.target.unwrap(), 2, 100_000)
+            .into_iter()
+            .collect();
+        assert_eq!(s, si);
+    }
+}

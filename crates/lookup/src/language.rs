@@ -1,0 +1,160 @@
+//! Abstract syntax of the lookup transformation language `Lt` (§4.1).
+//!
+//! ```text
+//! e_t := v_i | Select(C, T, b)
+//! b   := p_1 ∧ ... ∧ p_n          (columns cover a candidate key of T)
+//! p   := C = s | C = e_t
+//! ```
+//!
+//! `Select(C, T, b)` denotes `T[C, r]` for the unique row `r` satisfying
+//! `b`, or the empty string when no row does.
+
+use sst_tables::{ColId, Database, TableId};
+
+/// Index of an input string variable.
+pub type VarId = u32;
+
+/// An `Lt` expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LookupExpr {
+    /// An input variable `v_i`.
+    Var(VarId),
+    /// `Select(C, T, p_1 ∧ ... ∧ p_n)`.
+    Select {
+        /// Projected column.
+        col: ColId,
+        /// Table identifier.
+        table: TableId,
+        /// Conjunction of predicates; the predicate columns form a
+        /// candidate key of the table.
+        cond: Vec<Predicate>,
+    },
+}
+
+/// One equality predicate of a `Select` condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Constrained column.
+    pub col: ColId,
+    /// Right-hand side.
+    pub rhs: PredRhs,
+}
+
+/// The right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PredRhs {
+    /// Comparison with a constant string.
+    Const(String),
+    /// Comparison with a nested lookup expression.
+    Expr(Box<LookupExpr>),
+}
+
+impl LookupExpr {
+    /// Maximum nesting depth of `Select` constructors (a variable has
+    /// depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            LookupExpr::Var(_) => 0,
+            LookupExpr::Select { cond, .. } => {
+                1 + cond
+                    .iter()
+                    .map(|p| match &p.rhs {
+                        PredRhs::Const(_) => 0,
+                        PredRhs::Expr(e) => e.depth(),
+                    })
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of `Select` constructors in the whole expression.
+    pub fn select_count(&self) -> usize {
+        match self {
+            LookupExpr::Var(_) => 0,
+            LookupExpr::Select { cond, .. } => {
+                1 + cond
+                    .iter()
+                    .map(|p| match &p.rhs {
+                        PredRhs::Const(_) => 0,
+                        PredRhs::Expr(e) => e.select_count(),
+                    })
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Renders the expression with table/column names resolved from `db`
+    /// (the surface syntax used throughout the paper).
+    pub fn display(&self, db: &Database) -> String {
+        match self {
+            LookupExpr::Var(v) => format!("v{}", v + 1),
+            LookupExpr::Select { col, table, cond } => {
+                let t = db.table(*table);
+                let preds: Vec<String> = cond
+                    .iter()
+                    .map(|p| {
+                        let c = t.column_name(p.col);
+                        match &p.rhs {
+                            PredRhs::Const(s) => format!("{c} = {s:?}"),
+                            PredRhs::Expr(e) => format!("{c} = {}", e.display(db)),
+                        }
+                    })
+                    .collect();
+                format!(
+                    "Select({}, {}, {})",
+                    t.column_name(*col),
+                    t.name(),
+                    preds.join(" ∧ ")
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_tables::Table;
+
+    fn db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![vec!["c1", "Microsoft"], vec!["c2", "Google"]],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    fn select_name_by_id(rhs: PredRhs) -> LookupExpr {
+        LookupExpr::Select {
+            col: 1,
+            table: 0,
+            cond: vec![Predicate { col: 0, rhs }],
+        }
+    }
+
+    #[test]
+    fn depth_and_select_count() {
+        let v = LookupExpr::Var(0);
+        assert_eq!(v.depth(), 0);
+        assert_eq!(v.select_count(), 0);
+        let s1 = select_name_by_id(PredRhs::Expr(Box::new(LookupExpr::Var(0))));
+        assert_eq!(s1.depth(), 1);
+        assert_eq!(s1.select_count(), 1);
+        let s2 = select_name_by_id(PredRhs::Expr(Box::new(s1.clone())));
+        assert_eq!(s2.depth(), 2);
+        assert_eq!(s2.select_count(), 2);
+        let sc = select_name_by_id(PredRhs::Const("c1".into()));
+        assert_eq!(sc.depth(), 1);
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let e = select_name_by_id(PredRhs::Expr(Box::new(LookupExpr::Var(0))));
+        assert_eq!(e.display(&db()), "Select(Name, Comp, Id = v1)");
+        let c = select_name_by_id(PredRhs::Const("c2".into()));
+        assert_eq!(c.display(&db()), "Select(Name, Comp, Id = \"c2\")");
+    }
+}

@@ -1,0 +1,322 @@
+//! Ranking of `Lt` expressions (§4.4).
+//!
+//! The paper's partial order prefers: smaller depth (fewer nested `Select`
+//! chains); distinct tables over self-joins; conditions with fewer
+//! predicates; and predicates that compare against other table entries or
+//! input variables rather than constant strings. The weights below encode
+//! those preferences as additive costs, and extraction is a depth-bounded
+//! memoized DP over the (possibly cyclic) node graph.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sst_tables::TableId;
+
+use crate::dstruct::{GenLookup, LookupDStruct, NodeId};
+use crate::language::{LookupExpr, PredRhs, Predicate};
+
+/// Tunable weights for `Lt` ranking; lower cost = preferred.
+#[derive(Debug, Clone)]
+pub struct LtRankWeights {
+    /// Cost of referencing an input variable.
+    pub var: u64,
+    /// Cost per `Select` constructor (penalizes depth).
+    pub select: u64,
+    /// Cost per predicate (prefers narrower candidate keys).
+    pub pred: u64,
+    /// Extra cost for a constant predicate.
+    pub pred_const: u64,
+    /// Extra cost for a node (expression) predicate.
+    pub pred_expr: u64,
+    /// Penalty when a nested `Select` reuses an ancestor's table
+    /// (self-join).
+    pub self_join: u64,
+}
+
+impl Default for LtRankWeights {
+    fn default() -> Self {
+        LtRankWeights {
+            var: 0,
+            select: 10,
+            pred: 2,
+            pred_const: 8,
+            pred_expr: 1,
+            self_join: 12,
+        }
+    }
+}
+
+/// A ranked concrete expression extracted from a [`LookupDStruct`].
+#[derive(Debug, Clone)]
+pub struct RankedLookup {
+    /// Total cost (lower is better).
+    pub cost: u64,
+    /// The extracted expression.
+    pub expr: LookupExpr,
+    /// Tables used anywhere in the expression.
+    pub tables: BTreeSet<TableId>,
+}
+
+impl LtRankWeights {
+    /// Extracts the best expression at the structure's target with
+    /// `Select`-depth ≤ `depth`.
+    pub fn best(&self, d: &LookupDStruct, depth: usize) -> Option<RankedLookup> {
+        let target = d.target?;
+        let mut memo = HashMap::new();
+        self.best_at(d, target, depth, &mut memo)
+    }
+
+    /// Extracts the best expression at a node (memoized on `(node, depth)`).
+    pub fn best_at(
+        &self,
+        d: &LookupDStruct,
+        node: NodeId,
+        depth: usize,
+        memo: &mut HashMap<(u32, usize), Option<RankedLookup>>,
+    ) -> Option<RankedLookup> {
+        if let Some(hit) = memo.get(&(node.0, depth)) {
+            return hit.clone();
+        }
+        // Seed with None to terminate cycles: a recursive reference at the
+        // same depth budget cannot improve (depth strictly decreases below,
+        // so this only guards accidental same-key re-entry).
+        memo.insert((node.0, depth), None);
+        let mut best: Option<RankedLookup> = None;
+        for prog in &d.node(node).progs {
+            let candidate = match prog {
+                GenLookup::Var(v) => Some(RankedLookup {
+                    cost: self.var,
+                    expr: LookupExpr::Var(*v),
+                    tables: BTreeSet::new(),
+                }),
+                GenLookup::Select { col, table, conds } => {
+                    if depth == 0 {
+                        None
+                    } else {
+                        let mut best_sel: Option<RankedLookup> = None;
+                        for cond in conds {
+                            let mut cost = self.select + self.pred * cond.preds.len() as u64;
+                            let mut tables: BTreeSet<TableId> = BTreeSet::new();
+                            tables.insert(*table);
+                            let mut preds: Vec<Predicate> = Vec::with_capacity(cond.preds.len());
+                            let mut viable = true;
+                            for pred in &cond.preds {
+                                // Prefer the expression alternative when its
+                                // total cost beats the constant's.
+                                let expr_opt = pred.node.and_then(|n| {
+                                    self.best_at(d, n, depth - 1, memo).map(|sub| {
+                                        let join_pen = if sub.tables.contains(table) {
+                                            self.self_join
+                                        } else {
+                                            0
+                                        };
+                                        (self.pred_expr + sub.cost + join_pen, sub)
+                                    })
+                                });
+                                let const_opt = pred
+                                    .constant
+                                    .as_ref()
+                                    .map(|s| (self.pred_const, s.clone()));
+                                match (expr_opt, const_opt) {
+                                    (Some((ec, sub)), Some((cc, s))) => {
+                                        if ec <= cc {
+                                            cost += ec;
+                                            tables.extend(sub.tables.iter().copied());
+                                            preds.push(Predicate {
+                                                col: pred.col,
+                                                rhs: PredRhs::Expr(Box::new(sub.expr)),
+                                            });
+                                        } else {
+                                            cost += cc;
+                                            preds.push(Predicate {
+                                                col: pred.col,
+                                                rhs: PredRhs::Const(s),
+                                            });
+                                        }
+                                    }
+                                    (Some((ec, sub)), None) => {
+                                        cost += ec;
+                                        tables.extend(sub.tables.iter().copied());
+                                        preds.push(Predicate {
+                                            col: pred.col,
+                                            rhs: PredRhs::Expr(Box::new(sub.expr)),
+                                        });
+                                    }
+                                    (None, Some((cc, s))) => {
+                                        cost += cc;
+                                        preds.push(Predicate {
+                                            col: pred.col,
+                                            rhs: PredRhs::Const(s),
+                                        });
+                                    }
+                                    (None, None) => {
+                                        viable = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !viable || preds.is_empty() {
+                                continue;
+                            }
+                            let candidate = RankedLookup {
+                                cost,
+                                expr: LookupExpr::Select {
+                                    col: *col,
+                                    table: *table,
+                                    cond: preds,
+                                },
+                                tables,
+                            };
+                            if best_sel.as_ref().is_none_or(|b| candidate.cost < b.cost) {
+                                best_sel = Some(candidate);
+                            }
+                        }
+                        best_sel
+                    }
+                }
+            };
+            if let Some(c) = candidate {
+                if best.as_ref().is_none_or(|b| c.cost < b.cost) {
+                    best = Some(c);
+                }
+            }
+        }
+        memo.insert((node.0, depth), best.clone());
+        best
+    }
+
+    /// Extracts the `n` best expressions at the target, in ascending cost.
+    ///
+    /// A simple beam: enumerate bounded candidates and sort by [`Self::cost_of`].
+    pub fn top_n(&self, d: &LookupDStruct, depth: usize, n: usize) -> Vec<RankedLookup> {
+        let Some(target) = d.target else {
+            return Vec::new();
+        };
+        let mut scored: Vec<RankedLookup> = d
+            .enumerate_at(target, depth, n.saturating_mul(64).max(256))
+            .into_iter()
+            .map(|expr| {
+                let (cost, tables) = self.cost_of(&expr);
+                RankedLookup { cost, expr, tables }
+            })
+            .collect();
+        scored.sort_by_key(|r| r.cost);
+        scored.truncate(n);
+        scored
+    }
+
+    /// Cost of a concrete expression under these weights.
+    pub fn cost_of(&self, expr: &LookupExpr) -> (u64, BTreeSet<TableId>) {
+        match expr {
+            LookupExpr::Var(_) => (self.var, BTreeSet::new()),
+            LookupExpr::Select { table, cond, .. } => {
+                let mut cost = self.select + self.pred * cond.len() as u64;
+                let mut tables = BTreeSet::new();
+                tables.insert(*table);
+                for p in cond {
+                    match &p.rhs {
+                        PredRhs::Const(_) => cost += self.pred_const,
+                        PredRhs::Expr(e) => {
+                            let (sub_cost, sub_tables) = self.cost_of(e);
+                            cost += self.pred_expr + sub_cost;
+                            if sub_tables.contains(table) {
+                                cost += self.self_join;
+                            }
+                            tables.extend(sub_tables);
+                        }
+                    }
+                }
+                (cost, tables)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_str_t, LtOptions};
+    use sst_tables::{Database, Table};
+
+    fn comp_db() -> Database {
+        Database::from_tables(vec![Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+            ],
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    #[test]
+    fn best_prefers_var_predicate_over_const() {
+        let db = comp_db();
+        let d = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let best = LtRankWeights::default().best(&d, 2).unwrap();
+        assert_eq!(best.expr.display(&db), "Select(Name, Comp, Id = v1)");
+    }
+
+    #[test]
+    fn best_respects_depth_budget() {
+        let db = comp_db();
+        let d = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let w = LtRankWeights::default();
+        assert!(w.best(&d, 0).is_none());
+        assert!(w.best(&d, 1).is_some());
+    }
+
+    #[test]
+    fn identity_prefers_bare_variable() {
+        let db = comp_db();
+        let d = generate_str_t(&db, &["c2"], "c2", &LtOptions::default());
+        let best = LtRankWeights::default().best(&d, 2).unwrap();
+        assert_eq!(best.expr, LookupExpr::Var(0));
+        assert_eq!(best.cost, 0);
+    }
+
+    #[test]
+    fn top_n_is_sorted_and_distinct_costs_ascend() {
+        let db = comp_db();
+        let d = generate_str_t(&db, &["c2"], "Google", &LtOptions::default());
+        let w = LtRankWeights::default();
+        let top = w.top_n(&d, 2, 5);
+        assert!(!top.is_empty());
+        for pair in top.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+        assert_eq!(top[0].expr.display(&db), "Select(Name, Comp, Id = v1)");
+    }
+
+    #[test]
+    fn cost_of_penalizes_self_join() {
+        let w = LtRankWeights::default();
+        let inner = LookupExpr::Select {
+            col: 0,
+            table: 7,
+            cond: vec![Predicate {
+                col: 1,
+                rhs: PredRhs::Expr(Box::new(LookupExpr::Var(0))),
+            }],
+        };
+        let same_table = LookupExpr::Select {
+            col: 1,
+            table: 7,
+            cond: vec![Predicate {
+                col: 0,
+                rhs: PredRhs::Expr(Box::new(inner.clone())),
+            }],
+        };
+        let other_table = LookupExpr::Select {
+            col: 1,
+            table: 8,
+            cond: vec![Predicate {
+                col: 0,
+                rhs: PredRhs::Expr(Box::new(inner)),
+            }],
+        };
+        assert!(w.cost_of(&same_table).0 > w.cost_of(&other_table).0);
+    }
+}

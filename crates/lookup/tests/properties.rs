@@ -1,0 +1,137 @@
+//! Property-based tests for the `Lt` substrate: soundness of generation
+//! and intersection on randomized databases, count/depth monotonicity, and
+//! pruning invariants.
+
+use proptest::prelude::*;
+
+use sst_counting::BigUint;
+use sst_lookup::{
+    eval_lookup, generate_str_t, intersect_dt, LookupLearner, LtOptions,
+};
+use sst_tables::{Database, Table};
+
+/// Builds a random 3-column table: unique ids, unique names, repeating
+/// category values. Returns the table; row i is (`id{seed}{i}`,
+/// `Name{seed}{i}`, `cat{i % 2}`).
+fn fixture_table(n: usize, seed: u8) -> Table {
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            vec![
+                format!("id{seed}x{i}"),
+                format!("Name{seed}x{i}"),
+                format!("cat{}", i % 2),
+            ]
+        })
+        .collect();
+    Table::new("R", vec!["Id", "Name", "Cat"], rows).expect("valid table")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Definition 1 soundness: every enumerated program maps the example
+    /// input to the example output.
+    #[test]
+    fn generate_sound_on_random_rows(n in 2usize..7, seed in 0u8..9, pick in 0usize..8) {
+        let table = fixture_table(n, seed);
+        let pick = (pick % n) as u32;
+        let input = table.cell(0, pick).to_string();
+        let output = table.cell(1, pick).to_string();
+        let db = Database::from_tables(vec![table]).unwrap();
+        let d = generate_str_t(&db, &[input.as_str()], &output, &LtOptions::default());
+        prop_assert!(d.has_programs());
+        let target = d.target.unwrap();
+        for e in d.enumerate_at(target, db.len(), 200) {
+            let got = eval_lookup(&e, &db, &[input.as_str()]);
+            prop_assert_eq!(got.as_deref(), Some(output.as_str()));
+        }
+    }
+
+    /// Counts are monotone in the depth bound.
+    #[test]
+    fn count_monotone_in_depth(n in 2usize..6, seed in 0u8..9) {
+        let table = fixture_table(n, seed);
+        let input = table.cell(0, 0).to_string();
+        let output = table.cell(1, 0).to_string();
+        let db = Database::from_tables(vec![table]).unwrap();
+        let opts = LtOptions { max_depth: Some(3) };
+        let d = generate_str_t(&db, &[input.as_str()], &output, &opts);
+        let mut last = BigUint::zero();
+        for depth in 0..=3 {
+            let c = d.count(depth);
+            prop_assert!(c >= last, "count must grow with depth");
+            last = c;
+        }
+    }
+
+    /// Intersection soundness: surviving programs satisfy both examples.
+    #[test]
+    fn intersect_sound_on_random_pairs(
+        n in 3usize..7,
+        seed in 0u8..9,
+        p1 in 0usize..8,
+        p2 in 0usize..8,
+    ) {
+        let table = fixture_table(n, seed);
+        let (p1, p2) = ((p1 % n) as u32, (p2 % n) as u32);
+        prop_assume!(p1 != p2);
+        let in1 = table.cell(0, p1).to_string();
+        let out1 = table.cell(1, p1).to_string();
+        let in2 = table.cell(0, p2).to_string();
+        let out2 = table.cell(1, p2).to_string();
+        let db = Database::from_tables(vec![table]).unwrap();
+        let d1 = generate_str_t(&db, &[in1.as_str()], &out1, &LtOptions::default());
+        let d2 = generate_str_t(&db, &[in2.as_str()], &out2, &LtOptions::default());
+        let inter = intersect_dt(&d1, &d2);
+        prop_assert!(inter.has_programs(), "the Id->Name lookup must survive");
+        let target = inter.target.unwrap();
+        for e in inter.enumerate_at(target, db.len(), 200) {
+            let got1 = eval_lookup(&e, &db, &[in1.as_str()]);
+            prop_assert_eq!(got1.as_deref(), Some(out1.as_str()), "e={:?}", e);
+            let got2 = eval_lookup(&e, &db, &[in2.as_str()]);
+            prop_assert_eq!(got2.as_deref(), Some(out2.as_str()), "e={:?}", e);
+        }
+    }
+
+    /// The end-to-end learner generalizes from two random examples to the
+    /// whole table.
+    #[test]
+    fn learner_generalizes_from_two_examples(
+        n in 3usize..7,
+        seed in 0u8..9,
+    ) {
+        let table = fixture_table(n, seed);
+        let db = Database::from_tables(vec![table.clone()]).unwrap();
+        let learner = LookupLearner::new(db);
+        let examples: Vec<(Vec<String>, String)> = (0..2)
+            .map(|i| {
+                (
+                    vec![table.cell(0, i as u32).to_string()],
+                    table.cell(1, i as u32).to_string(),
+                )
+            })
+            .collect();
+        let learned = learner.learn(&examples).expect("learnable");
+        let top = learned.top().expect("ranked");
+        for r in 0..n as u32 {
+            let got = learned.run(&top, &[table.cell(0, r)]);
+            prop_assert_eq!(got.as_deref(), Some(table.cell(1, r)));
+        }
+    }
+
+    /// Repeating (non-key) values never become lookup outputs keyed by
+    /// themselves: learning `cat -> name` must fail (cat is not a key and
+    /// names differ).
+    #[test]
+    fn non_key_inputs_cannot_pin_rows(n in 4usize..7, seed in 0u8..9) {
+        let table = fixture_table(n, seed);
+        let db = Database::from_tables(vec![table.clone()]).unwrap();
+        let learner = LookupLearner::new(db);
+        // Two rows share cat0 but have different names: inconsistent.
+        let examples = vec![
+            (vec!["cat0".to_string()], table.cell(1, 0).to_string()),
+            (vec!["cat0".to_string()], table.cell(1, 2).to_string()),
+        ];
+        prop_assert!(learner.learn(&examples).is_none());
+    }
+}

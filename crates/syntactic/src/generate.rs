@@ -1,0 +1,249 @@
+//! `GenerateStr_s`: building the DAG of all `Ls` programs consistent with
+//! one input-output example (POPL 2011, reproduced as the paper's §5
+//! background).
+//!
+//! The DAG has one node per position of the output string. Edge `(i, j)`
+//! collects every atomic-expression set producing `output[i..j]`:
+//!
+//! * the constant `ConstStr(output[i..j])`, always;
+//! * for every *source* string `w` and every occurrence of `output[i..j]`
+//!   in `w`, a `SubStr` set pairing all learned start positions with all
+//!   learned end positions of that occurrence;
+//! * when the occurrence covers the whole of `w`, additionally the direct
+//!   source reference (`v_i` in `Ls`, the lookup `e_t` in `Lu`).
+//!
+//! Sources are abstract (`S`): plain synthesis passes variables, the
+//! semantic layer passes reachable-node handles, which is exactly how §5.3
+//! reuses this procedure as `GenerateStr_s(σ ∪ η̃, s)`.
+
+use std::collections::BTreeMap;
+
+use crate::dag::{AtomSet, Dag};
+use crate::positions::PositionLearner;
+use crate::tokens::{StringRuns, TokenSet};
+
+/// Options controlling generation.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Token set used for position learning.
+    pub token_set: TokenSet,
+    /// Maximum tokens per context side in learned positions.
+    pub max_seq_len: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            token_set: TokenSet::standard(),
+            max_seq_len: 2,
+        }
+    }
+}
+
+/// Builds the DAG of all programs mapping `sources` to `output`.
+///
+/// `sources` is the extended state σ ∪ η̃: each entry is an opaque handle
+/// plus its string value. The resulting DAG is never empty — the all-constant
+/// program is always represented.
+pub fn generate_dag<S: Clone + PartialEq>(
+    sources: &[(S, &str)],
+    output: &str,
+    opts: &GenOptions,
+) -> Dag<S> {
+    let out_chars: Vec<char> = output.chars().collect();
+    let len = out_chars.len();
+    if len == 0 {
+        return Dag::empty_output();
+    }
+
+    // Precompute per-source runs, learners and the longest-common-extension
+    // table against the output (lce[i][k] = length of longest common prefix
+    // of output[i..] and w[k..]).
+    struct SourceCtx<S> {
+        handle: S,
+        runs: StringRuns,
+        lce: Vec<Vec<u32>>,
+    }
+    let contexts: Vec<SourceCtx<S>> = sources
+        .iter()
+        .map(|(handle, w)| {
+            let runs = StringRuns::compute(w, &opts.token_set);
+            let w_chars = runs.chars();
+            let mut lce = vec![vec![0u32; w_chars.len() + 1]; len + 1];
+            for i in (0..len).rev() {
+                for k in (0..w_chars.len()).rev() {
+                    if out_chars[i] == w_chars[k] {
+                        lce[i][k] = lce[i + 1][k + 1] + 1;
+                    }
+                }
+            }
+            SourceCtx {
+                handle: handle.clone(),
+                runs,
+                lce,
+            }
+        })
+        .collect();
+
+    let mut edges: BTreeMap<(u32, u32), Vec<AtomSet<S>>> = BTreeMap::new();
+    for i in 0..len {
+        for j in (i + 1)..=len {
+            let substring: String = out_chars[i..j].iter().collect();
+            let mut atoms: Vec<AtomSet<S>> = vec![AtomSet::ConstStr(substring)];
+            let want = (j - i) as u32;
+            for ctx in &contexts {
+                let w_len = ctx.runs.len() as usize;
+                if (want as usize) > w_len {
+                    continue;
+                }
+                let learner =
+                    PositionLearner::new(&ctx.runs, &opts.token_set, opts.max_seq_len);
+                for k in 0..=(w_len - want as usize) {
+                    if ctx.lce[i][k] < want {
+                        continue;
+                    }
+                    let start = k as u32;
+                    let end = start + want;
+                    if start == 0 && end as usize == w_len {
+                        atoms.push(AtomSet::Whole(ctx.handle.clone()));
+                    }
+                    atoms.push(AtomSet::SubStr {
+                        src: ctx.handle.clone(),
+                        p1: learner.learn(start),
+                        p2: learner.learn(end),
+                    });
+                }
+            }
+            edges.insert((i as u32, j as u32), atoms);
+        }
+    }
+
+    Dag {
+        num_nodes: len as u32 + 1,
+        source: 0,
+        target: len as u32,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_expr;
+    use crate::language::Var;
+    use sst_counting::BigUint;
+
+    fn gen(inputs: &[&str], output: &str) -> Dag<Var> {
+        let sources: Vec<(Var, &str)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (Var(i as u32), *w))
+            .collect();
+        generate_dag(&sources, output, &GenOptions::default())
+    }
+
+    fn resolve<'a>(inputs: &'a [&'a str]) -> impl FnMut(&Var) -> Option<String> + 'a {
+        move |v: &Var| inputs.get(v.0 as usize).map(|s| s.to_string())
+    }
+
+    /// Soundness: every program in the DAG maps the input to the output.
+    fn assert_sound(inputs: &[&str], output: &str, sample: usize) {
+        let dag = gen(inputs, output);
+        let opts = GenOptions::default();
+        for prog in dag.enumerate_programs(sample) {
+            let got = eval_expr(&prog, &mut resolve(inputs), &opts.token_set);
+            assert_eq!(
+                got.as_deref(),
+                Some(output),
+                "unsound program {prog} for {inputs:?} -> {output:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn soundness_small_cases() {
+        assert_sound(&["abc"], "ab", 300);
+        assert_sound(&["Alan Turing"], "Turing A", 300);
+        assert_sound(&["10/12/2010"], "12/2010", 300);
+        assert_sound(&["Honda", "125"], "Honda125", 300);
+    }
+
+    #[test]
+    fn dag_shape_linear_nodes() {
+        let dag = gen(&["abc"], "abc");
+        assert_eq!(dag.num_nodes, 4);
+        assert_eq!(dag.source, 0);
+        assert_eq!(dag.target, 3);
+        assert_eq!(dag.edges.len(), 6); // all (i, j), i<j over 4 nodes
+    }
+
+    #[test]
+    fn whole_source_atom_present() {
+        let dag = gen(&["ab"], "xaby");
+        let atoms = &dag.edges[&(1, 3)];
+        assert!(atoms.iter().any(|a| matches!(a, AtomSet::Whole(Var(0)))));
+        // But not on edges that only cover part of the source.
+        let atoms = &dag.edges[&(1, 2)];
+        assert!(!atoms.iter().any(|a| matches!(a, AtomSet::Whole(_))));
+    }
+
+    #[test]
+    fn multiple_occurrences_multiple_substr_sets() {
+        let dag = gen(&["banana"], "an");
+        let atoms = &dag.edges[&(0, 2)];
+        let substr_sets = atoms
+            .iter()
+            .filter(|a| matches!(a, AtomSet::SubStr { .. }))
+            .count();
+        assert_eq!(substr_sets, 2, "\"an\" occurs twice in \"banana\"");
+    }
+
+    #[test]
+    fn const_always_available() {
+        let dag = gen(&["xyz"], "Q");
+        let atoms = &dag.edges[&(0, 1)];
+        assert_eq!(atoms.len(), 1);
+        assert!(matches!(&atoms[0], AtomSet::ConstStr(s) if s == "Q"));
+    }
+
+    #[test]
+    fn empty_output_single_empty_program() {
+        let dag = gen(&["abc"], "");
+        assert_eq!(
+            dag.count_programs(&mut |_| BigUint::one()).to_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn count_explodes_with_shared_substrings() {
+        // Output equal to input: huge number of substring recombinations.
+        let dag = gen(&["aaaa"], "aaaa");
+        let count = dag.count_programs(&mut |_| BigUint::one());
+        assert!(
+            count > BigUint::from(1000u64),
+            "expected >1000 programs, got {count}"
+        );
+    }
+
+    #[test]
+    fn nonconst_program_detection_matches_occurrences() {
+        let dag = gen(&["abc"], "abc");
+        assert!(dag.has_nonconst_program());
+        let dag = gen(&["abc"], "zzz");
+        assert!(!dag.has_nonconst_program());
+    }
+
+    #[test]
+    fn two_sources_both_contribute() {
+        let dag = gen(&["Honda", "125"], "Honda125");
+        let atoms = &dag.edges[&(0, 5)];
+        assert!(atoms
+            .iter()
+            .any(|a| matches!(a, AtomSet::Whole(Var(0)))));
+        let atoms = &dag.edges[&(5, 8)];
+        assert!(atoms
+            .iter()
+            .any(|a| matches!(a, AtomSet::Whole(Var(1)))));
+    }
+}

@@ -1,0 +1,320 @@
+//! `Intersect_s`: intersecting two DAGs of `Ls` programs.
+//!
+//! As in §5.3, two DAGs intersect like finite automata: the product
+//! construction pairs nodes, and an edge `((a1,a2),(b1,b2))` carries the
+//! pairwise intersections of the two edges' atom sets. Source handles are
+//! intersected through a caller-supplied callback so the semantic layer can
+//! recursively intersect lookup nodes (`Intersect_u`'s fourth rule); plain
+//! `Ls` passes variable equality.
+//!
+//! The product keeps only node pairs reachable from the source pair and
+//! co-reachable from the target pair, then renumbers them in lexicographic
+//! order, which preserves the forward-edge invariant of [`Dag`].
+
+use std::collections::BTreeMap;
+
+use crate::dag::{AtomSet, Dag, PosSet};
+use crate::language::RegexSeq;
+
+/// Intersects two program DAGs. Returns `None` when the intersection is
+/// empty (no common program).
+pub fn intersect_dags<S1, S2, S3>(
+    a: &Dag<S1>,
+    b: &Dag<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+) -> Option<Dag<S3>>
+where
+    S3: PartialEq,
+{
+    // Enumerate node pairs in lexicographic order; edges go forward in both
+    // components, so this is a topological order of the product.
+    let pair_id = |n1: u32, n2: u32| (n1 as u64) * b.num_nodes as u64 + n2 as u64;
+    let mut edges: BTreeMap<(u64, u64), Vec<AtomSet<S3>>> = BTreeMap::new();
+
+    for (&(a1, b1), atoms1) in &a.edges {
+        for (&(a2, b2), atoms2) in &b.edges {
+            let mut atoms: Vec<AtomSet<S3>> = Vec::new();
+            for x in atoms1 {
+                for y in atoms2 {
+                    if let Some(z) = intersect_atom_sets(x, y, src_intersect) {
+                        if !atoms.contains(&z) {
+                            atoms.push(z);
+                        }
+                    }
+                }
+            }
+            if !atoms.is_empty() {
+                edges.insert((pair_id(a1, a2), pair_id(b1, b2)), atoms);
+            }
+        }
+    }
+
+    // Compact the sparse pair ids to dense node ids, keeping order.
+    let mut used: Vec<u64> = edges
+        .keys()
+        .flat_map(|&(x, y)| [x, y])
+        .chain([
+            pair_id(a.source, b.source),
+            pair_id(a.target, b.target),
+        ])
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let dense: BTreeMap<u64, u32> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+
+    let mut dag = Dag {
+        num_nodes: used.len() as u32,
+        source: dense[&pair_id(a.source, b.source)],
+        target: dense[&pair_id(a.target, b.target)],
+        edges: edges
+            .into_iter()
+            .map(|((x, y), atoms)| ((dense[&x], dense[&y]), atoms))
+            .collect(),
+    };
+    if dag.source == dag.target {
+        // Both examples had empty outputs: the single empty program remains.
+        return Some(Dag::empty_output());
+    }
+    dag.prune().then_some(dag)
+}
+
+/// Intersects two atom sets (Fig. 5(b) lifted to `Ls` atoms).
+pub fn intersect_atom_sets<S1, S2, S3>(
+    x: &AtomSet<S1>,
+    y: &AtomSet<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+) -> Option<AtomSet<S3>> {
+    match (x, y) {
+        (AtomSet::ConstStr(s1), AtomSet::ConstStr(s2)) if s1 == s2 => {
+            Some(AtomSet::ConstStr(s1.clone()))
+        }
+        (AtomSet::Whole(s1), AtomSet::Whole(s2)) => src_intersect(s1, s2).map(AtomSet::Whole),
+        (
+            AtomSet::SubStr {
+                src: src1,
+                p1: p11,
+                p2: p12,
+            },
+            AtomSet::SubStr {
+                src: src2,
+                p1: p21,
+                p2: p22,
+            },
+        ) => {
+            let src = src_intersect(src1, src2)?;
+            let p1 = intersect_pos_lists(p11, p21);
+            if p1.is_empty() {
+                return None;
+            }
+            let p2 = intersect_pos_lists(p12, p22);
+            if p2.is_empty() {
+                return None;
+            }
+            Some(AtomSet::SubStr { src, p1, p2 })
+        }
+        _ => None,
+    }
+}
+
+/// Pairwise-intersects two lists of position sets, dropping empty results.
+pub fn intersect_pos_lists(a: &[PosSet], b: &[PosSet]) -> Vec<PosSet> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if let Some(z) = intersect_pos_sets(x, y) {
+                if !out.contains(&z) {
+                    out.push(z);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `IntersectPos` of POPL'11: component-wise set intersection.
+pub fn intersect_pos_sets(x: &PosSet, y: &PosSet) -> Option<PosSet> {
+    match (x, y) {
+        (PosSet::CPos(k1), PosSet::CPos(k2)) if k1 == k2 => Some(PosSet::CPos(*k1)),
+        (
+            PosSet::Pos {
+                r1s: a1,
+                r2s: a2,
+                cs: ac,
+            },
+            PosSet::Pos {
+                r1s: b1,
+                r2s: b2,
+                cs: bc,
+            },
+        ) => {
+            let r1s = seq_intersection(a1, b1);
+            if r1s.is_empty() {
+                return None;
+            }
+            let r2s = seq_intersection(a2, b2);
+            if r2s.is_empty() {
+                return None;
+            }
+            let cs: Vec<i32> = ac.iter().copied().filter(|c| bc.contains(c)).collect();
+            if cs.is_empty() {
+                return None;
+            }
+            Some(PosSet::Pos { r1s, r2s, cs })
+        }
+        _ => None,
+    }
+}
+
+fn seq_intersection(a: &[RegexSeq], b: &[RegexSeq]) -> Vec<RegexSeq> {
+    a.iter().filter(|r| b.contains(r)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_expr;
+    use crate::generate::{generate_dag, GenOptions};
+    use crate::language::Var;
+    use crate::tokens::Token;
+    use sst_counting::BigUint;
+
+    fn gen(inputs: &[&str], output: &str) -> Dag<Var> {
+        let sources: Vec<(Var, &str)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (Var(i as u32), *w))
+            .collect();
+        generate_dag(&sources, output, &GenOptions::default())
+    }
+
+    fn var_eq(a: &Var, b: &Var) -> Option<Var> {
+        (a == b).then_some(*a)
+    }
+
+    #[test]
+    fn intersect_keeps_generalizing_programs() {
+        // Two examples of "extract the first number": the intersection must
+        // still be sound on both.
+        let d1 = gen(&["ab 12 cd"], "12");
+        let d2 = gen(&["x 345 yz"], "345");
+        let inter = intersect_dags(&d1, &d2, &mut var_eq).expect("nonempty");
+        let opts = GenOptions::default();
+        for prog in inter.enumerate_programs(200) {
+            let got1 = eval_expr(&prog, &mut |v: &Var| {
+                (v.0 == 0).then(|| "ab 12 cd".to_string())
+            }, &opts.token_set);
+            assert_eq!(got1.as_deref(), Some("12"), "prog {prog}");
+            let got2 = eval_expr(&prog, &mut |v: &Var| {
+                (v.0 == 0).then(|| "x 345 yz".to_string())
+            }, &opts.token_set);
+            assert_eq!(got2.as_deref(), Some("345"), "prog {prog}");
+        }
+        // Constants are gone: "12" != "345".
+        assert!(inter.is_nonempty());
+    }
+
+    #[test]
+    fn intersect_conflicting_constants_keeps_vars_only() {
+        let d1 = gen(&["A"], "A");
+        let d2 = gen(&["B"], "B");
+        let inter = intersect_dags(&d1, &d2, &mut var_eq).expect("var program survives");
+        let progs = inter.enumerate_programs(50);
+        assert!(!progs.is_empty());
+        for p in &progs {
+            let rendered = p.to_string();
+            assert!(
+                !rendered.contains("ConstStr"),
+                "constants should not survive: {rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersect_no_common_program_is_none() {
+        // Outputs unrelated to the (different) inputs: only constants exist,
+        // and the constants differ.
+        let d1 = gen(&["q"], "X");
+        let d2 = gen(&["q"], "Y");
+        assert!(intersect_dags(&d1, &d2, &mut var_eq).is_none());
+    }
+
+    #[test]
+    fn intersect_is_commutative_in_count() {
+        let d1 = gen(&["ab 12"], "12");
+        let d2 = gen(&["cd 7 x"], "7");
+        let i1 = intersect_dags(&d1, &d2, &mut var_eq).unwrap();
+        let i2 = intersect_dags(&d2, &d1, &mut var_eq).unwrap();
+        let c1 = i1.count_programs(&mut |_| BigUint::one());
+        let c2 = i2.count_programs(&mut |_| BigUint::one());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn intersect_idempotent_on_counts() {
+        let d = gen(&["ab 12"], "12");
+        let i = intersect_dags(&d, &d, &mut var_eq).unwrap();
+        assert_eq!(
+            d.count_programs(&mut |_| BigUint::one()),
+            i.count_programs(&mut |_| BigUint::one())
+        );
+    }
+
+    #[test]
+    fn pos_set_intersection_rules() {
+        assert_eq!(
+            intersect_pos_sets(&PosSet::CPos(3), &PosSet::CPos(3)),
+            Some(PosSet::CPos(3))
+        );
+        assert_eq!(intersect_pos_sets(&PosSet::CPos(3), &PosSet::CPos(4)), None);
+        let p1 = PosSet::Pos {
+            r1s: vec![RegexSeq::token(Token::Num), RegexSeq::token(Token::AlphNum)],
+            r2s: vec![RegexSeq::epsilon()],
+            cs: vec![1, -2],
+        };
+        let p2 = PosSet::Pos {
+            r1s: vec![RegexSeq::token(Token::Num)],
+            r2s: vec![RegexSeq::epsilon(), RegexSeq::token(Token::End)],
+            cs: vec![-2, 4],
+        };
+        let inter = intersect_pos_sets(&p1, &p2).unwrap();
+        assert_eq!(
+            inter,
+            PosSet::Pos {
+                r1s: vec![RegexSeq::token(Token::Num)],
+                r2s: vec![RegexSeq::epsilon()],
+                cs: vec![-2],
+            }
+        );
+        // Mixed kinds never intersect.
+        assert_eq!(intersect_pos_sets(&PosSet::CPos(0), &p1), None);
+    }
+
+    #[test]
+    fn atom_set_intersection_rules() {
+        let c1: AtomSet<Var> = AtomSet::ConstStr("x".into());
+        let c2: AtomSet<Var> = AtomSet::ConstStr("x".into());
+        let c3: AtomSet<Var> = AtomSet::ConstStr("y".into());
+        assert!(intersect_atom_sets(&c1, &c2, &mut var_eq).is_some());
+        assert!(intersect_atom_sets(&c1, &c3, &mut var_eq).is_none());
+        let w0: AtomSet<Var> = AtomSet::Whole(Var(0));
+        let w1: AtomSet<Var> = AtomSet::Whole(Var(1));
+        assert!(intersect_atom_sets(&w0, &w0.clone(), &mut var_eq).is_some());
+        assert!(intersect_atom_sets(&w0, &w1, &mut var_eq).is_none());
+        assert!(intersect_atom_sets(&c1, &w0, &mut var_eq).is_none());
+    }
+
+    #[test]
+    fn empty_outputs_intersect_to_empty_program() {
+        let d1 = gen(&["a"], "");
+        let d2 = gen(&["b"], "");
+        let inter = intersect_dags(&d1, &d2, &mut var_eq).unwrap();
+        assert_eq!(
+            inter.count_programs(&mut |_| BigUint::one()).to_u64(),
+            Some(1)
+        );
+    }
+}

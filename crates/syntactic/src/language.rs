@@ -1,0 +1,234 @@
+//! Abstract syntax of the syntactic transformation language `Ls`.
+//!
+//! ```text
+//! e_s := Concatenate(f_1, ..., f_n) | f
+//! f   := ConstStr(s) | v_i | SubStr(v_i, p_1, p_2)
+//! p   := k | pos(r_1, r_2, c)
+//! r   := ε | τ | TokenSeq(τ_1, ..., τ_n)
+//! ```
+//!
+//! The atom source is a type parameter `S`: plain `Ls` uses variable indices
+//! (`VarId`), while the semantic language `Lu` (crate `sst-core`) plugs in
+//! lookup expressions, giving `SubStr(e_t, p_1, p_2)` of §5.1 for free.
+
+use std::fmt;
+
+use crate::tokens::Token;
+
+/// Index of an input string variable `v_i`.
+pub type VarId = u32;
+
+/// A token sequence `r`; the empty sequence is `ε`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RegexSeq(pub Vec<Token>);
+
+impl RegexSeq {
+    /// The empty regular expression `ε`.
+    pub fn epsilon() -> Self {
+        RegexSeq(Vec::new())
+    }
+
+    /// A single-token sequence.
+    pub fn token(t: Token) -> Self {
+        RegexSeq(vec![t])
+    }
+
+    /// True iff this is `ε`.
+    pub fn is_epsilon(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for RegexSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.len() {
+            0 => f.write_str("ε"),
+            1 => write!(f, "{}", self.0[0]),
+            _ => {
+                f.write_str("TokenSeq(")?;
+                for (i, t) in self.0.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A position expression `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PosExpr {
+    /// Constant position: `k ≥ 0` counts from the left; `k < 0` denotes
+    /// position `len + 1 + k` (so `-1` is the end of the string).
+    CPos(i32),
+    /// `pos(r1, r2, c)`: the position `t` such that `r1` matches a suffix of
+    /// `s[0:t]` and `r2` matches a prefix of `s[t:len]`; `c` selects the
+    /// `|c|`-th such `t` from the left (`c > 0`) or right (`c < 0`).
+    Pos {
+        /// Token sequence matching immediately before the position.
+        r1: RegexSeq,
+        /// Token sequence matching immediately after the position.
+        r2: RegexSeq,
+        /// 1-based occurrence index; negative counts from the right.
+        c: i32,
+    },
+}
+
+impl fmt::Display for PosExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosExpr::CPos(k) => write!(f, "{k}"),
+            PosExpr::Pos { r1, r2, c } => write!(f, "pos({r1}, {r2}, {c})"),
+        }
+    }
+}
+
+/// An atomic expression `f` with source type `S`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AtomicExpr<S> {
+    /// A constant string.
+    ConstStr(String),
+    /// The whole source string (`v_i` in `Ls`; a lookup `e_t` in `Lu`).
+    Whole(S),
+    /// `SubStr(src, p1, p2)`.
+    SubStr {
+        /// The subject string.
+        src: S,
+        /// Start position.
+        p1: PosExpr,
+        /// End position.
+        p2: PosExpr,
+    },
+}
+
+impl<S> AtomicExpr<S> {
+    /// Maps the source type, e.g. embedding `Ls` atoms into `Lu`.
+    pub fn map_src<T>(self, f: &mut impl FnMut(S) -> T) -> AtomicExpr<T> {
+        match self {
+            AtomicExpr::ConstStr(s) => AtomicExpr::ConstStr(s),
+            AtomicExpr::Whole(s) => AtomicExpr::Whole(f(s)),
+            AtomicExpr::SubStr { src, p1, p2 } => AtomicExpr::SubStr {
+                src: f(src),
+                p1,
+                p2,
+            },
+        }
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for AtomicExpr<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicExpr::ConstStr(s) => write!(f, "ConstStr({s:?})"),
+            AtomicExpr::Whole(src) => write!(f, "{src}"),
+            AtomicExpr::SubStr { src, p1, p2 } => write!(f, "SubStr({src}, {p1}, {p2})"),
+        }
+    }
+}
+
+/// A top-level `Ls` expression: `Concatenate(f_1, ..., f_n)`; a single atom
+/// is printed without the constructor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StringExpr<S> {
+    /// Concatenation arguments, left to right.
+    pub atoms: Vec<AtomicExpr<S>>,
+}
+
+impl<S> StringExpr<S> {
+    /// A single-atom expression.
+    pub fn atom(a: AtomicExpr<S>) -> Self {
+        StringExpr { atoms: vec![a] }
+    }
+
+    /// Number of concatenation arguments.
+    pub fn arity(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for StringExpr<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.len() == 1 {
+            return write!(f, "{}", self.atoms[0]);
+        }
+        f.write_str("Concatenate(")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Display helper for `Ls` variables: prints `v1`, `v2`, ... (1-based, as in
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub VarId);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_regex_seq() {
+        assert_eq!(RegexSeq::epsilon().to_string(), "ε");
+        assert_eq!(RegexSeq::token(Token::Num).to_string(), "NumTok");
+        assert_eq!(
+            RegexSeq(vec![Token::Num, Token::Special('/')]).to_string(),
+            "TokenSeq(NumTok, SlashTok)"
+        );
+    }
+
+    #[test]
+    fn display_pos_expr() {
+        assert_eq!(PosExpr::CPos(-3).to_string(), "-3");
+        let p = PosExpr::Pos {
+            r1: RegexSeq::token(Token::Special('/')),
+            r2: RegexSeq::epsilon(),
+            c: 1,
+        };
+        assert_eq!(p.to_string(), "pos(SlashTok, ε, 1)");
+    }
+
+    #[test]
+    fn display_atoms_and_exprs() {
+        let atom: AtomicExpr<Var> = AtomicExpr::SubStr {
+            src: Var(0),
+            p1: PosExpr::CPos(0),
+            p2: PosExpr::CPos(-1),
+        };
+        assert_eq!(atom.to_string(), "SubStr(v1, 0, -1)");
+        let e = StringExpr {
+            atoms: vec![
+                AtomicExpr::ConstStr(" ".into()),
+                AtomicExpr::Whole(Var(1)),
+            ],
+        };
+        assert_eq!(e.to_string(), "Concatenate(ConstStr(\" \"), v2)");
+        let single = StringExpr::atom(AtomicExpr::<Var>::ConstStr("x".into()));
+        assert_eq!(single.to_string(), "ConstStr(\"x\")");
+    }
+
+    #[test]
+    fn map_src_rewrites_sources() {
+        let atom = AtomicExpr::Whole(3u32);
+        let mapped = atom.map_src(&mut |v| v + 10);
+        assert_eq!(mapped, AtomicExpr::Whole(13u32));
+        let c = AtomicExpr::<u32>::ConstStr("k".into());
+        assert_eq!(
+            c.map_src(&mut |v| v),
+            AtomicExpr::<u32>::ConstStr("k".into())
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Token-sequence match computation over precomputed runs.
+//!
+//! A sequence `r = TokenSeq(τ1..τn)` *matches ending at* position `t` iff
+//! the maximal run of `τn` ending exactly at `t` exists, the maximal run of
+//! `τ(n-1)` ending exactly at that run's start exists, and so on. With
+//! maximal-run token semantics this chain is unique, so membership tests are
+//! O(n log runs). Mirrored for *matches starting at*.
+//!
+//! These two predicates induce the position sets used by `pos(r1, r2, c)`:
+//! `T(r1, r2) = ends(r1) ∩ starts(r2)`, with `ε` matching everywhere.
+
+use crate::tokens::{StringRuns, TokenSet};
+use crate::language::RegexSeq;
+
+/// Match computations for one subject string.
+pub struct Matcher<'a> {
+    runs: &'a StringRuns,
+    set: &'a TokenSet,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher over precomputed runs.
+    pub fn new(runs: &'a StringRuns, set: &'a TokenSet) -> Self {
+        Matcher { runs, set }
+    }
+
+    /// True iff `r` matches a token-run chain ending exactly at `pos`.
+    /// `ε` matches at every position.
+    pub fn matches_ending_at(&self, r: &RegexSeq, pos: u32) -> bool {
+        let mut end = pos;
+        for token in r.0.iter().rev() {
+            let Some(idx) = self.set.position(*token) else {
+                return false;
+            };
+            match self.runs.run_ending_at(idx, end) {
+                Some((start, _)) => end = start,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// True iff `r` matches a token-run chain starting exactly at `pos`.
+    pub fn matches_starting_at(&self, r: &RegexSeq, pos: u32) -> bool {
+        let mut start = pos;
+        for token in &r.0 {
+            let Some(idx) = self.set.position(*token) else {
+                return false;
+            };
+            match self.runs.run_starting_at(idx, start) {
+                Some((_, end)) => start = end,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// All positions where `r` matches ending there, ascending.
+    pub fn all_ends(&self, r: &RegexSeq) -> Vec<u32> {
+        (0..=self.runs.len())
+            .filter(|&t| self.matches_ending_at(r, t))
+            .collect()
+    }
+
+    /// All positions where `r` matches starting there, ascending.
+    pub fn all_starts(&self, r: &RegexSeq) -> Vec<u32> {
+        (0..=self.runs.len())
+            .filter(|&t| self.matches_starting_at(r, t))
+            .collect()
+    }
+
+    /// `T(r1, r2)`: positions `t` with `r1` ending at `t` and `r2` starting
+    /// at `t`, ascending. This is the denotation used by `pos(r1, r2, c)`.
+    pub fn match_positions(&self, r1: &RegexSeq, r2: &RegexSeq) -> Vec<u32> {
+        (0..=self.runs.len())
+            .filter(|&t| self.matches_ending_at(r1, t) && self.matches_starting_at(r2, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::Token;
+
+    fn matcher_fixture(s: &str) -> (StringRuns, TokenSet) {
+        let set = TokenSet::standard();
+        (StringRuns::compute(s, &set), set)
+    }
+
+    #[test]
+    fn epsilon_matches_everywhere() {
+        let (runs, set) = matcher_fixture("ab");
+        let m = Matcher::new(&runs, &set);
+        assert_eq!(m.all_ends(&RegexSeq::epsilon()), vec![0, 1, 2]);
+        assert_eq!(m.all_starts(&RegexSeq::epsilon()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_token_boundaries() {
+        let (runs, set) = matcher_fixture("ab12 cd");
+        let m = Matcher::new(&runs, &set);
+        let num = RegexSeq::token(Token::Num);
+        assert_eq!(m.all_ends(&num), vec![4]);
+        assert_eq!(m.all_starts(&num), vec![2]);
+        let alpha = RegexSeq::token(Token::Alpha);
+        assert_eq!(m.all_ends(&alpha), vec![2, 7]);
+        assert_eq!(m.all_starts(&alpha), vec![0, 5]);
+    }
+
+    #[test]
+    fn two_token_chain() {
+        let (runs, set) = matcher_fixture("ab12 cd");
+        let m = Matcher::new(&runs, &set);
+        let seq = RegexSeq(vec![Token::Alpha, Token::Num]);
+        // Alpha run (0,2) followed by Num run (2,4): chain ends at 4.
+        assert_eq!(m.all_ends(&seq), vec![4]);
+        assert_eq!(m.all_starts(&seq), vec![0]);
+    }
+
+    #[test]
+    fn anchors_in_sequences() {
+        let (runs, set) = matcher_fixture("xy");
+        let m = Matcher::new(&runs, &set);
+        let start = RegexSeq::token(Token::Start);
+        assert_eq!(m.all_ends(&start), vec![0]);
+        assert_eq!(m.all_starts(&start), vec![0]);
+        let end = RegexSeq::token(Token::End);
+        assert_eq!(m.all_starts(&end), vec![2]);
+        // StartTok then Alpha: matches starting at 0 only.
+        let seq = RegexSeq(vec![Token::Start, Token::Alpha]);
+        assert_eq!(m.all_starts(&seq), vec![0]);
+        assert_eq!(m.all_ends(&seq), vec![2]);
+    }
+
+    #[test]
+    fn match_positions_intersects() {
+        let (runs, set) = matcher_fixture("10/12/2010");
+        let m = Matcher::new(&runs, &set);
+        let slash = RegexSeq::token(Token::Special('/'));
+        let eps = RegexSeq::epsilon();
+        // Positions right after each slash run.
+        assert_eq!(m.match_positions(&slash, &eps), vec![3, 6]);
+        // Positions where a number starts right after a slash.
+        let num = RegexSeq::token(Token::Num);
+        assert_eq!(m.match_positions(&slash, &num), vec![3, 6]);
+        // Slash-then-slash never matches (runs merge).
+        let ss = RegexSeq(vec![Token::Special('/'), Token::Special('/')]);
+        assert_eq!(m.match_positions(&ss, &eps), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn interior_positions_do_not_match_maximal_runs() {
+        let (runs, set) = matcher_fixture("abc");
+        let m = Matcher::new(&runs, &set);
+        let alpha = RegexSeq::token(Token::Alpha);
+        // Only the run boundary at 3 matches ending; 1 and 2 are interior.
+        assert_eq!(m.all_ends(&alpha), vec![3]);
+    }
+
+    #[test]
+    fn unknown_token_never_matches() {
+        let set = TokenSet::custom(vec![Token::Num]);
+        let runs = StringRuns::compute("a1", &set);
+        let m = Matcher::new(&runs, &set);
+        // Alpha is not in the custom set.
+        assert_eq!(m.all_ends(&RegexSeq::token(Token::Alpha)), Vec::<u32>::new());
+    }
+}

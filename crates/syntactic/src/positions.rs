@@ -1,0 +1,335 @@
+//! Position learning: `GeneratePosition` of POPL 2011, with the
+//! equivalence-class compression the paper relies on for succinctness.
+//!
+//! Given a subject string and a position `t`, we emit every representable
+//! position expression that evaluates to `t`:
+//!
+//! * the two constant forms `CPos(t)` and `CPos(t - len - 1)`, and
+//! * `pos(r1, r2, c)` for every pair of token sequences where `r1` matches
+//!   (a maximal-run chain) ending at `t` and `r2` matches starting at `t`,
+//!   with both the left-counted and right-counted occurrence index.
+//!
+//! Token sequences are bounded to `max_seq_len` tokens per side (default 2;
+//!   every transformation in the paper needs ≤ 2).
+//!
+//! **Compression.** Left sequences are grouped by their *global end-position
+//! set* and right sequences by their *start-position set*; any `r1` from a
+//! left group combines with any `r2` from a right group to yield the same
+//! match-position list `T = ends ∩ starts`, so one [`PosSet::Pos`] soundly
+//! stores the whole cross product (this is the generalization of POPL'11's
+//! token equivalence classes / `Reps`).
+
+use std::collections::BTreeMap;
+
+use crate::dag::PosSet;
+use crate::language::RegexSeq;
+use crate::matches::Matcher;
+use crate::tokens::{StringRuns, TokenSet};
+
+/// Learns position-expression sets for one subject string.
+pub struct PositionLearner<'a> {
+    runs: &'a StringRuns,
+    set: &'a TokenSet,
+    max_seq_len: usize,
+}
+
+impl<'a> PositionLearner<'a> {
+    /// Creates a learner; `max_seq_len` bounds tokens per context side.
+    pub fn new(runs: &'a StringRuns, set: &'a TokenSet, max_seq_len: usize) -> Self {
+        PositionLearner {
+            runs,
+            set,
+            max_seq_len,
+        }
+    }
+
+    /// All position-expression sets evaluating to `t` on this string.
+    pub fn learn(&self, t: u32) -> Vec<PosSet> {
+        let len = self.runs.len();
+        debug_assert!(t <= len);
+        let mut out = vec![
+            PosSet::CPos(t as i32),
+            PosSet::CPos(t as i32 - len as i32 - 1),
+        ];
+
+        let left = self.sequences_ending_at(t);
+        let right = self.sequences_starting_at(t);
+        let matcher = Matcher::new(self.runs, self.set);
+
+        // Group left sequences by end-position set, right by start-position
+        // set. BTreeMap keyed by the position vector gives deterministic
+        // output order.
+        let mut left_groups: BTreeMap<Vec<u32>, Vec<RegexSeq>> = BTreeMap::new();
+        for r in left {
+            left_groups.entry(matcher.all_ends(&r)).or_default().push(r);
+        }
+        let mut right_groups: BTreeMap<Vec<u32>, Vec<RegexSeq>> = BTreeMap::new();
+        for r in right {
+            right_groups
+                .entry(matcher.all_starts(&r))
+                .or_default()
+                .push(r);
+        }
+
+        for (ends, r1s) in &left_groups {
+            for (starts, r2s) in &right_groups {
+                let both_epsilon = r1s.iter().all(RegexSeq::is_epsilon)
+                    && r2s.iter().all(RegexSeq::is_epsilon);
+                if both_epsilon {
+                    continue; // pos(ε, ε, c) ≡ CPos, already covered
+                }
+                let positions = sorted_intersection(ends, starts);
+                let Some(idx) = positions.iter().position(|&p| p == t) else {
+                    continue;
+                };
+                let c = idx as i32 + 1;
+                let c_neg = -((positions.len() - idx) as i32);
+                out.push(PosSet::Pos {
+                    r1s: r1s.clone(),
+                    r2s: r2s.clone(),
+                    cs: vec![c, c_neg],
+                });
+            }
+        }
+        out
+    }
+
+    /// Token sequences (including `ε`) whose maximal-run chain ends at `t`.
+    fn sequences_ending_at(&self, t: u32) -> Vec<RegexSeq> {
+        let mut out = vec![RegexSeq::epsilon()];
+        let mut frontier: Vec<(Vec<crate::tokens::Token>, u32)> = vec![(Vec::new(), t)];
+        for _ in 0..self.max_seq_len {
+            let mut next = Vec::new();
+            for (seq, end) in &frontier {
+                for (idx, &token) in self.set.tokens().iter().enumerate() {
+                    if let Some((start, _)) = self.runs.run_ending_at(idx, *end) {
+                        // Zero-width anchors only make sense once at the
+                        // outer edge of the chain.
+                        if token.is_anchor() && start != *end {
+                            continue;
+                        }
+                        if token.is_anchor() && seq.first().map(|f| f.is_anchor()) == Some(true) {
+                            continue;
+                        }
+                        let mut s = vec![token];
+                        s.extend_from_slice(seq);
+                        // Anchors are zero-width: avoid infinite loops.
+                        if token.is_anchor()
+                            && start == *end
+                            && !seq.is_empty()
+                            && seq.first() == Some(&token)
+                        {
+                            continue;
+                        }
+                        out.push(RegexSeq(s.clone()));
+                        if !token.is_anchor() {
+                            next.push((s, start));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        dedup_seqs(out)
+    }
+
+    /// Token sequences (including `ε`) whose maximal-run chain starts at `t`.
+    fn sequences_starting_at(&self, t: u32) -> Vec<RegexSeq> {
+        let mut out = vec![RegexSeq::epsilon()];
+        let mut frontier: Vec<(Vec<crate::tokens::Token>, u32)> = vec![(Vec::new(), t)];
+        for _ in 0..self.max_seq_len {
+            let mut next = Vec::new();
+            for (seq, start) in &frontier {
+                for (idx, &token) in self.set.tokens().iter().enumerate() {
+                    if let Some((_, end)) = self.runs.run_starting_at(idx, *start) {
+                        if token.is_anchor() && end != *start {
+                            continue;
+                        }
+                        if token.is_anchor() && seq.last().map(|f| f.is_anchor()) == Some(true) {
+                            continue;
+                        }
+                        let mut s = seq.clone();
+                        s.push(token);
+                        if token.is_anchor() && end == *start && seq.last() == Some(&token) {
+                            continue;
+                        }
+                        out.push(RegexSeq(s.clone()));
+                        if !token.is_anchor() {
+                            next.push((s, end));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        dedup_seqs(out)
+    }
+}
+
+fn dedup_seqs(mut seqs: Vec<RegexSeq>) -> Vec<RegexSeq> {
+    seqs.sort();
+    seqs.dedup();
+    seqs
+}
+
+fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_pos_with_runs;
+    use crate::tokens::Token;
+
+    fn learn(s: &str, t: u32) -> (Vec<PosSet>, StringRuns, TokenSet) {
+        let set = TokenSet::standard();
+        let runs = StringRuns::compute(s, &set);
+        let learner = PositionLearner::new(&runs, &set, 2);
+        (learner.learn(t), runs, set)
+    }
+
+    /// Every learned position expression must evaluate back to `t` —
+    /// the soundness contract used by `GenerateStr_s`.
+    fn assert_all_sound(s: &str, t: u32) {
+        let (sets, runs, set) = learn(s, t);
+        for pset in &sets {
+            for p in pset.enumerate(1000) {
+                assert_eq!(
+                    eval_pos_with_runs(&p, &runs, &set),
+                    Some(t),
+                    "unsound position {p} for t={t} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soundness_over_sample_positions() {
+        for s in ["10/12/2010", "Alan Turing", "$145.67", "c4 c3 c1", "ab"] {
+            let len = s.chars().count() as u32;
+            for t in 0..=len {
+                assert_all_sound(s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_always_present() {
+        let (sets, _, _) = learn("abc", 2);
+        assert!(sets.contains(&PosSet::CPos(2)));
+        assert!(sets.contains(&PosSet::CPos(-2))); // 2 - 3 - 1
+    }
+
+    #[test]
+    fn slash_boundary_learned() {
+        // Position 3 of "10/12/2010" (right after the first slash).
+        let (sets, _, _) = learn("10/12/2010", 3);
+        let has_slash_left = sets.iter().any(|p| match p {
+            PosSet::Pos { r1s, cs, .. } => {
+                r1s.contains(&RegexSeq::token(Token::Special('/'))) && cs.contains(&1)
+            }
+            _ => false,
+        });
+        assert!(has_slash_left, "expected pos(SlashTok, ·, 1) at t=3");
+    }
+
+    #[test]
+    fn start_anchor_learned_at_zero() {
+        let (sets, _, _) = learn("xyz", 0);
+        let has_start = sets.iter().any(|p| match p {
+            PosSet::Pos { r1s, .. } => r1s.contains(&RegexSeq::token(Token::Start)),
+            _ => false,
+        });
+        assert!(has_start);
+    }
+
+    #[test]
+    fn end_anchor_learned_at_len() {
+        let (sets, _, _) = learn("xyz", 3);
+        let has_end = sets.iter().any(|p| match p {
+            PosSet::Pos { r2s, .. } => r2s.contains(&RegexSeq::token(Token::End)),
+            _ => false,
+        });
+        assert!(has_end);
+    }
+
+    #[test]
+    fn word_boundary_groups_equivalent_tokens() {
+        // Position 4 of "Alan Turing": end of the first word. Lower, Alpha
+        // and AlphNum all have runs ending at 4 with identical end sets
+        // {4, 11}; they must be grouped into one PosSet.
+        let (sets, _, _) = learn("Alan Turing", 4);
+        let group = sets.iter().find_map(|p| match p {
+            PosSet::Pos { r1s, r2s, .. }
+                if r1s.contains(&RegexSeq::token(Token::AlphNum))
+                    && r2s.contains(&RegexSeq::token(Token::Whitespace)) =>
+            {
+                Some(r1s.clone())
+            }
+            _ => None,
+        });
+        let group = group.expect("expected a group with AlphNok before whitespace");
+        assert!(group.contains(&RegexSeq::token(Token::Alpha)));
+    }
+
+    #[test]
+    fn no_pos_eps_eps_emitted() {
+        let (sets, _, _) = learn("ab", 1);
+        for p in &sets {
+            if let PosSet::Pos { r1s, r2s, .. } = p {
+                assert!(
+                    !(r1s.iter().all(RegexSeq::is_epsilon) && r2s.iter().all(RegexSeq::is_epsilon)),
+                    "pos(ε, ε, c) should be suppressed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_token_sequences_learned() {
+        // Position 6 of "ab12 cd12": after "cd"? Let's take "a1b2": position
+        // 2 is after run "a1"? Use "ab12": t=4 end; left seq [Alpha, Num]
+        // ends at 4.
+        let (sets, _, _) = learn("ab12", 4);
+        let has_two = sets.iter().any(|p| match p {
+            PosSet::Pos { r1s, .. } => r1s
+                .iter()
+                .any(|r| r.0 == vec![Token::Alpha, Token::Num]),
+            _ => false,
+        });
+        assert!(has_two, "expected TokenSeq(AlphaTok, NumTok) ending at 4");
+    }
+
+    #[test]
+    fn empty_string_positions() {
+        assert_all_sound("", 0);
+        let (sets, _, _) = learn("", 0);
+        assert!(sets.len() >= 2); // at least the two CPos forms
+    }
+
+    #[test]
+    fn intersection_helper() {
+        assert_eq!(sorted_intersection(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(sorted_intersection(&[], &[1]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,354 @@
+//! Tokens and token-run computation.
+//!
+//! The syntactic language `Ls` (§5 "Background" of the paper, after
+//! Gulwani POPL 2011) builds regular expressions from a finite, extensible
+//! set of tokens. A token denotes a *maximal run* of characters from a
+//! character class (e.g. `NumTok` = a maximal run of digits), or an anchor
+//! (`StartTok`/`EndTok`, matching the empty string at the ends).
+//!
+//! Maximal-run semantics makes matching deterministic: for a given token
+//! there is at most one run ending (or starting) at any position, so
+//! token-sequence matching and position evaluation are linear-time. The same
+//! semantics is used for *evaluation* and for *learning*, which is what
+//! makes `GenerateStr_s` sound.
+//!
+//! Following this paper (not POPL'11), `AlphTok` matches *alphanumeric*
+//! runs — Example 6 relies on `SubStr2(v1, AlphTok, 1)` extracting `"c4"`.
+//! Positions and runs are in **characters**, not bytes.
+
+use std::fmt;
+
+/// A token of the syntactic language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Token {
+    /// `UpperTok`: maximal run of uppercase letters.
+    Upper,
+    /// `LowerTok`: maximal run of lowercase letters.
+    Lower,
+    /// Maximal run of ASCII letters.
+    Alpha,
+    /// `NumTok`: maximal run of decimal digits.
+    Num,
+    /// `AlphTok` (this paper's reading): maximal run of alphanumerics.
+    AlphNum,
+    /// `DecNumTok`: maximal run of digits and/or decimal points.
+    DecNum,
+    /// Maximal run of whitespace.
+    Whitespace,
+    /// Maximal run of non-whitespace, non-alphanumeric characters.
+    Punct,
+    /// `StartTok`: the empty string at position 0.
+    Start,
+    /// `EndTok`: the empty string at the last position.
+    End,
+    /// A maximal run of one specific character (e.g. `SlashTok`).
+    Special(char),
+}
+
+impl Token {
+    /// Whether `c` belongs to this token's character class. Anchors have an
+    /// empty class.
+    pub fn matches_char(self, c: char) -> bool {
+        match self {
+            Token::Upper => c.is_ascii_uppercase(),
+            Token::Lower => c.is_ascii_lowercase(),
+            Token::Alpha => c.is_ascii_alphabetic(),
+            Token::Num => c.is_ascii_digit(),
+            Token::AlphNum => c.is_ascii_alphanumeric(),
+            Token::DecNum => c.is_ascii_digit() || c == '.',
+            Token::Whitespace => c.is_whitespace(),
+            Token::Punct => !c.is_whitespace() && !c.is_ascii_alphanumeric(),
+            Token::Start | Token::End => false,
+            Token::Special(s) => c == s,
+        }
+    }
+
+    /// True for the zero-width anchors.
+    pub fn is_anchor(self) -> bool {
+        matches!(self, Token::Start | Token::End)
+    }
+
+    /// Canonical surface name, matching the paper's notation.
+    pub fn name(self) -> String {
+        match self {
+            Token::Upper => "UpperTok".into(),
+            Token::Lower => "LowerTok".into(),
+            Token::Alpha => "AlphaTok".into(),
+            Token::Num => "NumTok".into(),
+            Token::AlphNum => "AlphTok".into(),
+            Token::DecNum => "DecNumTok".into(),
+            Token::Whitespace => "WsTok".into(),
+            Token::Punct => "PunctTok".into(),
+            Token::Start => "StartTok".into(),
+            Token::End => "EndTok".into(),
+            Token::Special(c) => match c {
+                '/' => "SlashTok".into(),
+                '-' => "HyphenTok".into(),
+                '.' => "DotTok".into(),
+                ',' => "CommaTok".into(),
+                ':' => "ColonTok".into(),
+                ';' => "SemiTok".into(),
+                '_' => "UnderscoreTok".into(),
+                '@' => "AtTok".into(),
+                '$' => "DollarTok".into(),
+                '%' => "PercentTok".into(),
+                '(' => "LParenTok".into(),
+                ')' => "RParenTok".into(),
+                '+' => "PlusTok".into(),
+                '*' => "StarTok".into(),
+                '#' => "HashTok".into(),
+                '&' => "AmpTok".into(),
+                '\'' => "QuoteTok".into(),
+                '"' => "DQuoteTok".into(),
+                other => format!("CharTok({other})"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The (extensible) set of tokens the learner considers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSet {
+    tokens: Vec<Token>,
+}
+
+impl TokenSet {
+    /// The default token set used throughout the paper's examples: the
+    /// class tokens plus the punctuation singletons that occur in
+    /// spreadsheet data.
+    pub fn standard() -> Self {
+        let mut tokens = vec![
+            Token::Upper,
+            Token::Lower,
+            Token::Alpha,
+            Token::Num,
+            Token::AlphNum,
+            Token::DecNum,
+            Token::Whitespace,
+            Token::Punct,
+            Token::Start,
+            Token::End,
+        ];
+        for c in ['/', '-', '.', ',', ':', ';', '_', '@', '$', '%', '(', ')', '+', '*', '#', '&']
+        {
+            tokens.push(Token::Special(c));
+        }
+        TokenSet { tokens }
+    }
+
+    /// A custom token set. Anchors are added if missing.
+    pub fn custom(mut tokens: Vec<Token>) -> Self {
+        for anchor in [Token::Start, Token::End] {
+            if !tokens.contains(&anchor) {
+                tokens.push(anchor);
+            }
+        }
+        TokenSet { tokens }
+    }
+
+    /// Tokens in this set.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always false (the anchors are always present).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Index of a token within the set.
+    pub fn position(&self, token: Token) -> Option<usize> {
+        self.tokens.iter().position(|&t| t == token)
+    }
+}
+
+impl Default for TokenSet {
+    fn default() -> Self {
+        TokenSet::standard()
+    }
+}
+
+/// Precomputed maximal runs of every token of a [`TokenSet`] on one string.
+///
+/// `runs[i]` lists, in increasing order, the `(start, end)` character ranges
+/// of maximal runs of `token_set.tokens()[i]`. Anchors get a single
+/// zero-width run. This is computed once per string and shared by position
+/// evaluation and position learning.
+#[derive(Debug, Clone)]
+pub struct StringRuns {
+    chars: Vec<char>,
+    runs: Vec<Vec<(u32, u32)>>,
+}
+
+impl StringRuns {
+    /// Computes runs of every token in `set` over `s`.
+    pub fn compute(s: &str, set: &TokenSet) -> Self {
+        let chars: Vec<char> = s.chars().collect();
+        let len = chars.len() as u32;
+        let mut runs = Vec::with_capacity(set.len());
+        for &token in set.tokens() {
+            if token.is_anchor() {
+                runs.push(match token {
+                    Token::Start => vec![(0, 0)],
+                    Token::End => vec![(len, len)],
+                    _ => unreachable!(),
+                });
+                continue;
+            }
+            let mut token_runs = Vec::new();
+            let mut i = 0usize;
+            while i < chars.len() {
+                if token.matches_char(chars[i]) {
+                    let start = i;
+                    while i < chars.len() && token.matches_char(chars[i]) {
+                        i += 1;
+                    }
+                    token_runs.push((start as u32, i as u32));
+                } else {
+                    i += 1;
+                }
+            }
+            runs.push(token_runs);
+        }
+        StringRuns { chars, runs }
+    }
+
+    /// The string as characters.
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+
+    /// Length in characters.
+    pub fn len(&self) -> u32 {
+        self.chars.len() as u32
+    }
+
+    /// True iff the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Maximal runs of the `idx`-th token of the set.
+    pub fn runs_of(&self, idx: usize) -> &[(u32, u32)] {
+        &self.runs[idx]
+    }
+
+    /// The unique run of token `idx` that ends exactly at `pos`, if any.
+    pub fn run_ending_at(&self, idx: usize, pos: u32) -> Option<(u32, u32)> {
+        self.runs[idx]
+            .binary_search_by_key(&pos, |&(_, e)| e)
+            .ok()
+            .map(|i| self.runs[idx][i])
+    }
+
+    /// The unique run of token `idx` that starts exactly at `pos`, if any.
+    pub fn run_starting_at(&self, idx: usize, pos: u32) -> Option<(u32, u32)> {
+        self.runs[idx]
+            .binary_search_by_key(&pos, |&(s, _)| s)
+            .ok()
+            .map(|i| self.runs[idx][i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(s: &str) -> StringRuns {
+        StringRuns::compute(s, &TokenSet::standard())
+    }
+
+    fn runs_of(s: &str, t: Token) -> Vec<(u32, u32)> {
+        let set = TokenSet::standard();
+        let r = StringRuns::compute(s, &set);
+        r.runs_of(set.position(t).unwrap()).to_vec()
+    }
+
+    #[test]
+    fn class_membership() {
+        assert!(Token::Upper.matches_char('A'));
+        assert!(!Token::Upper.matches_char('a'));
+        assert!(Token::Num.matches_char('7'));
+        assert!(Token::AlphNum.matches_char('7'));
+        assert!(Token::AlphNum.matches_char('x'));
+        assert!(!Token::AlphNum.matches_char('-'));
+        assert!(Token::DecNum.matches_char('.'));
+        assert!(Token::Punct.matches_char('$'));
+        assert!(!Token::Punct.matches_char(' '));
+        assert!(Token::Special('/').matches_char('/'));
+        assert!(!Token::Special('/').matches_char('-'));
+        assert!(!Token::Start.matches_char('a'));
+    }
+
+    #[test]
+    fn maximal_runs_basic() {
+        assert_eq!(runs_of("ab12 cd", Token::Alpha), vec![(0, 2), (5, 7)]);
+        assert_eq!(runs_of("ab12 cd", Token::Num), vec![(2, 4)]);
+        assert_eq!(runs_of("ab12 cd", Token::AlphNum), vec![(0, 4), (5, 7)]);
+        assert_eq!(runs_of("ab12 cd", Token::Whitespace), vec![(4, 5)]);
+    }
+
+    #[test]
+    fn decimal_runs_span_dots() {
+        assert_eq!(runs_of("$145.67", Token::DecNum), vec![(1, 7)]);
+        assert_eq!(runs_of("$145.67", Token::Num), vec![(1, 4), (5, 7)]);
+    }
+
+    #[test]
+    fn special_runs_merge_repeats() {
+        assert_eq!(runs_of("a--b-c", Token::Special('-')), vec![(1, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn anchors_are_zero_width() {
+        assert_eq!(runs_of("abc", Token::Start), vec![(0, 0)]);
+        assert_eq!(runs_of("abc", Token::End), vec![(3, 3)]);
+        assert_eq!(runs_of("", Token::Start), vec![(0, 0)]);
+        assert_eq!(runs_of("", Token::End), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn run_lookup_by_boundary() {
+        let set = TokenSet::standard();
+        let r = StringRuns::compute("ab12 cd", &set);
+        let num = set.position(Token::Num).unwrap();
+        assert_eq!(r.run_ending_at(num, 4), Some((2, 4)));
+        assert_eq!(r.run_ending_at(num, 3), None);
+        assert_eq!(r.run_starting_at(num, 2), Some((2, 4)));
+        assert_eq!(r.run_starting_at(num, 1), None);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        let r = runs("héllo");
+        assert_eq!(r.len(), 5);
+        // 'é' is not ASCII-alphabetic: Alpha splits around it.
+        assert_eq!(runs_of("héllo", Token::Alpha), vec![(0, 1), (2, 5)]);
+    }
+
+    #[test]
+    fn token_names_match_paper() {
+        assert_eq!(Token::AlphNum.name(), "AlphTok");
+        assert_eq!(Token::Special('/').name(), "SlashTok");
+        assert_eq!(Token::Start.to_string(), "StartTok");
+    }
+
+    #[test]
+    fn custom_set_keeps_anchors() {
+        let set = TokenSet::custom(vec![Token::Num]);
+        assert!(set.position(Token::Start).is_some());
+        assert!(set.position(Token::End).is_some());
+        assert_eq!(set.len(), 3);
+    }
+}

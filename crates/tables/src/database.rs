@@ -1,0 +1,173 @@
+//! A named collection of tables with per-table value indexes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::TableError;
+use crate::table::{CellRef, Table};
+use crate::value_index::ValueIndex;
+
+/// Index of a table within a [`Database`].
+pub type TableId = u32;
+
+/// The relational database the synthesizer runs against: the user's helper
+/// tables plus any background-knowledge tables (§6).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    indexes: Vec<ValueIndex>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a database from tables; names must be unique.
+    pub fn from_tables(tables: Vec<Table>) -> Result<Self, TableError> {
+        let mut db = Database::new();
+        for t in tables {
+            db.add_table(t)?;
+        }
+        Ok(db)
+    }
+
+    /// Adds a table and builds its value index; returns its id.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId, TableError> {
+        if self.by_name.contains_key(table.name()) {
+            return Err(TableError::DuplicateTable(table.name().to_string()));
+        }
+        let id = self.tables.len() as TableId;
+        self.by_name.insert(table.name().to_string(), id);
+        self.indexes.push(ValueIndex::build(&table));
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff the database holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id as usize]
+    }
+
+    /// Value index of a table.
+    pub fn value_index(&self, id: TableId) -> &ValueIndex {
+        &self.indexes[id as usize]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table, TableError> {
+        self.table_id(name)
+            .map(|id| self.table(id))
+            .ok_or_else(|| TableError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterates `(TableId, &Table)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TableId, t))
+    }
+
+    /// All cells across all tables equal to `value`.
+    pub fn cells_equal<'a>(
+        &'a self,
+        value: &'a str,
+    ) -> impl Iterator<Item = (TableId, CellRef)> + 'a {
+        self.indexes.iter().enumerate().flat_map(move |(tid, idx)| {
+            idx.cells_equal(value)
+                .iter()
+                .map(move |&cell| (tid as TableId, cell))
+        })
+    }
+
+    /// Total number of cells, used to bound the reachability iteration.
+    pub fn total_cells(&self) -> usize {
+        self.tables.iter().map(|t| t.len() * t.width()).sum()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tables {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::from_tables(vec![
+            Table::new("A", vec!["X"], vec![vec!["1"], vec!["2"]]).unwrap(),
+            Table::new("B", vec!["Y", "Z"], vec![vec!["2", "3"]]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.table_id("B"), Some(1));
+        assert_eq!(db.table(1).name(), "B");
+        assert_eq!(db.table_by_name("A").unwrap().len(), 2);
+        assert!(matches!(
+            db.table_by_name("C"),
+            Err(TableError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        let err = db
+            .add_table(Table::new("A", vec!["Q"], vec![vec!["9"]]).unwrap())
+            .unwrap_err();
+        assert_eq!(err, TableError::DuplicateTable("A".into()));
+    }
+
+    #[test]
+    fn cross_table_cell_query() {
+        let db = db();
+        let hits: Vec<(TableId, CellRef)> = db.cells_equal("2").collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+
+    #[test]
+    fn totals() {
+        let db = db();
+        assert_eq!(db.total_cells(), 2 + 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_concatenates_tables() {
+        let s = db().to_string();
+        assert!(s.contains("A:"));
+        assert!(s.contains("B:"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for table construction and queries.
+
+use std::fmt;
+
+/// Errors raised while building or querying tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row's arity differs from the header arity.
+    RaggedRow {
+        /// Offending row index.
+        row: usize,
+        /// Cells found in the row.
+        found: usize,
+        /// Cells expected (number of columns).
+        expected: usize,
+    },
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A referenced column name does not exist.
+    UnknownColumn(String),
+    /// A declared candidate key does not actually identify rows uniquely.
+    NotAKey(Vec<String>),
+    /// A table has no candidate key (inference failed within the width bound).
+    NoCandidateKey(String),
+    /// Two tables share a name within a database.
+    DuplicateTable(String),
+    /// A referenced table name does not exist.
+    UnknownTable(String),
+    /// A table was declared with no columns.
+    EmptyTable(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {row} has {found} cells but the table has {expected} columns"
+            ),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::NotAKey(cols) => {
+                write!(f, "columns {cols:?} do not form a candidate key")
+            }
+            TableError::NoCandidateKey(table) => write!(
+                f,
+                "table `{table}` has no candidate key within the inference width bound"
+            ),
+            TableError::DuplicateTable(name) => write!(f, "duplicate table name `{name}`"),
+            TableError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            TableError::EmptyTable(name) => write!(f, "table `{name}` has no columns"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}

@@ -1,0 +1,205 @@
+//! Candidate-key inference.
+//!
+//! The paper restricts `Select` conditions to columns that together form a
+//! candidate key of the table (§4.1), so every table entering synthesis must
+//! know its keys. Spreadsheet users never declare keys, so we infer all
+//! *minimal* unique column sets up to a width bound — exactly what the Excel
+//! add-in needed to do behind the scenes.
+
+use std::collections::HashSet;
+
+use crate::table::{ColId, Table};
+
+/// Returns true iff `cols` has no two rows agreeing on all columns.
+///
+/// An empty table trivially satisfies uniqueness; an empty column set is a
+/// key only for tables with at most one row.
+pub fn is_unique_key(table: &Table, cols: &[ColId]) -> bool {
+    if cols.is_empty() {
+        return table.len() <= 1;
+    }
+    let mut seen: HashSet<Vec<&str>> = HashSet::with_capacity(table.len());
+    for row in table.iter_rows() {
+        let key: Vec<&str> = cols.iter().map(|&c| row[c as usize].as_str()).collect();
+        if !seen.insert(key) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Infers all minimal candidate keys with at most `max_width` columns.
+///
+/// Keys are returned in ascending width, then ascending column order, so the
+/// result is deterministic. A column set is reported only if no proper
+/// subset of it is also a key (minimality), which keeps the predicate search
+/// space small in `GenerateStr_t`.
+pub fn infer_candidate_keys(table: &Table, max_width: usize) -> Vec<Vec<ColId>> {
+    let ncols = table.width();
+    let mut keys: Vec<Vec<ColId>> = Vec::new();
+    let mut combo: Vec<ColId> = Vec::new();
+    for width in 1..=max_width.min(ncols) {
+        enumerate(ncols as ColId, width, 0, &mut combo, &mut |cols| {
+            if keys.iter().any(|k| is_subset(k, cols)) {
+                return; // a smaller key is contained in this set: not minimal
+            }
+            if is_unique_key(table, cols) {
+                keys.push(cols.to_vec());
+            }
+        });
+    }
+    keys
+}
+
+fn is_subset(small: &[ColId], big: &[ColId]) -> bool {
+    small.iter().all(|c| big.contains(c))
+}
+
+fn enumerate(
+    ncols: ColId,
+    width: usize,
+    start: ColId,
+    combo: &mut Vec<ColId>,
+    visit: &mut impl FnMut(&[ColId]),
+) {
+    if combo.len() == width {
+        visit(combo);
+        return;
+    }
+    let remaining = width - combo.len();
+    let mut c = start;
+    while c + remaining as ColId <= ncols {
+        combo.push(c);
+        enumerate(ncols, width, c + 1, combo, visit);
+        combo.pop();
+        c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(cols: Vec<&str>, rows: Vec<Vec<&str>>) -> Table {
+        // Bypass inference by declaring the first column; tests re-run
+        // inference explicitly.
+        Table::with_keys("T", cols.clone(), rows, vec![vec![cols[0]]])
+            .or_else(|_| Table::new("T", cols, Vec::<Vec<String>>::new()))
+            .unwrap()
+    }
+
+    #[test]
+    fn single_column_key() {
+        let t = Table::new(
+            "T",
+            vec!["Id", "Name"],
+            vec![vec!["a", "x"], vec!["b", "x"]],
+        )
+        .unwrap();
+        assert_eq!(t.candidate_keys(), &[vec![0]]);
+    }
+
+    #[test]
+    fn both_columns_are_keys() {
+        let t = Table::new(
+            "Month",
+            vec!["MN", "MW"],
+            vec![vec!["1", "January"], vec!["2", "February"]],
+        )
+        .unwrap();
+        assert_eq!(t.candidate_keys(), &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn composite_key_found_when_no_single_key() {
+        // Addr repeats and St repeats, but the pair is unique (paper Ex. 2's
+        // Sale table shape).
+        let t = Table::new(
+            "Sale",
+            vec!["Addr", "St", "Price"],
+            vec![
+                vec!["432", "15th", "495"],
+                vec!["432", "18th", "2015"],
+                vec!["24", "18th", "110"],
+                vec!["24", "18th", "110x"],
+            ],
+        );
+        // Addr+St not unique here (24/18th repeats) -> Price is unique.
+        let t = t.unwrap();
+        assert_eq!(t.candidate_keys(), &[vec![2]]);
+    }
+
+    #[test]
+    fn minimality_suppresses_supersets() {
+        let t = Table::new(
+            "T",
+            vec!["A", "B", "C"],
+            vec![vec!["1", "x", "p"], vec!["2", "x", "q"]],
+        )
+        .unwrap();
+        // A is a key and C is a key; no pair containing either is reported,
+        // and {B} is not a key.
+        assert_eq!(t.candidate_keys(), &[vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn composite_only_key() {
+        let t = Table::new(
+            "BikePrices",
+            vec!["Bike", "CC", "Price"],
+            vec![
+                vec!["Ducati", "100", "10,000"],
+                vec!["Ducati", "125", "12,500"],
+                vec!["Honda", "125", "11,500"],
+                vec!["Honda", "250", "19,000"],
+            ],
+        )
+        .unwrap();
+        // Price is unique; (Bike, CC) is the natural composite key.
+        assert!(t.candidate_keys().contains(&vec![0, 1]));
+        assert!(t.candidate_keys().contains(&vec![2]));
+    }
+
+    #[test]
+    fn no_key_within_bound_errors() {
+        let r = Table::new(
+            "T",
+            vec!["A", "B"],
+            vec![vec!["1", "1"], vec!["1", "1"]],
+        );
+        assert!(matches!(r, Err(crate::TableError::NoCandidateKey(_))));
+    }
+
+    #[test]
+    fn empty_column_set_key_rules() {
+        let one = table(vec!["A"], vec![vec!["x"]]);
+        assert!(is_unique_key(&one, &[]));
+        let two = Table::new("T", vec!["A"], vec![vec!["x"], vec!["y"]]).unwrap();
+        assert!(!is_unique_key(&two, &[]));
+    }
+
+    #[test]
+    fn empty_table_every_set_is_key() {
+        let t = Table::new_with_key_width("T", vec!["A", "B"], Vec::<Vec<&str>>::new(), 2);
+        let t = t.unwrap();
+        assert_eq!(t.candidate_keys(), &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn inference_deterministic_ordering() {
+        let t = Table::new_with_key_width(
+            "T",
+            vec!["A", "B", "C"],
+            vec![
+                vec!["1", "1", "x"],
+                vec!["1", "2", "x"],
+                vec!["2", "1", "y"],
+            ],
+            2,
+        )
+        .unwrap();
+        // No single-column key; pairs in lexicographic order: (A,B) unique,
+        // (A,C)? rows (1,x),(1,x) repeat -> no; (B,C): (1,x),(2,x),(1,y) unique.
+        assert_eq!(t.candidate_keys(), &[vec![0, 1], vec![1, 2]]);
+    }
+}

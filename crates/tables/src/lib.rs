@@ -1,0 +1,30 @@
+//! In-memory relational table substrate.
+//!
+//! The VLDB 2012 synthesis algorithms treat the spreadsheet's helper tables
+//! as a small relational database: every cell is a string, every table has
+//! one or more *candidate keys* (ordered column sets whose values identify a
+//! row uniquely), and the synthesizer repeatedly asks two queries:
+//!
+//! 1. *exact reachability* — "which cells equal this string?" (drives
+//!    `GenerateStr_t`, Fig. 5a of the paper), answered by an inverted
+//!    [`ValueIndex`], and
+//! 2. *relaxed reachability* — "which cells are in a substring relation with
+//!    this string?" (drives `GenerateStr'_t`, §5.3), answered by
+//!    [`Table::cells_related_to`].
+//!
+//! The paper assumes Excel provides this substrate; here it is built from
+//! scratch, including minimal-candidate-key inference and a small CSV reader
+//! used by the examples.
+
+mod csv;
+mod database;
+mod error;
+mod keys;
+mod table;
+mod value_index;
+
+pub use csv::{parse_csv, write_csv, CsvError};
+pub use database::{Database, TableId};
+pub use error::TableError;
+pub use table::{CellRef, ColId, RowId, Table};
+pub use value_index::ValueIndex;

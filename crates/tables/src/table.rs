@@ -1,0 +1,459 @@
+//! A single relational table of strings with candidate keys.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::TableError;
+use crate::keys;
+
+/// Column index within a table.
+pub type ColId = u32;
+/// Row index within a table.
+pub type RowId = u32;
+
+/// A cell coordinate within one table (the owning [`crate::TableId`] is
+/// carried separately by [`crate::Database`] queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef {
+    /// Column of the cell.
+    pub col: ColId,
+    /// Row of the cell.
+    pub row: RowId,
+}
+
+/// An immutable string table with named columns and candidate keys.
+///
+/// Rows and columns are dense; every cell is an owned `String`. Candidate
+/// keys are *ordered* column lists — the ordering matters because the
+/// paper's `Intersect_t` intersects key predicates positionally (Fig. 5b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    candidate_keys: Vec<Vec<ColId>>,
+}
+
+impl Table {
+    /// Builds a table and infers minimal candidate keys up to width 2.
+    ///
+    /// Key inference can be overridden with [`Table::with_keys`] or widened
+    /// with [`Table::new_with_key_width`].
+    pub fn new<N, C, R>(
+        name: N,
+        columns: Vec<C>,
+        rows: Vec<Vec<R>>,
+    ) -> Result<Self, TableError>
+    where
+        N: Into<String>,
+        C: Into<String>,
+        R: Into<String>,
+    {
+        Self::new_with_key_width(name, columns, rows, 2)
+    }
+
+    /// Builds a table, inferring minimal candidate keys up to `max_width`
+    /// columns.
+    pub fn new_with_key_width<N, C, R>(
+        name: N,
+        columns: Vec<C>,
+        rows: Vec<Vec<R>>,
+        max_width: usize,
+    ) -> Result<Self, TableError>
+    where
+        N: Into<String>,
+        C: Into<String>,
+        R: Into<String>,
+    {
+        let mut table = Self::build(name, columns, rows)?;
+        table.candidate_keys = keys::infer_candidate_keys(&table, max_width);
+        if table.candidate_keys.is_empty() {
+            return Err(TableError::NoCandidateKey(table.name));
+        }
+        Ok(table)
+    }
+
+    /// Builds a table from CSV text whose first row is the header;
+    /// candidate keys are inferred (width ≤ 2).
+    pub fn from_csv(name: &str, csv_text: &str) -> Result<Self, TableError> {
+        let mut rows = crate::csv::parse_csv(csv_text)
+            .map_err(|_| TableError::EmptyTable(name.to_string()))?;
+        if rows.is_empty() {
+            return Err(TableError::EmptyTable(name.to_string()));
+        }
+        let header = rows.remove(0);
+        Self::new(name.to_string(), header, rows)
+    }
+
+    /// Serializes the table (header + rows) as CSV text; round-trips
+    /// through [`Table::from_csv`] up to key inference.
+    pub fn to_csv(&self) -> String {
+        let mut all: Vec<Vec<String>> = Vec::with_capacity(self.rows.len() + 1);
+        all.push(self.columns.clone());
+        all.extend(self.rows.iter().cloned());
+        crate::csv::write_csv(&all)
+    }
+
+    /// Builds a table with explicitly declared candidate keys (validated).
+    pub fn with_keys<N, C, R>(
+        name: N,
+        columns: Vec<C>,
+        rows: Vec<Vec<R>>,
+        declared_keys: Vec<Vec<&str>>,
+    ) -> Result<Self, TableError>
+    where
+        N: Into<String>,
+        C: Into<String>,
+        R: Into<String>,
+    {
+        let mut table = Self::build(name, columns, rows)?;
+        let mut resolved = Vec::with_capacity(declared_keys.len());
+        for key in declared_keys {
+            let cols: Vec<ColId> = key
+                .iter()
+                .map(|c| {
+                    table
+                        .column_id(c)
+                        .ok_or_else(|| TableError::UnknownColumn((*c).to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            if !keys::is_unique_key(&table, &cols) {
+                return Err(TableError::NotAKey(
+                    key.iter().map(|c| (*c).to_string()).collect(),
+                ));
+            }
+            resolved.push(cols);
+        }
+        table.candidate_keys = resolved;
+        Ok(table)
+    }
+
+    fn build<N, C, R>(
+        name: N,
+        columns: Vec<C>,
+        rows: Vec<Vec<R>>,
+    ) -> Result<Self, TableError>
+    where
+        N: Into<String>,
+        C: Into<String>,
+        R: Into<String>,
+    {
+        let name = name.into();
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        if columns.is_empty() {
+            return Err(TableError::EmptyTable(name));
+        }
+        let mut seen = HashSet::with_capacity(columns.len());
+        for col in &columns {
+            if !seen.insert(col.as_str()) {
+                return Err(TableError::DuplicateColumn(col.clone()));
+            }
+        }
+        let mut converted = Vec::with_capacity(rows.len());
+        for (i, row) in rows.into_iter().enumerate() {
+            let row: Vec<String> = row.into_iter().map(Into::into).collect();
+            if row.len() != columns.len() {
+                return Err(TableError::RaggedRow {
+                    row: i,
+                    found: row.len(),
+                    expected: columns.len(),
+                });
+            }
+            converted.push(row);
+        }
+        Ok(Table {
+            name,
+            columns,
+            rows: converted,
+            candidate_keys: Vec::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names in declaration order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resolves a column name to its index.
+    pub fn column_id(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c == name).map(|i| i as ColId)
+    }
+
+    /// Column name for an index.
+    pub fn column_name(&self, col: ColId) -> &str {
+        &self.columns[col as usize]
+    }
+
+    /// Cell content at `(col, row)`.
+    pub fn cell(&self, col: ColId, row: RowId) -> &str {
+        &self.rows[row as usize][col as usize]
+    }
+
+    /// A full row as a slice of cells.
+    pub fn row(&self, row: RowId) -> &[String] {
+        &self.rows[row as usize]
+    }
+
+    /// Iterates over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[String]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Iterates over every cell as `(CellRef, &str)`.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellRef, &str)> {
+        self.rows.iter().enumerate().flat_map(|(r, row)| {
+            row.iter().enumerate().map(move |(c, v)| {
+                (
+                    CellRef {
+                        col: c as ColId,
+                        row: r as RowId,
+                    },
+                    v.as_str(),
+                )
+            })
+        })
+    }
+
+    /// The table's candidate keys (each an ordered column list).
+    pub fn candidate_keys(&self) -> &[Vec<ColId>] {
+        &self.candidate_keys
+    }
+
+    /// Cells whose content is a substring of `s` or contains `s`
+    /// (the §5.3 relaxed-reachability gate). Empty cells never relate.
+    pub fn cells_related_to<'a>(
+        &'a self,
+        s: &'a str,
+    ) -> impl Iterator<Item = (CellRef, &'a str)> + 'a {
+        self.iter_cells()
+            .filter(move |(_, v)| !v.is_empty() && !s.is_empty() && (s.contains(v) || v.contains(s)))
+    }
+
+    /// Finds the unique row where each `(col, value)` pair matches, if any.
+    ///
+    /// This is the evaluator for `Select` conditions: the paper guarantees
+    /// conditions cover a candidate key, so at most one row can match; we
+    /// nevertheless scan defensively and return `None` on ambiguity.
+    pub fn find_unique_row(&self, conds: &[(ColId, &str)]) -> Option<RowId> {
+        let mut found: Option<RowId> = None;
+        for (r, row) in self.rows.iter().enumerate() {
+            if conds
+                .iter()
+                .all(|(c, v)| row[*c as usize].as_str() == *v)
+            {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(r as RowId);
+            }
+        }
+        found
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}:", self.name)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "  {}", header.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp_table() -> Table {
+        Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Microsoft"],
+                vec!["c2", "Google"],
+                vec!["c3", "Apple"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = comp_table();
+        assert_eq!(t.name(), "Comp");
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(1, 2), "Apple");
+        assert_eq!(t.column_id("Name"), Some(1));
+        assert_eq!(t.column_id("Nope"), None);
+        assert_eq!(t.column_name(0), "Id");
+        assert_eq!(t.row(1), ["c2".to_string(), "Google".to_string()]);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = Table::new("T", vec!["A", "B"], vec![vec!["x"]]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RaggedRow {
+                row: 0,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Table::new("T", vec!["A", "A"], Vec::<Vec<&str>>::new()).unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("A".into()));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let err = Table::new("T", Vec::<&str>::new(), Vec::<Vec<&str>>::new()).unwrap_err();
+        assert_eq!(err, TableError::EmptyTable("T".into()));
+    }
+
+    #[test]
+    fn declared_keys_validated() {
+        let ok = Table::with_keys(
+            "T",
+            vec!["A", "B"],
+            vec![vec!["x", "1"], vec!["y", "1"]],
+            vec![vec!["A"]],
+        );
+        assert!(ok.is_ok());
+        let err = Table::with_keys(
+            "T",
+            vec!["A", "B"],
+            vec![vec!["x", "1"], vec!["y", "1"]],
+            vec![vec!["B"]],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::NotAKey(vec!["B".into()]));
+    }
+
+    #[test]
+    fn declared_key_unknown_column() {
+        let err = Table::with_keys(
+            "T",
+            vec!["A"],
+            vec![vec!["x"]],
+            vec![vec!["Z"]],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::UnknownColumn("Z".into()));
+    }
+
+    #[test]
+    fn find_unique_row_matches() {
+        let t = comp_table();
+        assert_eq!(t.find_unique_row(&[(0, "c2")]), Some(1));
+        assert_eq!(t.find_unique_row(&[(0, "c9")]), None);
+        assert_eq!(t.find_unique_row(&[(0, "c2"), (1, "Google")]), Some(1));
+        assert_eq!(t.find_unique_row(&[(0, "c2"), (1, "Apple")]), None);
+    }
+
+    #[test]
+    fn find_unique_row_rejects_ambiguity() {
+        let t = Table::new(
+            "T",
+            vec!["A", "B"],
+            vec![vec!["x", "1"], vec!["y", "1"]],
+        )
+        .unwrap();
+        assert_eq!(t.find_unique_row(&[(1, "1")]), None);
+    }
+
+    #[test]
+    fn substring_relation_cells() {
+        let t = comp_table();
+        let hits: Vec<&str> = t.cells_related_to("c1").map(|(_, v)| v).collect();
+        assert_eq!(hits, vec!["c1"]);
+        let hits: Vec<&str> = t.cells_related_to("soft").map(|(_, v)| v).collect();
+        assert_eq!(hits, vec!["Microsoft"]);
+        // A string containing a cell also relates.
+        let hits: Vec<&str> = t.cells_related_to("c2 c3").map(|(_, v)| v).collect();
+        assert_eq!(hits, vec!["c2", "c3"]);
+        // Empty probe never relates.
+        assert_eq!(t.cells_related_to("").count(), 0);
+    }
+
+    #[test]
+    fn iter_cells_covers_table() {
+        let t = comp_table();
+        assert_eq!(t.iter_cells().count(), 6);
+        let (cell, v) = t.iter_cells().last().unwrap();
+        assert_eq!((cell.col, cell.row, v), (1, 2, "Apple"));
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let s = comp_table().to_string();
+        assert!(s.contains("Comp:"));
+        assert!(s.contains("Microsoft"));
+        assert!(s.contains("Id"));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_table() {
+        let t = comp_table();
+        let csv = t.to_csv();
+        let back = Table::from_csv("Comp", &csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_csv_parses_header_and_rows() {
+        let t = Table::from_csv("T", "Code,Name\nc1,\"Big, Inc\"\nc2,Small\n").unwrap();
+        assert_eq!(t.columns(), &["Code".to_string(), "Name".to_string()]);
+        assert_eq!(t.cell(1, 0), "Big, Inc");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn from_csv_empty_is_error() {
+        assert!(Table::from_csv("T", "").is_err());
+    }
+}

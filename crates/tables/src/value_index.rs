@@ -1,0 +1,98 @@
+//! Inverted value→cell index.
+//!
+//! `GenerateStr_t` (Fig. 5a, line 9) iterates over "each table T, col C,
+//! row r s.t. `T[C,r] = val(η)`" for every frontier node η. Scanning all
+//! tables per frontier string would be quadratic; this index answers the
+//! query in O(1) per distinct value.
+
+use std::collections::HashMap;
+
+use crate::table::{CellRef, ColId, RowId, Table};
+
+/// Inverted index from cell value to every cell holding that value.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    cells: HashMap<String, Vec<CellRef>>,
+}
+
+impl ValueIndex {
+    /// Builds the index for one table.
+    pub fn build(table: &Table) -> Self {
+        let mut cells: HashMap<String, Vec<CellRef>> =
+            HashMap::with_capacity(table.len() * table.width());
+        for r in 0..table.len() {
+            for c in 0..table.width() {
+                let v = table.cell(c as ColId, r as RowId);
+                cells
+                    .entry(v.to_string())
+                    .or_default()
+                    .push(CellRef {
+                        col: c as ColId,
+                        row: r as RowId,
+                    });
+            }
+        }
+        ValueIndex { cells }
+    }
+
+    /// All cells whose content equals `value`.
+    pub fn cells_equal(&self, value: &str) -> &[CellRef] {
+        self.cells.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Distinct values stored in the table.
+    pub fn distinct_values(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Number of distinct values.
+    pub fn distinct_len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "T",
+            vec!["A", "B"],
+            vec![vec!["x", "y"], vec!["y", "z"], vec!["x", "x"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_lookup_finds_all_cells() {
+        let idx = ValueIndex::build(&t());
+        let mut hits = idx.cells_equal("x").to_vec();
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![
+                CellRef { col: 0, row: 0 },
+                CellRef { col: 0, row: 2 },
+                CellRef { col: 1, row: 2 },
+            ]
+        );
+        assert_eq!(idx.cells_equal("nope"), &[]);
+    }
+
+    #[test]
+    fn distinct_values_counted() {
+        let idx = ValueIndex::build(&t());
+        assert_eq!(idx.distinct_len(), 3);
+        let mut vals: Vec<&str> = idx.distinct_values().collect();
+        vals.sort();
+        assert_eq!(vals, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn empty_table_empty_index() {
+        let t = Table::new_with_key_width("T", vec!["A"], Vec::<Vec<&str>>::new(), 1).unwrap();
+        let idx = ValueIndex::build(&t);
+        assert_eq!(idx.distinct_len(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The §3.2 interaction model: ambiguity highlighting and convergence.
+//!
+//! The synthesizer runs its top-ranked programs over the whole
+//! spreadsheet and highlights inputs where they disagree — the user only
+//! inspects those rows, fixes one, and the fix becomes a new example.
+//! This example simulates that loop against ground truth.
+//!
+//! Run with: `cargo run --release --example interactive_session`
+
+use semantic_strings::core::{converge, distinguishing_input, highlight_ambiguous, Synthesizer};
+use semantic_strings::prelude::*;
+
+fn main() {
+    // A lookup task where one example is genuinely ambiguous: the Status
+    // column repeats, so several programs survive the first example.
+    let orders = Table::new(
+        "Orders",
+        vec!["Id", "Carrier", "Status"],
+        vec![
+            vec!["O42", "UPS", "Shipped"],
+            vec!["O87", "FedEx", "Pending"],
+            vec!["O13", "UPS", "Delivered"],
+            vec!["O55", "DHL", "Shipped"],
+        ],
+    )
+    .expect("valid table");
+    let db = Database::from_tables(vec![orders]).expect("valid database");
+    let synthesizer = Synthesizer::new(db);
+
+    // The user provides one example...
+    let learned = synthesizer
+        .learn(&[Example::new(vec!["O42"], "Shipped")])
+        .expect("learnable");
+    println!("After 1 example, top program: {}", learned.top().unwrap());
+
+    // ...and the tool highlights the rows worth double-checking.
+    let rows: Vec<Vec<String>> = ["O42", "O87", "O13", "O55"]
+        .iter()
+        .map(|s| vec![s.to_string()])
+        .collect();
+    let flagged = highlight_ambiguous(&learned, &rows, 6);
+    println!(
+        "Rows flagged for inspection (>=2 distinct outputs among top programs): {:?}",
+        flagged.iter().map(|&i| &rows[i][0]).collect::<Vec<_>>()
+    );
+    if let Some(idx) = distinguishing_input(&learned, &rows, 6) {
+        println!("Cheapest distinguishing input: {}", rows[idx][0]);
+    }
+
+    // Full simulated loop against ground truth.
+    let truth = vec![
+        Example::new(vec!["O42"], "Shipped"),
+        Example::new(vec!["O87"], "Pending"),
+        Example::new(vec!["O13"], "Delivered"),
+        Example::new(vec!["O55"], "Shipped"),
+    ];
+    let report = converge(&synthesizer, &truth, 3).expect("converges");
+    println!(
+        "\nConverged after {} example(s); final program: {}",
+        report.examples_used,
+        report.learned.as_ref().unwrap().top().unwrap()
+    );
+    assert!(report.converged);
+}

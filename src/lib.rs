@@ -1,0 +1,65 @@
+//! `semantic-strings` — programming-by-example synthesis of **semantic
+//! string transformations**, a from-scratch Rust reproduction of
+//! Singh & Gulwani, *Learning Semantic String Transformations from
+//! Examples*, PVLDB 5(8), 2012.
+//!
+//! This facade crate re-exports the workspace so downstream users can depend
+//! on a single crate:
+//!
+//! * [`tables`] — the relational table substrate (schemas, candidate keys,
+//!   value indexes, CSV ingest).
+//! * [`syntactic`] — the syntactic transformation language `Ls`
+//!   (FlashFill-style substrings/concatenation) and its synthesis algorithm.
+//! * [`lookup`] — the lookup transformation language `Lt` (`Select`
+//!   expressions over candidate keys) and its synthesis algorithm.
+//! * [`core`] — the combined semantic language `Lu`, the `Synthesizer`
+//!   front-end, ranking, and the §3.2 interaction model.
+//! * [`datatypes`] — background-knowledge tables for standard data types
+//!   (§6): time, months, ordinals, currencies, phone codes, US states.
+//! * [`benchmarks`] — the reconstructed 50-task evaluation suite (§7) and
+//!   synthetic worst-case workload generators.
+//! * [`counting`] — arbitrary-precision counters for program-set sizes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use semantic_strings::prelude::*;
+//!
+//! // Background table mapping company codes to names (paper Example 6).
+//! let comp = Table::new(
+//!     "Comp",
+//!     vec!["Id", "Name"],
+//!     vec![
+//!         vec!["c1", "Microsoft"],
+//!         vec!["c2", "Google"],
+//!         vec!["c3", "Apple"],
+//!     ],
+//! )
+//! .unwrap();
+//! let db = Database::from_tables(vec![comp]).unwrap();
+//!
+//! // One input-output example: expand a code to a name.
+//! let synthesizer = Synthesizer::new(db);
+//! let learned = synthesizer
+//!     .learn(&[Example::new(vec!["c2"], "Google")])
+//!     .unwrap();
+//!
+//! // The top-ranked program generalizes to unseen inputs.
+//! let program = learned.top().unwrap();
+//! assert_eq!(program.run(&["c3"]).unwrap(), "Apple");
+//! ```
+
+pub use sst_core as core;
+pub use sst_counting as counting;
+pub use sst_datatypes as datatypes;
+pub use sst_lookup as lookup;
+pub use sst_syntactic as syntactic;
+pub use sst_tables as tables;
+
+pub use sst_benchmarks as benchmarks;
+
+/// Convenience re-exports covering the common entry points.
+pub mod prelude {
+    pub use sst_core::{Example, LearnedPrograms, Synthesizer, SynthesisOptions};
+    pub use sst_tables::{Database, Table};
+}

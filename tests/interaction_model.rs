@@ -1,0 +1,77 @@
+//! Integration tests of the §3.2 interaction model against benchmark
+//! tasks: ambiguity highlighting, distinguishing inputs, and the
+//! outputs-per-row API.
+
+use semantic_strings::benchmarks::all_tasks;
+use semantic_strings::core::{distinguishing_input, highlight_ambiguous, Synthesizer};
+
+#[test]
+fn ambiguous_rows_are_flagged_until_examples_fix_them() {
+    // student_grade: grades repeat, so one example leaves ambiguity
+    // between "grade of st3" and other constants/lookups on some rows.
+    let task = all_tasks().into_iter().find(|t| t.name == "student_grade").unwrap();
+    let synthesizer = Synthesizer::new(task.db.clone());
+    let learned = synthesizer.learn(task.examples(1)).unwrap();
+    let rows = task.input_rows();
+    let flagged = highlight_ambiguous(&learned, &rows, 8);
+    // The training row must never be flagged: all consistent programs
+    // agree on it by definition.
+    assert!(!flagged.contains(&0), "training row flagged: {flagged:?}");
+}
+
+#[test]
+fn distinguishing_input_matches_first_ambiguous_row() {
+    let task = all_tasks()
+        .into_iter()
+        .find(|t| t.name == "company_code_to_name")
+        .unwrap();
+    let synthesizer = Synthesizer::new(task.db.clone());
+    let learned = synthesizer.learn(task.examples(1)).unwrap();
+    let rows = task.input_rows();
+    let flagged = highlight_ambiguous(&learned, &rows, 8);
+    let dist = distinguishing_input(&learned, &rows, 8);
+    match (flagged.first(), dist) {
+        (Some(&f), Some(d)) => assert_eq!(f, d),
+        (None, None) => {}
+        other => panic!("flagged/distinguishing disagree: {other:?}"),
+    }
+}
+
+#[test]
+fn outputs_on_training_row_is_singleton() {
+    for name in ["company_code_to_name", "ex6_company_series", "ex4_name_initial"] {
+        let task = all_tasks().into_iter().find(|t| t.name == name).unwrap();
+        let synthesizer = Synthesizer::new(task.db.clone());
+        let learned = synthesizer.learn(task.examples(1)).unwrap();
+        let refs: Vec<&str> = task.rows[0].inputs.iter().map(String::as_str).collect();
+        let outs = learned.outputs(&refs, 8);
+        assert_eq!(
+            outs.len(),
+            1,
+            "{name}: consistent programs must agree on the training row"
+        );
+        assert!(outs.contains(task.rows[0].output.as_str()));
+    }
+}
+
+#[test]
+fn top_k_is_behaviorally_diverse_on_new_inputs() {
+    let task = all_tasks()
+        .into_iter()
+        .find(|t| t.name == "company_code_to_name")
+        .unwrap();
+    let synthesizer = Synthesizer::new(task.db.clone());
+    let learned = synthesizer.learn(task.examples(1)).unwrap();
+    let programs = learned.top_k(8);
+    assert!(programs.len() >= 2, "expected several surviving programs");
+    // At least one pair must disagree somewhere on the spreadsheet —
+    // otherwise the interaction model would have nothing to highlight.
+    let rows = task.input_rows();
+    let some_disagreement = rows.iter().any(|row| {
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        let outs: std::collections::BTreeSet<_> =
+            programs.iter().filter_map(|p| p.run(&refs)).collect();
+        outs.len() >= 2
+    });
+    assert!(some_disagreement);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the synthesis contracts (Definitions 1 and 2):
+//!
+//! * **Soundness of `GenerateStr`**: every program in the returned
+//!   structure maps the example input to the example output.
+//! * **Soundness of ranking**: the extracted top program is itself a
+//!   member (checked behaviorally: it reproduces the training examples).
+//! * **Soundness of `Intersect`**: programs surviving intersection are
+//!   consistent with *both* examples.
+//!
+//! Inputs are randomized: random small tables, random row picks, random
+//! compositions of lookups/substrings/constants define the ground truth.
+
+use proptest::prelude::*;
+
+use semantic_strings::core::{
+    eval_sem, generate_str_u, intersect_du, LuOptions, LuRankWeights,
+};
+use semantic_strings::prelude::*;
+use semantic_strings::syntactic::TokenSet;
+use semantic_strings::tables::Table;
+
+/// A random 2-column code table with `n` rows; codes and names unique.
+fn code_table(n: usize, seed: u8) -> Table {
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            vec![
+                format!("k{seed}{i}"),
+                format!("Val{}{}", (b'A' + seed % 20) as char, i),
+            ]
+        })
+        .collect();
+    Table::new("T", vec!["Code", "Name"], rows).expect("valid random table")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Learning a lookup from any row of a random table generalizes to
+    /// every other row.
+    #[test]
+    fn random_lookup_tasks_learn_and_generalize(
+        n in 3usize..8,
+        seed in 0u8..20,
+        pick in 0usize..8,
+    ) {
+        let table = code_table(n, seed);
+        let pick = pick % n;
+        let input = table.cell(0, pick as u32).to_string();
+        let output = table.cell(1, pick as u32).to_string();
+        let db = Database::from_tables(vec![table.clone()]).unwrap();
+        let synthesizer = Synthesizer::new(db);
+        let learned = synthesizer
+            .learn(&[Example::new(vec![input], output)])
+            .expect("learnable");
+        let program = learned.top().expect("top program");
+        for r in 0..n as u32 {
+            let code = table.cell(0, r);
+            let name = table.cell(1, r);
+            let got = program.run(&[code]);
+            prop_assert_eq!(got.as_deref(), Some(name));
+        }
+    }
+
+    /// GenerateStr_u soundness: sampled represented programs reproduce the
+    /// training example (via top_k extraction across cost levels).
+    #[test]
+    fn generate_str_u_sound_on_random_example(
+        n in 3usize..7,
+        seed in 0u8..20,
+        pick in 0usize..8,
+        extra in "[a-z]{0,4}",
+    ) {
+        let table = code_table(n, seed);
+        let pick = pick % n;
+        let input = table.cell(0, pick as u32).to_string();
+        let output = format!("{}{extra}", table.cell(1, pick as u32));
+        let db = Database::from_tables(vec![table]).unwrap();
+        let opts = LuOptions::default();
+        let d = generate_str_u(&db, &[input.as_str()], &output, &opts);
+        let weights = LuRankWeights::default();
+        let depth = opts.depth_for(&db);
+        for ranked in weights.top_k(&d, depth, 6) {
+            let got = eval_sem(&ranked.expr, &db, &[input.as_str()], &opts.syntactic.token_set);
+            prop_assert_eq!(got.as_deref(), Some(output.as_str()));
+        }
+    }
+
+    /// Intersect_u soundness: programs surviving two examples reproduce
+    /// both.
+    #[test]
+    fn intersect_du_sound_on_random_pair(
+        n in 4usize..8,
+        seed in 0u8..20,
+        pick1 in 0usize..8,
+        pick2 in 0usize..8,
+    ) {
+        let table = code_table(n, seed);
+        let (p1, p2) = (pick1 % n, pick2 % n);
+        prop_assume!(p1 != p2);
+        let in1 = table.cell(0, p1 as u32).to_string();
+        let out1 = table.cell(1, p1 as u32).to_string();
+        let in2 = table.cell(0, p2 as u32).to_string();
+        let out2 = table.cell(1, p2 as u32).to_string();
+        let db = Database::from_tables(vec![table]).unwrap();
+        let opts = LuOptions::default();
+        let d1 = generate_str_u(&db, &[in1.as_str()], &out1, &opts);
+        let d2 = generate_str_u(&db, &[in2.as_str()], &out2, &opts);
+        let inter = intersect_du(&d1, &d2);
+        prop_assume!(inter.has_programs());
+        let weights = LuRankWeights::default();
+        let depth = opts.depth_for(&db);
+        let tokens = &opts.syntactic.token_set;
+        for ranked in weights.top_k(&inter, depth, 6) {
+            let got1 = eval_sem(&ranked.expr, &db, &[in1.as_str()], tokens);
+            prop_assert_eq!(got1.as_deref(), Some(out1.as_str()));
+            let got2 = eval_sem(&ranked.expr, &db, &[in2.as_str()], tokens);
+            prop_assert_eq!(got2.as_deref(), Some(out2.as_str()));
+        }
+    }
+
+    /// Pure syntactic learning (no tables) is sound on random splits.
+    #[test]
+    fn syntactic_learning_sound(
+        word1 in "[A-Z][a-z]{2,6}",
+        word2 in "[A-Z][a-z]{2,6}",
+        sep in prop::sample::select(vec![" ", "-", ", ", "/"]),
+    ) {
+        let input = format!("{word1}{sep}{word2}");
+        let output = format!("{word2} {word1}");
+        let db = Database::new();
+        let synthesizer = Synthesizer::new(db.clone());
+        let learned = synthesizer
+            .learn(&[Example::new(vec![input.clone()], output.clone())])
+            .expect("always learnable (constants at worst)");
+        let program = learned.top().expect("top");
+        prop_assert_eq!(program.run(&[input.as_str()]), Some(output));
+    }
+
+    /// Counting is consistent with emptiness: count > 0 iff programs exist.
+    #[test]
+    fn count_positive_iff_programs_exist(
+        n in 3usize..7,
+        seed in 0u8..20,
+        unrelated in "[XYZ]{3}",
+    ) {
+        let table = code_table(n, seed);
+        let input = table.cell(0, 0).to_string();
+        let db = Database::from_tables(vec![table]).unwrap();
+        let opts = LuOptions::default();
+        let d = generate_str_u(&db, &[input.as_str()], &unrelated, &opts);
+        // Constants always exist in Lu.
+        prop_assert!(d.has_programs());
+        prop_assert!(!d.count(opts.depth_for(&db)).is_zero());
+    }
+}
+
+#[test]
+fn token_set_is_shared_between_learning_and_evaluation() {
+    // Regression guard: a program learned with the default token set must
+    // evaluate with the same set (different sets change pos() semantics).
+    let db = Database::new();
+    let synthesizer = Synthesizer::new(db);
+    let learned = synthesizer
+        .learn(&[Example::new(vec!["ab 12"], "12")])
+        .unwrap();
+    let program = learned.top().unwrap();
+    assert_eq!(program.run(&["xy 77"]).as_deref(), Some("77"));
+    let _ = TokenSet::standard();
+}

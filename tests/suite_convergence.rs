@@ -1,0 +1,86 @@
+//! Whole-suite regression test: every reconstructed benchmark converges
+//! within the paper's 3-example budget, and the learned program is correct
+//! on every held-out row (that's what `converge` verifies internally).
+//!
+//! This doubles as the §7 "effectiveness of ranking" experiment in test
+//! form; the printable version is `cargo run -p sst-bench --bin
+//! ranking_table`.
+
+use semantic_strings::benchmarks::{all_tasks, Category};
+use semantic_strings::core::{converge, Synthesizer};
+
+#[test]
+fn every_task_converges_within_three_examples() {
+    let mut histogram = [0usize; 4];
+    for task in all_tasks() {
+        let synthesizer = Synthesizer::new(task.db.clone());
+        let report = converge(&synthesizer, &task.rows, 3)
+            .unwrap_or_else(|e| panic!("task {} ({}): {e}", task.id, task.name));
+        assert!(
+            report.converged,
+            "task {} ({}) did not converge within 3 examples",
+            task.id, task.name
+        );
+        histogram[report.examples_used] += 1;
+    }
+    // Paper: 35 / 13 / 2. Exact counts depend on the reconstruction; the
+    // shape we hold ourselves to: a large majority from one example, the
+    // rest from at most three.
+    assert!(histogram[1] >= 30, "1-example tasks: {histogram:?}");
+    assert!(
+        histogram[2] + histogram[3] <= 20,
+        "multi-example tasks: {histogram:?}"
+    );
+}
+
+#[test]
+fn lookup_tasks_learn_with_lookup_learner() {
+    use semantic_strings::lookup::LookupLearner;
+    for task in all_tasks().into_iter().filter(|t| t.category == Category::Lookup) {
+        let learner = LookupLearner::new(task.db.clone());
+        let solved = (1..=3usize).any(|n| {
+            let examples: Vec<(Vec<String>, String)> = task
+                .examples(n)
+                .iter()
+                .map(|e| (e.inputs.clone(), e.output.clone()))
+                .collect();
+            let Some(learned) = learner.learn(&examples) else {
+                return false;
+            };
+            let Some(top) = learned.top() else { return false };
+            task.rows.iter().all(|r| {
+                let refs: Vec<&str> = r.inputs.iter().map(String::as_str).collect();
+                learned.run(&top, &refs).as_deref() == Some(r.output.as_str())
+            })
+        });
+        assert!(solved, "Lt task {} ({}) not Lt-solvable", task.id, task.name);
+    }
+}
+
+#[test]
+fn semantic_tasks_are_not_lookup_expressible() {
+    use semantic_strings::lookup::LookupLearner;
+    for task in all_tasks().into_iter().filter(|t| t.category == Category::Semantic) {
+        let learner = LookupLearner::new(task.db.clone());
+        let solved = (1..=3usize).any(|n| {
+            let examples: Vec<(Vec<String>, String)> = task
+                .examples(n)
+                .iter()
+                .map(|e| (e.inputs.clone(), e.output.clone()))
+                .collect();
+            let Some(learned) = learner.learn(&examples) else {
+                return false;
+            };
+            let Some(top) = learned.top() else { return false };
+            task.rows.iter().all(|r| {
+                let refs: Vec<&str> = r.inputs.iter().map(String::as_str).collect();
+                learned.run(&top, &refs).as_deref() == Some(r.output.as_str())
+            })
+        });
+        assert!(
+            !solved,
+            "Lu task {} ({}) is unexpectedly Lt-solvable",
+            task.id, task.name
+        );
+    }
+}
