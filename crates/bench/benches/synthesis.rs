@@ -10,9 +10,7 @@ use sst_benchmarks::all_tasks;
 use sst_core::{generate_str_u, intersect_du, LuOptions, Synthesizer};
 
 /// Keeps the whole suite bounded: small sample counts, short windows.
-fn configure<M: criterion::measurement::Measurement>(
-    group: &mut criterion::BenchmarkGroup<'_, M>,
-) {
+fn configure<M: criterion::measurement::Measurement>(group: &mut criterion::BenchmarkGroup<'_, M>) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
@@ -69,7 +67,7 @@ fn bench_learn_end_to_end(c: &mut Criterion) {
     let tasks = all_tasks();
     let mut group = c.benchmark_group("learn");
     configure(&mut group);
-        for id in representative_ids() {
+    for id in representative_ids() {
         let task = &tasks[id - 1];
         let synthesizer = Synthesizer::new(task.db.clone());
         let examples = task.examples(2).to_vec();

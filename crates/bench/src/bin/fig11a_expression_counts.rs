@@ -6,7 +6,10 @@ use sst_bench::evaluate_suite;
 fn main() {
     let reports = evaluate_suite();
     println!("== Fig 11(a): consistent-expression counts ==");
-    println!("{:<4} {:<28} {:>9} {:>14}", "id", "task", "examples", "count");
+    println!(
+        "{:<4} {:<28} {:>9} {:>14}",
+        "id", "task", "examples", "count"
+    );
     let mut logs: Vec<f64> = Vec::new();
     for r in &reports {
         println!(

@@ -1,0 +1,53 @@
+//! Emits a JSON perf snapshot of the whole §7 suite: per-task learn times,
+//! convergence metrics and structure sizes, plus totals. Future PRs diff
+//! their snapshot against the committed `BENCH_PR<n>.json` to track the
+//! performance trajectory.
+//!
+//! Usage: `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
+
+use std::time::Duration;
+
+use sst_bench::evaluate_suite;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let reports = evaluate_suite();
+    let total_learn: Duration = reports.iter().map(|r| r.learn_time).sum();
+    let converged = reports.iter().filter(|r| r.converged).count();
+    let total_size_final: usize = reports.iter().map(|r| r.size_final).sum();
+
+    println!("{{");
+    println!("  \"suite\": \"vldb2012-50\",");
+    println!("  \"tasks\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        println!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{:?}\", \
+             \"examples_used\": {}, \"converged\": {}, \"count\": \"{}\", \
+             \"size_first\": {}, \"size_final\": {}, \"learn_ms\": {:.3}}}{comma}",
+            r.id,
+            json_escape(r.name),
+            r.category,
+            r.examples_used,
+            r.converged,
+            r.count.to_scientific(),
+            r.size_first,
+            r.size_final,
+            r.learn_time.as_secs_f64() * 1e3,
+        );
+    }
+    println!("  ],");
+    println!("  \"totals\": {{");
+    println!("    \"tasks\": {},", reports.len());
+    println!("    \"converged\": {converged},");
+    println!("    \"total_size_final\": {total_size_final},");
+    println!(
+        "    \"total_learn_ms\": {:.3}",
+        total_learn.as_secs_f64() * 1e3
+    );
+    println!("  }}");
+    println!("}}");
+}

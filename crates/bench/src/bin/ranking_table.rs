@@ -10,7 +10,10 @@ use sst_bench::{evaluate_suite, MAX_EXAMPLES};
 fn main() {
     let reports = evaluate_suite();
     println!("== Ranking effectiveness (examples to convergence) ==");
-    println!("{:<4} {:<28} {:>9} {:>10}", "id", "task", "category", "examples");
+    println!(
+        "{:<4} {:<28} {:>9} {:>10}",
+        "id", "task", "category", "examples"
+    );
     let mut histogram = [0usize; MAX_EXAMPLES + 1];
     let mut failures = 0;
     for r in &reports {
@@ -18,7 +21,11 @@ fn main() {
             sst_benchmarks::Category::Lookup => "Lt",
             sst_benchmarks::Category::Semantic => "Lu",
         };
-        let marker = if r.converged { "" } else { "  <-- NOT CONVERGED" };
+        let marker = if r.converged {
+            ""
+        } else {
+            "  <-- NOT CONVERGED"
+        };
         println!(
             "{:<4} {:<28} {:>9} {:>10}{}",
             r.id, r.name, cat, r.examples_used, marker

@@ -23,7 +23,10 @@ fn main() {
 
     println!();
     println!("== Wide-key workload (§4.2 CNF example): count = (m+1)^n ==");
-    println!("{:>4} {:>4} {:>16} {:>16} {:>8}", "n", "m", "count", "expected", "size");
+    println!(
+        "{:>4} {:>4} {:>16} {:>16} {:>8}",
+        "n", "m", "count", "expected", "size"
+    );
     for (n, m) in [(2usize, 2usize), (3, 3), (4, 4), (6, 5), (8, 8), (10, 10)] {
         let (db, example) = wide_key_database(n, m);
         let refs: Vec<&str> = example.inputs.iter().map(String::as_str).collect();

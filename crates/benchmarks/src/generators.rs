@@ -138,10 +138,8 @@ mod tests {
             let lu = generate_str_u(&db, &refs, &example.output, &LuOptions::default());
             assert!(lu.has_programs(), "Lu must reach chain m={m}");
             // Same set of reachable strings (node values).
-            let mut lt_vals: Vec<&str> =
-                lt.nodes.iter().map(|n| n.vals[0].as_str()).collect();
-            let mut lu_vals: Vec<&str> =
-                lu.nodes.iter().map(|n| n.vals[0].as_str()).collect();
+            let mut lt_vals: Vec<&str> = lt.nodes.iter().map(|n| n.vals[0].as_str()).collect();
+            let mut lu_vals: Vec<&str> = lu.nodes.iter().map(|n| n.vals[0].as_str()).collect();
             lt_vals.sort_unstable();
             lu_vals.sort_unstable();
             assert_eq!(lt_vals, lu_vals, "chain m={m}");

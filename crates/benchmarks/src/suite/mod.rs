@@ -38,12 +38,7 @@ pub(crate) fn table(name: &str, cols: &[&str], rows: &[&[&str]]) -> Table {
 }
 
 /// Builds a table with explicitly declared candidate keys.
-pub(crate) fn table_keys(
-    name: &str,
-    cols: &[&str],
-    rows: &[&[&str]],
-    keys: &[&[&str]],
-) -> Table {
+pub(crate) fn table_keys(name: &str, cols: &[&str], rows: &[&[&str]], keys: &[&[&str]]) -> Table {
     Table::with_keys(
         name,
         cols.to_vec(),

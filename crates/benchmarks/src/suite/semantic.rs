@@ -6,9 +6,7 @@
 use crate::task::{ex, BenchmarkTask, Category};
 
 use super::{db, table};
-use sst_datatypes::{
-    currency_table, isd_table, month_table, time_table, us_states_table,
-};
+use sst_datatypes::{currency_table, isd_table, month_table, time_table, us_states_table};
 
 pub(super) fn tasks() -> Vec<BenchmarkTask> {
     vec![
@@ -501,10 +499,25 @@ fn book_citation() -> BenchmarkTask {
         "BookInfo",
         &["ISBN", "Title", "Author", "Year"],
         &[
-            &["978-0131103627", "The C Programming Language", "Kernighan", "1988"],
-            &["978-0262033848", "Introduction to Algorithms", "Cormen", "2009"],
+            &[
+                "978-0131103627",
+                "The C Programming Language",
+                "Kernighan",
+                "1988",
+            ],
+            &[
+                "978-0262033848",
+                "Introduction to Algorithms",
+                "Cormen",
+                "2009",
+            ],
             &["978-0201633610", "Design Patterns", "Gamma", "1994"],
-            &["978-1449373320", "Designing Data-Intensive Applications", "Kleppmann", "2017"],
+            &[
+                "978-1449373320",
+                "Designing Data-Intensive Applications",
+                "Kleppmann",
+                "2017",
+            ],
         ],
     );
     BenchmarkTask {

@@ -17,18 +17,18 @@
 //! Like `Dt`, the node graph can be cyclic; all consumers are depth-bounded
 //! DPs or fixpoints (see [`SemDStruct::prune`]).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use sst_counting::BigUint;
 use sst_lookup::NodeId;
 use sst_syntactic::{AtomSet, Dag};
-use sst_tables::{ColId, TableId};
+use sst_tables::{ColId, IntMap, Symbol, TableId};
 
 use crate::language::VarId;
 
 /// Generalized predicate: the key column plus the DAG of all syntactic
 /// expressions (over known strings) producing the key value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GenPredU {
     /// Constrained column.
     pub col: ColId,
@@ -38,7 +38,7 @@ pub struct GenPredU {
 }
 
 /// Generalized condition for one candidate key.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GenCondU {
     /// Candidate-key index within the table's key list (alignment for
     /// intersection).
@@ -48,7 +48,7 @@ pub struct GenCondU {
 }
 
 /// A generalized lookup program of a node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GenLookupU {
     /// The input variable `v_i`.
     Var(VarId),
@@ -58,17 +58,22 @@ pub enum GenLookupU {
         col: ColId,
         /// Table identifier.
         table: TableId,
-        /// Conditions (at least one).
-        conds: Vec<GenCondU>,
+        /// Conditions (at least one). Shared: one allocation per activated
+        /// row, referenced by every attached column.
+        conds: Arc<Vec<GenCondU>>,
     },
 }
 
 /// One lookup node: a reachable string and its generalized programs.
 #[derive(Debug, Clone, Default)]
 pub struct SemNode {
-    /// The node's value under each example's input state.
-    pub vals: Vec<String>,
-    /// Generalized lookup programs (`Progs[η]`).
+    /// The node's interned value under each example's input state.
+    pub vals: Vec<Symbol>,
+    /// Generalized lookup programs (`Progs[η]`). Deliberately a `Vec`, not
+    /// a hashed set: `Intersect_u` has always pushed every intersected
+    /// program without deduplication, and the counting metrics are pinned
+    /// to that behavior — generation deduplicates at insert through its own
+    /// hash index instead.
     pub progs: Vec<GenLookupU>,
 }
 
@@ -108,7 +113,8 @@ impl SemDStruct {
         let Some(top) = &self.top else {
             return BigUint::zero();
         };
-        let mut memo: HashMap<(u32, usize), BigUint> = HashMap::new();
+        let mut memo: IntMap<(u32, usize), BigUint> = IntMap::default();
+        memo.reserve(self.nodes.len().saturating_mul(depth + 1));
         top.count_programs(&mut |n: &NodeId| self.count_node(*n, depth, &mut memo))
     }
 
@@ -117,7 +123,7 @@ impl SemDStruct {
         &self,
         node: NodeId,
         depth: usize,
-        memo: &mut HashMap<(u32, usize), BigUint>,
+        memo: &mut IntMap<(u32, usize), BigUint>,
     ) -> BigUint {
         if let Some(c) = memo.get(&(node.0, depth)) {
             return c.clone();
@@ -132,7 +138,7 @@ impl SemDStruct {
                     if depth == 0 {
                         continue;
                     }
-                    for cond in conds {
+                    for cond in conds.iter() {
                         let mut product = BigUint::one();
                         for pred in &cond.preds {
                             let c = pred.dag.count_programs(&mut |n: &NodeId| {
@@ -171,11 +177,7 @@ impl SemDStruct {
                 }
             })
             .sum();
-        let top_size = self
-            .top
-            .as_ref()
-            .map(|d| d.size(&mut |_| 1))
-            .unwrap_or(0);
+        let top_size = self.top.as_ref().map(|d| d.size(&mut |_| 1)).unwrap_or(0);
         node_sizes + top_size
     }
 
@@ -223,6 +225,7 @@ impl SemDStruct {
                 .filter_map(|p| match p {
                     GenLookupU::Var(v) => Some(GenLookupU::Var(v)),
                     GenLookupU::Select { col, table, conds } => {
+                        let conds = Arc::try_unwrap(conds).unwrap_or_else(|a| (*a).clone());
                         let conds: Vec<GenCondU> = conds
                             .into_iter()
                             .filter_map(|c| {
@@ -241,7 +244,11 @@ impl SemDStruct {
                                     .then_some(GenCondU { key: c.key, preds })
                             })
                             .collect();
-                        (!conds.is_empty()).then_some(GenLookupU::Select { col, table, conds })
+                        (!conds.is_empty()).then_some(GenLookupU::Select {
+                            col,
+                            table,
+                            conds: Arc::new(conds),
+                        })
                     }
                 })
                 .collect();
@@ -299,7 +306,11 @@ impl SemDStruct {
         for node in &mut kept {
             for p in &mut node.progs {
                 if let GenLookupU::Select { conds, .. } = p {
-                    for pred in conds.iter_mut().flat_map(|c| c.preds.iter_mut()) {
+                    // Clone-on-write: shared condition lists get one copy.
+                    for pred in Arc::make_mut(conds)
+                        .iter_mut()
+                        .flat_map(|c| c.preds.iter_mut())
+                    {
                         remap_dag(&mut pred.dag, &remap);
                     }
                 }
@@ -338,9 +349,7 @@ fn filter_dag(dag: &mut Dag<NodeId>, productive: &[bool]) {
     for atoms in dag.edges.values_mut() {
         atoms.retain(|a| match a {
             AtomSet::ConstStr(_) => true,
-            AtomSet::Whole(nid) | AtomSet::SubStr { src: nid, .. } => {
-                productive[nid.0 as usize]
-            }
+            AtomSet::Whole(nid) | AtomSet::SubStr { src: nid, .. } => productive[nid.0 as usize],
         });
     }
     dag.edges.retain(|_, atoms| !atoms.is_empty());
@@ -397,13 +406,13 @@ mod tests {
         GenLookupU::Select {
             col: 1,
             table: 0,
-            conds: vec![GenCondU {
+            conds: Arc::new(vec![GenCondU {
                 key: 0,
                 preds: conds_dags
                     .into_iter()
                     .map(|dag| GenPredU { col: 0, dag })
                     .collect(),
-            }],
+            }]),
         }
     }
 

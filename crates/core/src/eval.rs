@@ -43,8 +43,7 @@ pub fn eval_lookup_u(
                 };
                 resolved.push((p.col, value));
             }
-            let conds: Vec<(u32, &str)> =
-                resolved.iter().map(|(c, v)| (*c, v.as_str())).collect();
+            let conds: Vec<(u32, &str)> = resolved.iter().map(|(c, v)| (*c, v.as_str())).collect();
             Some(match t.find_unique_row(&conds) {
                 Some(row) => t.cell(*col, row).to_string(),
                 None => String::new(),
@@ -132,27 +131,31 @@ mod tests {
         .unwrap()])
         .unwrap();
         // SubStr2(v1, AlphTok, i) = i-th alphanumeric word.
-        let word = |i: i32| SemExpr::atom(AtomicExpr::SubStr {
-            src: LookupU::Var(0),
-            p1: PosExpr::Pos {
-                r1: RegexSeq::epsilon(),
-                r2: RegexSeq::token(Token::AlphNum),
-                c: i,
-            },
-            p2: PosExpr::Pos {
-                r1: RegexSeq::token(Token::AlphNum),
-                r2: RegexSeq::epsilon(),
-                c: i,
-            },
-        });
-        let lookup = |i: i32| AtomicExpr::Whole(LookupU::Select {
-            col: 1,
-            table: 0,
-            cond: vec![PredicateU {
-                col: 0,
-                rhs: PredRhsU::Expr(word(i)),
-            }],
-        });
+        let word = |i: i32| {
+            SemExpr::atom(AtomicExpr::SubStr {
+                src: LookupU::Var(0),
+                p1: PosExpr::Pos {
+                    r1: RegexSeq::epsilon(),
+                    r2: RegexSeq::token(Token::AlphNum),
+                    c: i,
+                },
+                p2: PosExpr::Pos {
+                    r1: RegexSeq::token(Token::AlphNum),
+                    r2: RegexSeq::epsilon(),
+                    c: i,
+                },
+            })
+        };
+        let lookup = |i: i32| {
+            AtomicExpr::Whole(LookupU::Select {
+                col: 1,
+                table: 0,
+                cond: vec![PredicateU {
+                    col: 0,
+                    rhs: PredRhsU::Expr(word(i)),
+                }],
+            })
+        };
         let expr = SemExpr {
             atoms: vec![
                 lookup(1),

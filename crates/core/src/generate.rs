@@ -18,11 +18,13 @@
 //!
 //! The iteration bound `k` defaults to the number of tables (§4.3).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::{BuildHasher, BuildHasherDefault};
+use std::sync::Arc;
 
 use sst_lookup::NodeId;
-use sst_syntactic::{generate_dag, Dag, GenOptions};
-use sst_tables::{ColId, Database, RowId, TableId};
+use sst_syntactic::{generate_dag, generate_dag_prepared, Dag, GenOptions, PreparedSources};
+use sst_tables::{ColId, Database, IntHasher, IntMap, RowId, Symbol, SymbolMap, TableId};
 
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
@@ -68,25 +70,48 @@ pub fn generate_str_u(
 ) -> SemDStruct {
     let k = opts.depth_for(db);
     let mut d = SemDStruct::default();
-    let mut val_to_node: HashMap<String, NodeId> = HashMap::new();
+    let mut val_to_node: SymbolMap<NodeId> = SymbolMap::default();
+    // Hash index over each node's program list: hash → prog positions.
+    // Re-activated rows re-derive identical `Select`s across steps; the
+    // index turns the seed's linear `Vec::contains` (a deep compare per
+    // existing program) into one hash plus collision checks.
+    let hasher = BuildHasherDefault::<IntHasher>::default();
+    let mut prog_index: Vec<IntMap<u64, Vec<u32>>> = Vec::new();
+    let insert_prog = |d: &mut SemDStruct,
+                       prog_index: &mut Vec<IntMap<u64, Vec<u32>>>,
+                       node: NodeId,
+                       prog: GenLookupU| {
+        let progs = &mut d.nodes[node.0 as usize].progs;
+        let h = hasher.hash_one(&prog);
+        let bucket = prog_index[node.0 as usize].entry(h).or_default();
+        if bucket.iter().any(|&i| progs[i as usize] == prog) {
+            return;
+        }
+        bucket.push(progs.len() as u32);
+        progs.push(prog);
+    };
 
     let mut frontier: Vec<NodeId> = Vec::new();
     for (i, value) in inputs.iter().enumerate() {
         if value.is_empty() {
             continue;
         }
-        let node = match val_to_node.get(*value) {
+        let sym = Symbol::intern(value);
+        let node = match val_to_node.get(&sym) {
             Some(&id) => id,
             None => {
                 let id = NodeId(d.nodes.len() as u32);
-                d.nodes.push(SemNode::default());
-                d.nodes[id.0 as usize].vals = vec![(*value).to_string()];
-                val_to_node.insert((*value).to_string(), id);
+                d.nodes.push(SemNode {
+                    vals: vec![sym],
+                    progs: Vec::new(),
+                });
+                prog_index.push(IntMap::default());
+                val_to_node.insert(sym, id);
                 frontier.push(id);
                 id
             }
         };
-        d.nodes[node.0 as usize].progs.push(GenLookupU::Var(i as u32));
+        insert_prog(&mut d, &mut prog_index, node, GenLookupU::Var(i as u32));
     }
 
     for _step in 0..k {
@@ -99,9 +124,9 @@ pub fn generate_str_u(
         let mut candidates: HashSet<(TableId, RowId, ColId)> = HashSet::new();
         if opts.substring_gate {
             for &node in &frontier {
-                let w = d.nodes[node.0 as usize].vals[0].clone();
+                let w = d.nodes[node.0 as usize].vals[0].as_str();
                 for (tid, table) in db.iter() {
-                    for (cell, _) in table.cells_related_to(&w) {
+                    for (cell, _) in table.cells_related_to(w) {
                         candidates.insert((tid, cell.row, cell.col));
                     }
                 }
@@ -118,22 +143,23 @@ pub fn generate_str_u(
         // NOTE: cells hit by an earlier frontier are *revisited* when the
         // current frontier relates to them again — the paper's line-15
         // behavior of adding a Select with the updated condition set `B`
-        // (richer sources). Duplicate Selects are deduplicated below.
+        // (richer sources). Duplicate Selects are deduplicated on insert.
         let mut ordered: Vec<(TableId, RowId, ColId)> = candidates.into_iter().collect();
         ordered.sort_unstable();
 
+        // Snapshot σ ∪ η̃ and prepare it once: token classification runs
+        // once per source string per step, and every probe below reuses the
+        // cached runs and position sets. (Symbols resolve to &'static str,
+        // so the snapshot borrows nothing from `d`.)
+        let sources = current_sources(&d);
+        let prepared = PreparedSources::new(&sources, &opts.syntactic);
+
         // Gate: the matched cell must be assemblable with ≥1 non-constant
-        // atom from the *current* sources. (Snapshot the strings so nodes
-        // can be appended below.)
-        let sources_owned = current_sources(&d);
-        let sources: Vec<(NodeId, &str)> = sources_owned
-            .iter()
-            .map(|(n, s)| (*n, s.as_str()))
-            .collect();
+        // atom from the *current* sources.
         let mut passed: Vec<(TableId, RowId, ColId)> = Vec::new();
         for &(tid, row, col) in &ordered {
             let value = db.table(tid).cell(col, row);
-            let dag = generate_dag(&sources, value, &opts.syntactic);
+            let dag = generate_dag_prepared(&prepared, value);
             if dag.has_nonconst_program() {
                 passed.push((tid, row, col));
             }
@@ -150,22 +176,24 @@ pub fn generate_str_u(
                 if c == col {
                     continue;
                 }
-                let value = table.cell(c, row);
-                if value.is_empty() || val_to_node.contains_key(value) {
+                let value = table.cell_sym(c, row);
+                if value.is_empty() || val_to_node.contains_key(&value) {
                     continue;
                 }
                 let id = NodeId(d.nodes.len() as u32);
                 d.nodes.push(SemNode {
-                    vals: vec![value.to_string()],
+                    vals: vec![value],
                     progs: Vec::new(),
                 });
-                val_to_node.insert(value.to_string(), id);
+                prog_index.push(IntMap::default());
+                val_to_node.insert(value, id);
                 next_frontier.push(id);
             }
         }
 
         // Pass 2: build B (predicate DAGs over the *pre-expansion* sources,
-        // matching the paper's σ ∪ η̃ at this step) and attach Selects.
+        // matching the paper's σ ∪ η̃ at this step) once per activated row,
+        // and attach Arc-shared Selects.
         for &(tid, row, col) in &passed {
             let table = db.table(tid);
             let conds: Vec<GenCondU> = table
@@ -178,7 +206,7 @@ pub fn generate_str_u(
                         .iter()
                         .map(|&kc| GenPredU {
                             col: kc,
-                            dag: generate_dag(&sources, table.cell(kc, row), &opts.syntactic),
+                            dag: generate_dag_prepared(&prepared, table.cell(kc, row)),
                         })
                         .collect(),
                 })
@@ -186,44 +214,45 @@ pub fn generate_str_u(
             if conds.is_empty() {
                 continue;
             }
+            let conds = Arc::new(conds);
             for c in 0..table.width() as ColId {
                 if c == col {
                     continue;
                 }
-                let value = table.cell(c, row);
+                let value = table.cell_sym(c, row);
                 if value.is_empty() {
                     continue;
                 }
-                let node = val_to_node[value];
-                let prog = GenLookupU::Select {
-                    col: c,
-                    table: tid,
-                    conds: conds.clone(),
-                };
-                if !d.nodes[node.0 as usize].progs.contains(&prog) {
-                    d.nodes[node.0 as usize].progs.push(prog);
-                }
+                let node = val_to_node[&value];
+                insert_prog(
+                    &mut d,
+                    &mut prog_index,
+                    node,
+                    GenLookupU::Select {
+                        col: c,
+                        table: tid,
+                        conds: Arc::clone(&conds),
+                    },
+                );
             }
         }
         frontier = next_frontier;
     }
 
     // Top-level DAG over every known string.
-    let sources_owned = current_sources(&d);
-    let sources: Vec<(NodeId, &str)> = sources_owned
-        .iter()
-        .map(|(n, s)| (*n, s.as_str()))
-        .collect();
+    let sources = current_sources(&d);
     let top: Dag<NodeId> = generate_dag(&sources, output, &opts.syntactic);
     d.top = Some(top);
     d
 }
 
-fn current_sources(d: &SemDStruct) -> Vec<(NodeId, String)> {
+/// Snapshot of σ ∪ η̃: every known string as an atom source. Symbols
+/// resolve to `&'static str`, so the snapshot borrows nothing from `d`.
+fn current_sources(d: &SemDStruct) -> Vec<(NodeId, &'static str)> {
     d.nodes
         .iter()
         .enumerate()
-        .map(|(i, n)| (NodeId(i as u32), n.vals[0].clone()))
+        .map(|(i, n)| (NodeId(i as u32), n.vals[0].as_str()))
         .collect()
 }
 

@@ -15,10 +15,11 @@
 //! productivity, which is where pairs whose only derivations are infinite
 //! disappear.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use sst_lookup::NodeId;
-use sst_syntactic::intersect_dags;
+use sst_syntactic::{intersect_dags_memo, PosMemo};
+use sst_tables::IntMap;
 
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
@@ -28,13 +29,26 @@ pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
     let (Some(ta), Some(tb)) = (&a.top, &b.top) else {
         return SemDStruct::default();
     };
+    let mut memo: IntMap<(NodeId, NodeId), NodeId> = IntMap::default();
+    memo.reserve(a.len().min(b.len()) * 2);
+    // One position-intersection memo for the whole session: the top DAG and
+    // every nested predicate DAG share position vectors from the same
+    // generation caches, and `a`/`b` outlive the session, keeping the
+    // identity keys valid.
+    let pos_memo = PosMemo::new();
     let mut ctx = Ctx {
         a,
         b,
         out_nodes: Vec::new(),
-        memo: HashMap::new(),
+        memo,
+        pos_memo: &pos_memo,
     };
-    let top = intersect_dags(ta, tb, &mut |x: &NodeId, y: &NodeId| Some(ctx.pair(*x, *y)));
+    let top = intersect_dags_memo(
+        ta,
+        tb,
+        &mut |x: &NodeId, y: &NodeId| Some(ctx.pair(*x, *y)),
+        &pos_memo,
+    );
     let mut out = SemDStruct {
         nodes: ctx.out_nodes,
         top,
@@ -49,28 +63,31 @@ struct Ctx<'a> {
     a: &'a SemDStruct,
     b: &'a SemDStruct,
     out_nodes: Vec<SemNode>,
-    memo: HashMap<(u32, u32), NodeId>,
+    memo: IntMap<(NodeId, NodeId), NodeId>,
+    pos_memo: &'a PosMemo,
 }
 
 impl Ctx<'_> {
     fn pair(&mut self, na: NodeId, nb: NodeId) -> NodeId {
-        if let Some(&id) = self.memo.get(&(na.0, nb.0)) {
+        if let Some(&id) = self.memo.get(&(na, nb)) {
             return id;
         }
         let id = NodeId(self.out_nodes.len() as u32);
-        let mut vals = self.a.node(na).vals.clone();
-        vals.extend(self.b.node(nb).vals.iter().cloned());
+        let (a, b) = (self.a, self.b);
+        let mut vals = a.node(na).vals.clone();
+        vals.extend(b.node(nb).vals.iter().copied());
         self.out_nodes.push(SemNode {
             vals,
             progs: Vec::new(),
         });
-        self.memo.insert((na.0, nb.0), id);
+        self.memo.insert((na, nb), id);
 
-        let a_progs = self.a.node(na).progs.clone();
-        let b_progs = self.b.node(nb).progs.clone();
+        // `a`/`b` are shared borrows independent of `self`: iterate the
+        // program lists (and their nested DAGs) in place — the seed deep-
+        // cloned both lists for every created pair.
         let mut progs: Vec<GenLookupU> = Vec::new();
-        for ga in &a_progs {
-            for gb in &b_progs {
+        for ga in &a.node(na).progs {
+            for gb in &b.node(nb).progs {
                 if let Some(g) = self.intersect_prog(ga, gb) {
                     progs.push(g);
                 }
@@ -96,7 +113,7 @@ impl Ctx<'_> {
                 },
             ) if c1 == c2 && t1 == t2 => {
                 let mut conds = Vec::new();
-                for x in conds1 {
+                for x in conds1.iter() {
                     let Some(y) = conds2.iter().find(|y| y.key == x.key) else {
                         continue;
                     };
@@ -110,7 +127,7 @@ impl Ctx<'_> {
                     Some(GenLookupU::Select {
                         col: *c1,
                         table: *t1,
-                        conds,
+                        conds: Arc::new(conds),
                     })
                 }
             }
@@ -127,15 +144,16 @@ impl Ctx<'_> {
             if p.col != q.col {
                 return None;
             }
-            let dag = intersect_dags(&p.dag, &q.dag, &mut |u: &NodeId, v: &NodeId| {
-                Some(self.pair(*u, *v))
-            })?;
+            let pos_memo = self.pos_memo;
+            let dag = intersect_dags_memo(
+                &p.dag,
+                &q.dag,
+                &mut |u: &NodeId, v: &NodeId| Some(self.pair(*u, *v)),
+                pos_memo,
+            )?;
             preds.push(GenPredU { col: p.col, dag });
         }
-        Some(GenCondU {
-            key: x.key,
-            preds,
-        })
+        Some(GenCondU { key: x.key, preds })
     }
 }
 

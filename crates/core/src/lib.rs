@@ -63,9 +63,7 @@ mod synthesizer;
 pub use dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 pub use eval::{eval_lookup_u, eval_sem};
 pub use generate::{generate_str_u, LuOptions};
-pub use interaction::{
-    converge, distinguishing_input, highlight_ambiguous, ConvergenceReport,
-};
+pub use interaction::{converge, distinguishing_input, highlight_ambiguous, ConvergenceReport};
 pub use intersect::intersect_du;
 pub use language::{
     display_sem, sem_depth, sem_select_count, LookupU, PredRhsU, PredicateU, SemAtom, SemExpr,

@@ -90,14 +90,12 @@ impl LuRankWeights {
                     AtomicExpr::ConstStr(_) | AtomicExpr::Whole(_) | AtomicExpr::SubStr { .. } => {
                         // Reuse the syntactic pricing through a singleton set.
                         let aset = match atom {
-                            AtomicExpr::ConstStr(s) => {
-                                sst_syntactic::AtomSet::ConstStr(s.clone())
-                            }
+                            AtomicExpr::ConstStr(s) => sst_syntactic::AtomSet::ConstStr(s.clone()),
                             AtomicExpr::Whole(n) => sst_syntactic::AtomSet::Whole(*n),
                             AtomicExpr::SubStr { src, p1, p2 } => sst_syntactic::AtomSet::SubStr {
                                 src: *src,
-                                p1: vec![pos_to_set(p1)],
-                                p2: vec![pos_to_set(p2)],
+                                p1: std::sync::Arc::new(vec![pos_to_set(p1)]),
+                                p2: std::sync::Arc::new(vec![pos_to_set(p2)]),
                             },
                         };
                         self.syntactic.best_atom(&aset, &mut |n: &NodeId| {
@@ -145,9 +143,7 @@ impl LuRankWeights {
         for atom in skeleton.atoms {
             let converted = match atom {
                 AtomicExpr::ConstStr(s) => AtomicExpr::ConstStr(s),
-                AtomicExpr::Whole(n) => {
-                    AtomicExpr::Whole(best_lookup(self, d, n, depth, memo)?.1)
-                }
+                AtomicExpr::Whole(n) => AtomicExpr::Whole(best_lookup(self, d, n, depth, memo)?.1),
                 AtomicExpr::SubStr { src, p1, p2 } => AtomicExpr::SubStr {
                     src: best_lookup(self, d, src, depth, memo)?.1,
                     p1,
@@ -204,8 +200,7 @@ pub fn best_lookup(
     }
     memo.insert((node.0, depth), None);
     let mut best: Option<(u64, LookupU)> = None;
-    let progs = d.node(node).progs.clone();
-    for prog in &progs {
+    for prog in &d.node(node).progs {
         let candidate = match prog {
             GenLookupU::Var(v) => Some((w.var, LookupU::Var(*v))),
             GenLookupU::Select { col, table, conds } => {
@@ -213,7 +208,7 @@ pub fn best_lookup(
                     None
                 } else {
                     let mut best_sel: Option<(u64, LookupU)> = None;
-                    for cond in conds {
+                    for cond in conds.iter() {
                         let mut cost = w.select + w.pred * cond.preds.len() as u64;
                         let mut preds = Vec::with_capacity(cond.preds.len());
                         let mut viable = true;
@@ -225,9 +220,7 @@ pub fn best_lookup(
                                 viable = false;
                                 break;
                             };
-                            let Some(expr) =
-                                w.concretize(d, skeleton, depth - 1, memo)
-                            else {
+                            let Some(expr) = w.concretize(d, skeleton, depth - 1, memo) else {
                                 viable = false;
                                 break;
                             };
@@ -237,10 +230,7 @@ pub fn best_lookup(
                                 [AtomicExpr::ConstStr(s)] => PredRhsU::Const(s.clone()),
                                 _ => PredRhsU::Expr(expr),
                             };
-                            preds.push(PredicateU {
-                                col: pred.col,
-                                rhs,
-                            });
+                            preds.push(PredicateU { col: pred.col, rhs });
                         }
                         if !viable || preds.is_empty() {
                             continue;

@@ -228,10 +228,7 @@ impl LearnedPrograms {
     /// the §3.2 interaction model flags inputs where this set has ≥ 2
     /// entries.
     pub fn outputs(&self, inputs: &[&str], k: usize) -> BTreeSet<String> {
-        self.top_k(k)
-            .iter()
-            .filter_map(|p| p.run(inputs))
-            .collect()
+        self.top_k(k).iter().filter_map(|p| p.run(inputs)).collect()
     }
 }
 

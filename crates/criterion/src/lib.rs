@@ -1,0 +1,246 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the (small) subset of criterion's API that the `sst-bench`
+//! benches use — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup` with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `BenchmarkId` and `Bencher::iter` — backed by a real warm-up + sampling
+//! wall-clock measurement loop. Replace with the real crate when a registry
+//! is available; the bench sources need no changes.
+//!
+//! Output format (one line per benchmark):
+//! `group/id  median <t>  mean <t>  (N samples × M iters)`
+//! and a machine-readable `target/shim-criterion/<group>/<id>.json` dump so
+//! runs can be diffed across commits.
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker trait mirroring criterion's measurement abstraction; the shim
+    /// measures wall-clock only.
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+use measurement::{Measurement, WallTime};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `iters` calls of `f`, accumulating into the current sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut f: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M: Measurement = WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Measurement> BenchmarkGroup<'_, M> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget spread across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, iteration-count calibration, then
+    /// `sample_size` timed samples; prints and records the summary.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        // Warm-up: run single-iteration samples until the budget elapses,
+        // and estimate the per-iteration cost from the last run.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed;
+            }
+        }
+        // Calibrate iterations per sample so all samples fit the budget.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / per_iter.as_secs_f64().max(1e-9)).clamp(1.0, 1e7) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:<40} median {:>12}  mean {:>12}  ({} samples × {} iters)",
+            format!("{}/{}", self.name, id),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            iters
+        );
+        self.record(&id.to_string(), median, mean, iters);
+        self
+    }
+
+    fn record(&self, id: &str, median: f64, mean: f64, iters: u64) {
+        let dir = PathBuf::from("target/shim-criterion").join(&self.name);
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let safe: String = id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let json = format!(
+            "{{\"group\":{:?},\"id\":{:?},\"median_s\":{median:e},\"mean_s\":{mean:e},\"iters\":{iters}}}\n",
+            self.name, id
+        );
+        let _ = fs::write(dir.join(format!("{safe}.json")), json);
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group with default sampling configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Standalone single benchmark with group defaults.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group(id.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

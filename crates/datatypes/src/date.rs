@@ -39,13 +39,8 @@ pub fn date_ord_table() -> Table {
     let rows: Vec<Vec<String>> = (1..=31u32)
         .map(|d| vec![d.to_string(), ordinal_suffix(d).to_string()])
         .collect();
-    Table::with_keys(
-        "DateOrd",
-        vec!["Num", "Ord"],
-        rows,
-        vec![vec!["Num"]],
-    )
-    .expect("DateOrd table is well-formed")
+    Table::with_keys("DateOrd", vec!["Num", "Ord"], rows, vec![vec!["Num"]])
+        .expect("DateOrd table is well-formed")
 }
 
 /// Ordinal suffix for a day-of-month.

@@ -11,15 +11,21 @@
 //!   key of its table, in the table's key order — the ordering
 //!   `Intersect_t` relies on.
 //!
+//! Representation is interned end to end: node values and predicate
+//! constants are [`Symbol`]s, a `Select`'s condition list is shared behind
+//! an [`Arc`] (one allocation per matched row, not per column), and each
+//! node's program list is a hashed [`ProgSet`] (insert-time dedup, stable
+//! enumeration order).
+//!
 //! The node graph may be cyclic (mutually reachable table entries), while
 //! the *language* only has finite expression trees, so every consumer below
 //! is either depth-bounded (counting, ranking, enumeration — matching the
 //! algorithm's `k`-completeness) or a fixpoint (productivity pruning).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use sst_counting::BigUint;
-use sst_tables::{ColId, TableId};
+use sst_tables::{ColId, IntMap, ProgSet, Symbol, TableId};
 
 use crate::language::{LookupExpr, PredRhs, Predicate, VarId};
 
@@ -29,12 +35,12 @@ pub struct NodeId(pub u32);
 
 /// Generalized predicate `C = {s, η}` (either component may be absent, but
 /// not both).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GenPred {
     /// Constrained column.
     pub col: ColId,
-    /// Constant alternative (`C = s`).
-    pub constant: Option<String>,
+    /// Constant alternative (`C = s`), interned.
+    pub constant: Option<Symbol>,
     /// Node alternative (`C = η`): any program of the node may appear.
     pub node: Option<NodeId>,
 }
@@ -47,7 +53,7 @@ impl GenPred {
 }
 
 /// Generalized condition: the predicates of one candidate key, in key order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GenCond {
     /// Index of the candidate key within the table's key list. Conditions
     /// are intersected *by key identity* (Fig. 5b keeps the orderings
@@ -59,7 +65,7 @@ pub struct GenCond {
 }
 
 /// A generalized `Lt` expression (`f̃` of Fig. 3b).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GenLookup {
     /// The input variable `v_i`.
     Var(VarId),
@@ -69,8 +75,9 @@ pub enum GenLookup {
         col: ColId,
         /// Table identifier.
         table: TableId,
-        /// Conditions, ordered like the table's candidate keys.
-        conds: Vec<GenCond>,
+        /// Conditions, ordered like the table's candidate keys. Shared: the
+        /// same condition list serves every non-matched column of a row.
+        conds: Arc<Vec<GenCond>>,
     },
 }
 
@@ -78,10 +85,10 @@ pub enum GenLookup {
 /// state, plus the generalized programs that produce it.
 #[derive(Debug, Clone, Default)]
 pub struct NodeData {
-    /// One value per example this structure is consistent with.
-    pub vals: Vec<String>,
-    /// Generalized expression set (`Progs[η]`).
-    pub progs: Vec<GenLookup>,
+    /// One interned value per example this structure is consistent with.
+    pub vals: Vec<Symbol>,
+    /// Generalized expression set (`Progs[η]`), deduplicated at insert.
+    pub progs: ProgSet<GenLookup>,
 }
 
 /// The `Dt` data structure: `(η̃, η_t, Progs)`.
@@ -111,8 +118,7 @@ impl LookupDStruct {
 
     /// True iff at least one consistent program exists.
     pub fn has_programs(&self) -> bool {
-        self.target
-            .is_some_and(|t| !self.node(t).progs.is_empty())
+        self.target.is_some_and(|t| !self.node(t).progs.is_empty())
     }
 
     /// Number of expressions of `Select`-depth ≤ `depth` represented at the
@@ -122,7 +128,8 @@ impl LookupDStruct {
         match self.target {
             None => BigUint::zero(),
             Some(t) => {
-                let mut memo: HashMap<(u32, usize), BigUint> = HashMap::new();
+                let mut memo: IntMap<(u32, usize), BigUint> = IntMap::default();
+                memo.reserve(self.nodes.len().saturating_mul(depth + 1));
                 self.count_at(t, depth, &mut memo)
             }
         }
@@ -133,7 +140,7 @@ impl LookupDStruct {
         &self,
         node: NodeId,
         depth: usize,
-        memo: &mut HashMap<(u32, usize), BigUint>,
+        memo: &mut IntMap<(u32, usize), BigUint>,
     ) -> BigUint {
         if let Some(c) = memo.get(&(node.0, depth)) {
             return c.clone();
@@ -146,7 +153,7 @@ impl LookupDStruct {
                     if depth == 0 {
                         continue;
                     }
-                    for cond in conds {
+                    for cond in conds.iter() {
                         let mut product = BigUint::one();
                         for pred in &cond.preds {
                             let mut options = BigUint::zero();
@@ -205,13 +212,13 @@ impl LookupDStruct {
                     if depth == 0 {
                         continue;
                     }
-                    for cond in conds {
+                    for cond in conds.iter() {
                         // Cross product over predicate options.
                         let mut partial: Vec<Vec<Predicate>> = vec![Vec::new()];
                         for pred in &cond.preds {
                             let mut options: Vec<PredRhs> = Vec::new();
-                            if let Some(s) = &pred.constant {
-                                options.push(PredRhs::Const(s.clone()));
+                            if let Some(s) = pred.constant {
+                                options.push(PredRhs::Const(s.as_str().to_string()));
                             }
                             if let Some(n) = pred.node {
                                 for sub in self.enumerate_at(n, depth - 1, limit) {
@@ -273,9 +280,7 @@ impl LookupDStruct {
                         !c.preds.is_empty()
                             && c.preds.iter().all(|pred| {
                                 pred.constant.is_some()
-                                    || pred
-                                        .node
-                                        .is_some_and(|nid| productive[nid.0 as usize])
+                                    || pred.node.is_some_and(|nid| productive[nid.0 as usize])
                             })
                     }),
                 });
@@ -302,6 +307,7 @@ impl LookupDStruct {
                 .filter_map(|p| match p {
                     GenLookup::Var(v) => Some(GenLookup::Var(v)),
                     GenLookup::Select { col, table, conds } => {
+                        let conds = Arc::try_unwrap(conds).unwrap_or_else(|a| (*a).clone());
                         let conds: Vec<GenCond> = conds
                             .into_iter()
                             .filter_map(|c| {
@@ -309,9 +315,7 @@ impl LookupDStruct {
                                     .preds
                                     .into_iter()
                                     .map(|mut pred| {
-                                        if pred
-                                            .node
-                                            .is_some_and(|nid| !productive[nid.0 as usize])
+                                        if pred.node.is_some_and(|nid| !productive[nid.0 as usize])
                                         {
                                             pred.node = None;
                                         }
@@ -322,7 +326,11 @@ impl LookupDStruct {
                                     .then_some(GenCond { key: c.key, preds })
                             })
                             .collect();
-                        (!conds.is_empty()).then_some(GenLookup::Select { col, table, conds })
+                        (!conds.is_empty()).then_some(GenLookup::Select {
+                            col,
+                            table,
+                            conds: Arc::new(conds),
+                        })
                     }
                 })
                 .collect();
@@ -355,15 +363,26 @@ impl LookupDStruct {
             }
         }
         for node in &mut kept {
-            for p in &mut node.progs {
-                if let GenLookup::Select { conds, .. } = p {
-                    for pred in conds.iter_mut().flat_map(|c| c.preds.iter_mut()) {
-                        if let Some(nid) = &mut pred.node {
-                            *nid = NodeId(remap[nid.0 as usize]);
+            let progs = std::mem::take(&mut node.progs);
+            node.progs = progs
+                .into_iter()
+                .map(|p| match p {
+                    GenLookup::Var(v) => GenLookup::Var(v),
+                    GenLookup::Select { col, table, conds } => {
+                        let mut conds = Arc::try_unwrap(conds).unwrap_or_else(|a| (*a).clone());
+                        for pred in conds.iter_mut().flat_map(|c| c.preds.iter_mut()) {
+                            if let Some(nid) = &mut pred.node {
+                                *nid = NodeId(remap[nid.0 as usize]);
+                            }
+                        }
+                        GenLookup::Select {
+                            col,
+                            table,
+                            conds: Arc::new(conds),
                         }
                     }
-                }
-            }
+                })
+                .collect();
         }
         self.target = Some(NodeId(remap[target.0 as usize]));
         self.nodes = kept;
@@ -383,29 +402,29 @@ mod tests {
         let mut d = LookupDStruct::default();
         for i in 0..m {
             d.nodes.push(NodeData {
-                vals: vec![format!("s{}", i + 1)],
-                progs: Vec::new(),
+                vals: vec![Symbol::intern(&format!("s{}", i + 1))],
+                progs: ProgSet::new(),
             });
         }
-        d.nodes[0].progs.push(GenLookup::Var(0));
+        d.nodes[0].progs.insert(GenLookup::Var(0));
         let sel = |col: ColId, table: usize, from: usize| GenLookup::Select {
             col,
             table: table as TableId,
-            conds: vec![GenCond {
+            conds: Arc::new(vec![GenCond {
                 key: 0,
                 preds: vec![GenPred {
                     col: 0,
-                    constant: Some(format!("s{}", from + 1)),
+                    constant: Some(Symbol::intern(&format!("s{}", from + 1))),
                     node: Some(NodeId(from as u32)),
                 }],
-            }],
+            }]),
         };
         if m > 1 {
-            d.nodes[1].progs.push(sel(1, 0, 0));
+            d.nodes[1].progs.insert(sel(1, 0, 0));
         }
         for i in 2..m {
-            d.nodes[i].progs.push(sel(1, i - 1, i - 1));
-            d.nodes[i].progs.push(sel(2, i - 2, i - 2));
+            d.nodes[i].progs.insert(sel(1, i - 1, i - 1));
+            d.nodes[i].progs.insert(sel(2, i - 2, i - 2));
         }
         d.target = Some(NodeId(m as u32 - 1));
         d
@@ -429,11 +448,7 @@ mod tests {
         };
         for m in 1..=12 {
             let d = chain(m);
-            assert_eq!(
-                d.count(m).to_u64(),
-                Some(expect(m)),
-                "chain length {m}"
-            );
+            assert_eq!(d.count(m).to_u64(), Some(expect(m)), "chain length {m}");
         }
     }
 
@@ -482,24 +497,24 @@ mod tests {
         let mut d = LookupDStruct::default();
         for i in 0..2 {
             d.nodes.push(NodeData {
-                vals: vec![format!("x{i}")],
-                progs: Vec::new(),
+                vals: vec![Symbol::intern(&format!("x{i}"))],
+                progs: ProgSet::new(),
             });
         }
         let sel = |other: u32| GenLookup::Select {
             col: 0,
             table: 0,
-            conds: vec![GenCond {
+            conds: Arc::new(vec![GenCond {
                 key: 0,
                 preds: vec![GenPred {
                     col: 1,
                     constant: None,
                     node: Some(NodeId(other)),
                 }],
-            }],
+            }]),
         };
-        d.nodes[0].progs.push(sel(1));
-        d.nodes[1].progs.push(sel(0));
+        d.nodes[0].progs.insert(sel(1));
+        d.nodes[1].progs.insert(sel(0));
         d.target = Some(NodeId(0));
         assert!(!d.prune());
     }
@@ -511,24 +526,24 @@ mod tests {
         let mut d = LookupDStruct::default();
         for i in 0..2 {
             d.nodes.push(NodeData {
-                vals: vec![format!("x{i}")],
-                progs: Vec::new(),
+                vals: vec![Symbol::intern(&format!("x{i}"))],
+                progs: ProgSet::new(),
             });
         }
         let sel = |other: u32, constant: Option<&str>| GenLookup::Select {
             col: 0,
             table: 0,
-            conds: vec![GenCond {
+            conds: Arc::new(vec![GenCond {
                 key: 0,
                 preds: vec![GenPred {
                     col: 1,
-                    constant: constant.map(str::to_string),
+                    constant: constant.map(Symbol::intern),
                     node: Some(NodeId(other)),
                 }],
-            }],
+            }]),
         };
-        d.nodes[0].progs.push(sel(1, None));
-        d.nodes[1].progs.push(sel(0, Some("k")));
+        d.nodes[0].progs.insert(sel(1, None));
+        d.nodes[1].progs.insert(sel(0, Some("k")));
         d.target = Some(NodeId(0));
         assert!(d.prune());
         assert_eq!(d.len(), 2);
@@ -542,8 +557,8 @@ mod tests {
         let mut d = chain(3);
         // Add an orphan node not referenced by the target.
         d.nodes.push(NodeData {
-            vals: vec!["orphan".into()],
-            progs: vec![GenLookup::Var(5)],
+            vals: vec![Symbol::intern("orphan")],
+            progs: [GenLookup::Var(5)].into_iter().collect(),
         });
         let before_count = d.count(3);
         assert!(d.prune());
@@ -555,23 +570,25 @@ mod tests {
     fn prune_drops_dead_node_refs_keeps_const() {
         let mut d = LookupDStruct::default();
         d.nodes.push(NodeData {
-            vals: vec!["dead".into()],
-            progs: Vec::new(), // no programs: unproductive
+            vals: vec![Symbol::intern("dead")],
+            progs: ProgSet::new(), // no programs: unproductive
         });
         d.nodes.push(NodeData {
-            vals: vec!["out".into()],
-            progs: vec![GenLookup::Select {
+            vals: vec![Symbol::intern("out")],
+            progs: [GenLookup::Select {
                 col: 0,
                 table: 0,
-                conds: vec![GenCond {
+                conds: Arc::new(vec![GenCond {
                     key: 0,
                     preds: vec![GenPred {
                         col: 1,
-                        constant: Some("k".into()),
+                        constant: Some(Symbol::intern("k")),
                         node: Some(NodeId(0)),
                     }],
-                }],
-            }],
+                }]),
+            }]
+            .into_iter()
+            .collect(),
         });
         d.target = Some(NodeId(1));
         assert!(d.prune());
@@ -579,7 +596,7 @@ mod tests {
         match &d.node(d.target.unwrap()).progs[0] {
             GenLookup::Select { conds, .. } => {
                 assert_eq!(conds[0].preds[0].node, None);
-                assert_eq!(conds[0].preds[0].constant.as_deref(), Some("k"));
+                assert_eq!(conds[0].preds[0].constant.map(Symbol::as_str), Some("k"));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -26,8 +26,7 @@ pub fn eval_lookup(expr: &LookupExpr, db: &Database, inputs: &[&str]) -> Option<
                 };
                 resolved.push((p.col, value));
             }
-            let conds: Vec<(u32, &str)> =
-                resolved.iter().map(|(c, v)| (*c, v.as_str())).collect();
+            let conds: Vec<(u32, &str)> = resolved.iter().map(|(c, v)| (*c, v.as_str())).collect();
             Some(match t.find_unique_row(&conds) {
                 Some(row) => t.cell(*col, row).to_string(),
                 None => String::new(),
@@ -106,10 +105,19 @@ mod tests {
     fn example2_join_evaluates() {
         let db = db();
         let e = example2_expr(&db);
-        assert_eq!(eval_lookup(&e, &db, &["Peter Shaw"]).as_deref(), Some("110"));
+        assert_eq!(
+            eval_lookup(&e, &db, &["Peter Shaw"]).as_deref(),
+            Some("110")
+        );
         assert_eq!(eval_lookup(&e, &db, &["Gary Lamb"]).as_deref(), Some("225"));
-        assert_eq!(eval_lookup(&e, &db, &["Mike Henry"]).as_deref(), Some("2015"));
-        assert_eq!(eval_lookup(&e, &db, &["Sean Riley"]).as_deref(), Some("495"));
+        assert_eq!(
+            eval_lookup(&e, &db, &["Mike Henry"]).as_deref(),
+            Some("2015")
+        );
+        assert_eq!(
+            eval_lookup(&e, &db, &["Sean Riley"]).as_deref(),
+            Some("495")
+        );
     }
 
     #[test]

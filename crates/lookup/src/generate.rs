@@ -19,9 +19,9 @@
 //! represented programs — soundness is unaffected and `k`-completeness is
 //! preserved more faithfully.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use sst_tables::{ColId, Database, RowId, TableId};
+use sst_tables::{ColId, Database, IntMap, ProgSet, RowId, Symbol, SymbolMap, TableId};
 
 use crate::dstruct::{GenCond, GenLookup, GenPred, LookupDStruct, NodeData, NodeId};
 
@@ -49,32 +49,31 @@ pub fn generate_str_t(
 ) -> LookupDStruct {
     let k = opts.depth_for(db);
     let mut d = LookupDStruct::default();
-    let mut val_to_node: HashMap<String, NodeId> = HashMap::new();
+    let mut val_to_node: SymbolMap<NodeId> = SymbolMap::default();
 
     let get_or_create = |d: &mut LookupDStruct,
-                             val_to_node: &mut HashMap<String, NodeId>,
-                             val: &str|
+                         val_to_node: &mut SymbolMap<NodeId>,
+                         val: Symbol|
      -> (NodeId, bool) {
-        if let Some(&id) = val_to_node.get(val) {
+        if let Some(&id) = val_to_node.get(&val) {
             return (id, false);
         }
         let id = NodeId(d.nodes.len() as u32);
         d.nodes.push(NodeData {
-            vals: vec![val.to_string()],
-            progs: Vec::new(),
+            vals: vec![val],
+            progs: ProgSet::new(),
         });
-        val_to_node.insert(val.to_string(), id);
+        val_to_node.insert(val, id);
         (id, true)
     };
 
     // Base case: one node per distinct input value.
     let mut frontier: Vec<NodeId> = Vec::new();
     for (i, value) in inputs.iter().enumerate() {
-        let (node, is_new) = get_or_create(&mut d, &mut val_to_node, value);
-        let prog = GenLookup::Var(i as u32);
-        if !d.nodes[node.0 as usize].progs.contains(&prog) {
-            d.nodes[node.0 as usize].progs.push(prog);
-        }
+        let (node, is_new) = get_or_create(&mut d, &mut val_to_node, Symbol::intern(value));
+        d.nodes[node.0 as usize]
+            .progs
+            .insert(GenLookup::Var(i as u32));
         if is_new {
             frontier.push(node);
         }
@@ -85,14 +84,14 @@ pub fn generate_str_t(
             break;
         }
         // Collect the rows matched by the frontier values: (table, row,
-        // matched columns).
-        let mut matched: HashMap<(TableId, RowId), Vec<ColId>> = HashMap::new();
+        // matched columns). The probe is one u32 hash per frontier symbol.
+        let mut matched: IntMap<(TableId, RowId), Vec<ColId>> = IntMap::default();
         for &node in &frontier {
-            let val = d.nodes[node.0 as usize].vals[0].clone();
+            let val = d.nodes[node.0 as usize].vals[0];
             if val.is_empty() {
                 continue; // empty strings match empty cells vacuously
             }
-            for (tid, cell) in db.cells_equal(&val) {
+            for (tid, cell) in db.cells_equal(val) {
                 matched.entry((tid, cell.row)).or_default().push(cell.col);
             }
         }
@@ -103,7 +102,7 @@ pub fn generate_str_t(
         for &(tid, row) in &keys {
             let table = db.table(tid);
             for col in 0..table.width() as ColId {
-                let value = table.cell(col, row);
+                let value = table.cell_sym(col, row);
                 if value.is_empty() {
                     continue;
                 }
@@ -113,7 +112,8 @@ pub fn generate_str_t(
                 }
             }
         }
-        // Pass 2: build B per row and attach Selects to non-matched columns.
+        // Pass 2: build B per row (once — the Arc is shared by every
+        // attached column) and attach Selects to non-matched columns.
         for &(tid, row) in &keys {
             let table = db.table(tid);
             let matched_cols = &matched[&(tid, row)];
@@ -126,11 +126,11 @@ pub fn generate_str_t(
                     preds: key
                         .iter()
                         .map(|&kc| {
-                            let value = table.cell(kc, row);
+                            let value = table.cell_sym(kc, row);
                             GenPred {
                                 col: kc,
-                                constant: Some(value.to_string()),
-                                node: val_to_node.get(value).copied(),
+                                constant: Some(value),
+                                node: val_to_node.get(&value).copied(),
                             }
                         })
                         .collect(),
@@ -139,29 +139,27 @@ pub fn generate_str_t(
             if conds.is_empty() {
                 continue;
             }
+            let conds = Arc::new(conds);
             for col in 0..table.width() as ColId {
                 if matched_cols.contains(&col) {
                     continue;
                 }
-                let value = table.cell(col, row);
+                let value = table.cell_sym(col, row);
                 if value.is_empty() {
                     continue;
                 }
-                let node = val_to_node[value];
-                let prog = GenLookup::Select {
+                let node = val_to_node[&value];
+                d.nodes[node.0 as usize].progs.insert(GenLookup::Select {
                     col,
                     table: tid,
-                    conds: conds.clone(),
-                };
-                if !d.nodes[node.0 as usize].progs.contains(&prog) {
-                    d.nodes[node.0 as usize].progs.push(prog);
-                }
+                    conds: Arc::clone(&conds),
+                });
             }
         }
         frontier = next_frontier;
     }
 
-    d.target = val_to_node.get(output).copied();
+    d.target = Symbol::get(output).and_then(|s| val_to_node.get(&s).copied());
     d
 }
 
@@ -346,7 +344,9 @@ mod tests {
         // A self-contained row: reachability saturates in one step even
         // though k allows more.
         let db = comp_db();
-        let opts = LtOptions { max_depth: Some(50) };
+        let opts = LtOptions {
+            max_depth: Some(50),
+        };
         let d = generate_str_t(&db, &["c2"], "Google", &opts);
         assert_eq!(d.len(), 2); // only "c2" and "Google" are reachable
     }

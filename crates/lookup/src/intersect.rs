@@ -15,7 +15,9 @@
 //! Node pairs can be cyclic, so after construction [`LookupDStruct::prune`]
 //! removes pairs that cannot derive a finite expression.
 
-use std::collections::HashMap;
+use std::sync::Arc;
+
+use sst_tables::{IntMap, ProgSet};
 
 use crate::dstruct::{GenCond, GenLookup, GenPred, LookupDStruct, NodeData, NodeId};
 
@@ -26,11 +28,15 @@ pub fn intersect_dt(a: &LookupDStruct, b: &LookupDStruct) -> LookupDStruct {
     let (Some(ta), Some(tb)) = (a.target, b.target) else {
         return LookupDStruct::default();
     };
+    // The lazy product creates at most |a|·|b| pairs but typically far
+    // fewer; seed the memo with the smaller side to dodge early rehashes.
+    let mut memo: IntMap<(NodeId, NodeId), NodeId> = IntMap::default();
+    memo.reserve(a.len().min(b.len()) * 2);
     let mut ctx = Ctx {
         a,
         b,
         out: LookupDStruct::default(),
-        memo: HashMap::new(),
+        memo,
     };
     let target = ctx.pair(ta, tb);
     let mut out = ctx.out;
@@ -45,34 +51,33 @@ struct Ctx<'a> {
     a: &'a LookupDStruct,
     b: &'a LookupDStruct,
     out: LookupDStruct,
-    memo: HashMap<(u32, u32), NodeId>,
+    memo: IntMap<(NodeId, NodeId), NodeId>,
 }
 
-impl Ctx<'_> {
+impl<'s> Ctx<'s> {
     /// Gets or builds the intersection node for the pair `(na, nb)`.
     fn pair(&mut self, na: NodeId, nb: NodeId) -> NodeId {
-        if let Some(&id) = self.memo.get(&(na.0, nb.0)) {
+        if let Some(&id) = self.memo.get(&(na, nb)) {
             return id;
         }
         let id = NodeId(self.out.nodes.len() as u32);
-        let mut vals = self.a.node(na).vals.clone();
-        vals.extend(self.b.node(nb).vals.iter().cloned());
+        let (a, b) = (self.a, self.b);
+        let mut vals = a.node(na).vals.clone();
+        vals.extend(b.node(nb).vals.iter().copied());
         self.out.nodes.push(NodeData {
             vals,
-            progs: Vec::new(),
+            progs: ProgSet::new(),
         });
         // Insert before recursing: cycles resolve to this id.
-        self.memo.insert((na.0, nb.0), id);
+        self.memo.insert((na, nb), id);
 
-        let mut progs: Vec<GenLookup> = Vec::new();
-        let a_progs = self.a.node(na).progs.clone();
-        let b_progs = self.b.node(nb).progs.clone();
-        for ga in &a_progs {
-            for gb in &b_progs {
+        // `a`/`b` are plain shared borrows independent of `self`, so the
+        // program lists are iterated in place — no per-pair deep clones.
+        let mut progs: ProgSet<GenLookup> = ProgSet::new();
+        for ga in &a.node(na).progs {
+            for gb in &b.node(nb).progs {
                 if let Some(g) = self.intersect_prog(ga, gb) {
-                    if !progs.contains(&g) {
-                        progs.push(g);
-                    }
+                    progs.insert(g);
                 }
             }
         }
@@ -96,7 +101,7 @@ impl Ctx<'_> {
                 },
             ) if c1 == c2 && t1 == t2 => {
                 let mut conds = Vec::new();
-                for x in conds1 {
+                for x in conds1.iter() {
                     let Some(y) = conds2.iter().find(|y| y.key == x.key) else {
                         continue;
                     };
@@ -110,7 +115,7 @@ impl Ctx<'_> {
                     Some(GenLookup::Select {
                         col: *c1,
                         table: *t1,
-                        conds,
+                        conds: Arc::new(conds),
                     })
                 }
             }
@@ -127,8 +132,8 @@ impl Ctx<'_> {
             if p.col != q.col {
                 return None;
             }
-            let constant = match (&p.constant, &q.constant) {
-                (Some(s1), Some(s2)) if s1 == s2 => Some(s1.clone()),
+            let constant = match (p.constant, q.constant) {
+                (Some(s1), Some(s2)) if s1 == s2 => Some(s1),
                 _ => None,
             };
             let node = match (p.node, q.node) {
@@ -145,10 +150,7 @@ impl Ctx<'_> {
             }
             preds.push(pred);
         }
-        Some(GenCond {
-            key: x.key,
-            preds,
-        })
+        Some(GenCond { key: x.key, preds })
     }
 }
 

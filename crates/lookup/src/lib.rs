@@ -47,6 +47,7 @@ pub use generate::{generate_str_t, LtOptions};
 pub use intersect::intersect_dt;
 pub use language::{LookupExpr, PredRhs, Predicate, VarId};
 pub use rank::{LtRankWeights, RankedLookup};
+pub use sst_tables::ProgSet;
 
 use sst_counting::BigUint;
 use sst_tables::Database;

@@ -93,7 +93,7 @@ impl LtRankWeights {
                         None
                     } else {
                         let mut best_sel: Option<RankedLookup> = None;
-                        for cond in conds {
+                        for cond in conds.iter() {
                             let mut cost = self.select + self.pred * cond.preds.len() as u64;
                             let mut tables: BTreeSet<TableId> = BTreeSet::new();
                             tables.insert(*table);
@@ -114,8 +114,7 @@ impl LtRankWeights {
                                 });
                                 let const_opt = pred
                                     .constant
-                                    .as_ref()
-                                    .map(|s| (self.pred_const, s.clone()));
+                                    .map(|s| (self.pred_const, s.as_str().to_string()));
                                 match (expr_opt, const_opt) {
                                     (Some((ec, sub)), Some((cc, s))) => {
                                         if ec <= cc {

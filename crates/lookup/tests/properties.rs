@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use sst_counting::BigUint;
-use sst_lookup::{
-    eval_lookup, generate_str_t, intersect_dt, LookupLearner, LtOptions,
-};
+use sst_lookup::{eval_lookup, generate_str_t, intersect_dt, LookupLearner, LtOptions};
 use sst_tables::{Database, Table};
 
 /// Builds a random 3-column table: unique ids, unique names, repeating

@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use sst_counting::BigUint;
 
@@ -23,7 +24,7 @@ use crate::language::{AtomicExpr, PosExpr, RegexSeq, StringExpr};
 
 /// A set of position expressions that all evaluate to the same position of
 /// the same subject string.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PosSet {
     /// A single constant position.
     CPos(i32),
@@ -90,7 +91,7 @@ impl PosSet {
 }
 
 /// A set of atomic expressions sharing one structure (§5.2's `f̃`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AtomSet<S> {
     /// The constant string.
     ConstStr(String),
@@ -101,9 +102,11 @@ pub enum AtomSet<S> {
         /// Subject source.
         src: S,
         /// Start-position alternatives (all evaluate to the same offset).
-        p1: Vec<PosSet>,
+        /// Shared: every occurrence probe hitting the same boundary reuses
+        /// one learned vector, and intersection memoizes on its identity.
+        p1: Arc<Vec<PosSet>>,
         /// End-position alternatives.
-        p2: Vec<PosSet>,
+        p2: Arc<Vec<PosSet>>,
     },
 }
 
@@ -114,7 +117,7 @@ impl<S> AtomSet<S> {
             AtomSet::ConstStr(_) => BigUint::one(),
             AtomSet::Whole(s) => src_count(s),
             AtomSet::SubStr { src, p1, p2 } => {
-                let sum = |ps: &Vec<PosSet>| ps.iter().map(PosSet::count).sum::<BigUint>();
+                let sum = |ps: &[PosSet]| ps.iter().map(PosSet::count).sum::<BigUint>();
                 src_count(src) * sum(p1) * sum(p2)
             }
         }
@@ -140,7 +143,7 @@ impl<S> AtomSet<S> {
 }
 
 /// The DAG representing a set of concatenation programs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dag<S> {
     /// Number of nodes; ids are `0..num_nodes` in topological order.
     pub num_nodes: u32,
@@ -245,9 +248,9 @@ impl<S> Dag<S> {
             if node == self.target {
                 continue;
             }
-            reach[node as usize] = self
-                .outgoing(node)
-                .any(|(&(_, next), atoms)| !atoms.is_empty() && edge_ok(atoms) && reach[next as usize]);
+            reach[node as usize] = self.outgoing(node).any(|(&(_, next), atoms)| {
+                !atoms.is_empty() && edge_ok(atoms) && reach[next as usize]
+            });
         }
         reach
     }
@@ -289,7 +292,8 @@ impl<S> Dag<S> {
         let old = std::mem::take(&mut self.edges);
         for ((a, b), atoms) in old {
             if keep[a as usize] && keep[b as usize] && !atoms.is_empty() {
-                self.edges.insert((remap[a as usize], remap[b as usize]), atoms);
+                self.edges
+                    .insert((remap[a as usize], remap[b as usize]), atoms);
             }
         }
         self.source = remap[self.source as usize];
@@ -332,10 +336,7 @@ impl<S> Dag<S> {
         // surface before single-character decompositions, which matters
         // when the enumeration limit is small.
         type EdgeList<S> = Vec<((u32, u32), Vec<AtomSet<S>>)>;
-        let mut nexts: EdgeList<S> = self
-            .outgoing(node)
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let mut nexts: EdgeList<S> = self.outgoing(node).map(|(k, v)| (*k, v.clone())).collect();
         nexts.sort_by_key(|e| std::cmp::Reverse(e.0 .1));
         for ((_, next), atoms) in nexts {
             for aset in &atoms {
@@ -403,7 +404,10 @@ mod tests {
     fn diamond() -> Dag<u32> {
         let mut edges = BTreeMap::new();
         edges.insert((0, 1), const_edge("a"));
-        edges.insert((1, 2), vec![AtomSet::ConstStr("b".into()), AtomSet::Whole(0)]);
+        edges.insert(
+            (1, 2),
+            vec![AtomSet::ConstStr("b".into()), AtomSet::Whole(0)],
+        );
         edges.insert((0, 2), const_edge("ab"));
         Dag {
             num_nodes: 3,
@@ -516,8 +520,8 @@ mod tests {
     fn atomset_count_multiplies_positions() {
         let aset: AtomSet<u32> = AtomSet::SubStr {
             src: 0,
-            p1: vec![PosSet::CPos(0), PosSet::CPos(1)],
-            p2: vec![PosSet::CPos(2)],
+            p1: Arc::new(vec![PosSet::CPos(0), PosSet::CPos(1)]),
+            p2: Arc::new(vec![PosSet::CPos(2)]),
         };
         assert_eq!(aset.count(&mut |_| BigUint::from(3u64)).to_u64(), Some(6));
     }

@@ -22,7 +22,11 @@ pub fn eval_pos_with_runs(pos: &PosExpr, runs: &StringRuns, set: &TokenSet) -> O
     let len = runs.len() as i64;
     match pos {
         PosExpr::CPos(k) => {
-            let t = if *k >= 0 { *k as i64 } else { len + 1 + *k as i64 };
+            let t = if *k >= 0 {
+                *k as i64
+            } else {
+                len + 1 + *k as i64
+            };
             (0..=len).contains(&t).then_some(t as u32)
         }
         PosExpr::Pos { r1, r2, c } => {
@@ -237,7 +241,10 @@ mod tests {
             p1: PosExpr::CPos(5),
             p2: PosExpr::CPos(-1),
         };
-        assert_eq!(eval_on_state(&StringExpr::atom(atom), &["ab"], &set()), None);
+        assert_eq!(
+            eval_on_state(&StringExpr::atom(atom), &["ab"], &set()),
+            None
+        );
         // Unknown variable.
         let whole = StringExpr::atom(AtomicExpr::Whole(Var(7)));
         assert_eq!(eval_on_state(&whole, &["ab"], &set()), None);
@@ -270,14 +277,8 @@ mod tests {
     #[test]
     fn whole_var_and_const() {
         let expr = StringExpr {
-            atoms: vec![
-                AtomicExpr::Whole(Var(1)),
-                AtomicExpr::ConstStr("!".into()),
-            ],
+            atoms: vec![AtomicExpr::Whole(Var(1)), AtomicExpr::ConstStr("!".into())],
         };
-        assert_eq!(
-            eval_on_state(&expr, &["a", "b"], &set()),
-            Some("b!".into())
-        );
+        assert_eq!(eval_on_state(&expr, &["a", "b"], &set()), Some("b!".into()));
     }
 }

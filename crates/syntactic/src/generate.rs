@@ -16,9 +16,11 @@
 //! semantic layer passes reachable-node handles, which is exactly how §5.3
 //! reuses this procedure as `GenerateStr_s(σ ∪ η̃, s)`.
 
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::dag::{AtomSet, Dag};
+use crate::dag::{AtomSet, Dag, PosSet};
 use crate::positions::PositionLearner;
 use crate::tokens::{StringRuns, TokenSet};
 
@@ -40,35 +42,99 @@ impl Default for GenOptions {
     }
 }
 
+/// Precomputed per-source state: token runs plus a lazily filled cache of
+/// learned position sets, one slot per boundary position.
+///
+/// `GenerateStr_u`'s inner loop calls `GenerateStr_s` for *hundreds* of
+/// candidate cells against one σ ∪ η̃ snapshot; the seed recomputed token
+/// runs per call and re-learned positions per occurrence probe. Preparing
+/// the sources once classifies each string exactly once, and every position
+/// is learned at most once no matter how many substring occurrences hit it.
+pub struct PreparedSources<S> {
+    token_set: TokenSet,
+    max_seq_len: usize,
+    entries: Vec<PreparedSource<S>>,
+}
+
+struct PreparedSource<S> {
+    handle: S,
+    runs: StringRuns,
+    /// `positions[t]` caches `PositionLearner::learn(t)` behind an `Arc`
+    /// shared by every atom referencing that boundary.
+    positions: Vec<OnceCell<Arc<Vec<PosSet>>>>,
+}
+
+impl<S: Clone> PreparedSources<S> {
+    /// Classifies every source string against the option's token set.
+    pub fn new(sources: &[(S, &str)], opts: &GenOptions) -> Self {
+        let entries = sources
+            .iter()
+            .map(|(handle, w)| {
+                let runs = StringRuns::compute(w, &opts.token_set);
+                let slots = runs.len() as usize + 1;
+                PreparedSource {
+                    handle: handle.clone(),
+                    runs,
+                    positions: (0..slots).map(|_| OnceCell::new()).collect(),
+                }
+            })
+            .collect();
+        PreparedSources {
+            token_set: opts.token_set.clone(),
+            max_seq_len: opts.max_seq_len,
+            entries,
+        }
+    }
+
+    /// Number of prepared sources.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no sources were prepared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn positions(&self, src: usize, t: u32) -> Arc<Vec<PosSet>> {
+        let entry = &self.entries[src];
+        Arc::clone(entry.positions[t as usize].get_or_init(|| {
+            Arc::new(PositionLearner::new(&entry.runs, &self.token_set, self.max_seq_len).learn(t))
+        }))
+    }
+}
+
 /// Builds the DAG of all programs mapping `sources` to `output`.
 ///
 /// `sources` is the extended state σ ∪ η̃: each entry is an opaque handle
 /// plus its string value. The resulting DAG is never empty — the all-constant
-/// program is always represented.
+/// program is always represented. One-shot wrapper over
+/// [`generate_dag_prepared`]; prepare once when generating against many
+/// outputs.
 pub fn generate_dag<S: Clone + PartialEq>(
     sources: &[(S, &str)],
     output: &str,
     opts: &GenOptions,
 ) -> Dag<S> {
+    generate_dag_prepared(&PreparedSources::new(sources, opts), output)
+}
+
+/// Builds the DAG of all programs mapping the prepared sources to `output`.
+pub fn generate_dag_prepared<S: Clone>(prepared: &PreparedSources<S>, output: &str) -> Dag<S> {
     let out_chars: Vec<char> = output.chars().collect();
     let len = out_chars.len();
     if len == 0 {
         return Dag::empty_output();
     }
 
-    // Precompute per-source runs, learners and the longest-common-extension
-    // table against the output (lce[i][k] = length of longest common prefix
-    // of output[i..] and w[k..]).
-    struct SourceCtx<S> {
-        handle: S,
-        runs: StringRuns,
-        lce: Vec<Vec<u32>>,
-    }
-    let contexts: Vec<SourceCtx<S>> = sources
+    // Longest-common-extension table per source against this output
+    // (lce[i][k] = length of longest common prefix of output[i..] and
+    // w[k..]); the only per-output precomputation.
+    let lces: Vec<Vec<Vec<u32>>> = prepared
+        .entries
         .iter()
-        .map(|(handle, w)| {
-            let runs = StringRuns::compute(w, &opts.token_set);
-            let w_chars = runs.chars();
+        .map(|entry| {
+            let w_chars = entry.runs.chars();
             let mut lce = vec![vec![0u32; w_chars.len() + 1]; len + 1];
             for i in (0..len).rev() {
                 for k in (0..w_chars.len()).rev() {
@@ -77,11 +143,7 @@ pub fn generate_dag<S: Clone + PartialEq>(
                     }
                 }
             }
-            SourceCtx {
-                handle: handle.clone(),
-                runs,
-                lce,
-            }
+            lce
         })
         .collect();
 
@@ -91,26 +153,25 @@ pub fn generate_dag<S: Clone + PartialEq>(
             let substring: String = out_chars[i..j].iter().collect();
             let mut atoms: Vec<AtomSet<S>> = vec![AtomSet::ConstStr(substring)];
             let want = (j - i) as u32;
-            for ctx in &contexts {
-                let w_len = ctx.runs.len() as usize;
+            for (idx, entry) in prepared.entries.iter().enumerate() {
+                let w_len = entry.runs.len() as usize;
                 if (want as usize) > w_len {
                     continue;
                 }
-                let learner =
-                    PositionLearner::new(&ctx.runs, &opts.token_set, opts.max_seq_len);
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..=(w_len - want as usize) {
-                    if ctx.lce[i][k] < want {
+                    if lces[idx][i][k] < want {
                         continue;
                     }
                     let start = k as u32;
                     let end = start + want;
                     if start == 0 && end as usize == w_len {
-                        atoms.push(AtomSet::Whole(ctx.handle.clone()));
+                        atoms.push(AtomSet::Whole(entry.handle.clone()));
                     }
                     atoms.push(AtomSet::SubStr {
-                        src: ctx.handle.clone(),
-                        p1: learner.learn(start),
-                        p2: learner.learn(end),
+                        src: entry.handle.clone(),
+                        p1: prepared.positions(idx, start),
+                        p2: prepared.positions(idx, end),
                     });
                 }
             }
@@ -238,12 +299,8 @@ mod tests {
     fn two_sources_both_contribute() {
         let dag = gen(&["Honda", "125"], "Honda125");
         let atoms = &dag.edges[&(0, 5)];
-        assert!(atoms
-            .iter()
-            .any(|a| matches!(a, AtomSet::Whole(Var(0)))));
+        assert!(atoms.iter().any(|a| matches!(a, AtomSet::Whole(Var(0)))));
         let atoms = &dag.edges[&(5, 8)];
-        assert!(atoms
-            .iter()
-            .any(|a| matches!(a, AtomSet::Whole(Var(1)))));
+        assert!(atoms.iter().any(|a| matches!(a, AtomSet::Whole(Var(1)))));
     }
 }

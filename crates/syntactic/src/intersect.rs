@@ -11,10 +11,58 @@
 //! co-reachable from the target pair, then renumbers them in lexicographic
 //! order, which preserves the forward-edge invariant of [`Dag`].
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use sst_tables::{IntMap, ProgSet};
 
 use crate::dag::{AtomSet, Dag, PosSet};
 use crate::language::RegexSeq;
+
+/// Memo for position-list intersections, keyed by the *identity* of the two
+/// input `Arc`s. Generation shares one position vector per (source,
+/// boundary), so the same pair is intersected over and over across atom
+/// pairs — and, through `Intersect_u`'s nested predicate DAGs, across whole
+/// DAG intersections.
+///
+/// Identity keying is sound because position vectors are immutable once
+/// created, and each entry stores clones of its two key `Arc`s: as long as
+/// the memo lives, the keyed addresses cannot be freed and reused, so a
+/// memo may even be shared across intersection sessions safely.
+#[derive(Debug, Default)]
+pub struct PosMemo {
+    map: RefCell<PosMemoMap>,
+}
+
+/// Entry: the two pinned inputs plus the cached intersection.
+type PosMemoEntry = (Arc<Vec<PosSet>>, Arc<Vec<PosSet>>, Option<Arc<Vec<PosSet>>>);
+type PosMemoMap = IntMap<(usize, usize), PosMemoEntry>;
+
+impl PosMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        PosMemo::default()
+    }
+
+    fn intersect(&self, a: &Arc<Vec<PosSet>>, b: &Arc<Vec<PosSet>>) -> Option<Arc<Vec<PosSet>>> {
+        let key = (Arc::as_ptr(a) as usize, Arc::as_ptr(b) as usize);
+        if let Some((_, _, hit)) = self.map.borrow().get(&key) {
+            return hit.clone();
+        }
+        let v = intersect_pos_lists(a, b);
+        let out = if v.is_empty() {
+            None
+        } else {
+            Some(Arc::new(v))
+        };
+        self.map
+            .borrow_mut()
+            .insert(key, (Arc::clone(a), Arc::clone(b), out.clone()));
+        out
+    }
+}
 
 /// Intersects two program DAGs. Returns `None` when the intersection is
 /// empty (no common program).
@@ -24,7 +72,22 @@ pub fn intersect_dags<S1, S2, S3>(
     src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
 ) -> Option<Dag<S3>>
 where
-    S3: PartialEq,
+    S3: Eq + Hash,
+{
+    intersect_dags_memo(a, b, src_intersect, &PosMemo::new())
+}
+
+/// [`intersect_dags`] with a caller-supplied [`PosMemo`], for sessions that
+/// intersect many DAGs sharing position vectors (`Intersect_u`'s nested
+/// predicate DAGs all draw from one per-step cache).
+pub fn intersect_dags_memo<S1, S2, S3>(
+    a: &Dag<S1>,
+    b: &Dag<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+    pos_memo: &PosMemo,
+) -> Option<Dag<S3>>
+where
+    S3: Eq + Hash,
 {
     // Enumerate node pairs in lexicographic order; edges go forward in both
     // components, so this is a topological order of the product.
@@ -33,17 +96,18 @@ where
 
     for (&(a1, b1), atoms1) in &a.edges {
         for (&(a2, b2), atoms2) in &b.edges {
-            let mut atoms: Vec<AtomSet<S3>> = Vec::new();
+            // Hashed dedup: products of large atom sets made the seed's
+            // `Vec::contains` quadratic in deep comparisons.
+            let mut atoms: ProgSet<AtomSet<S3>> = ProgSet::new();
             for x in atoms1 {
                 for y in atoms2 {
-                    if let Some(z) = intersect_atom_sets(x, y, src_intersect) {
-                        if !atoms.contains(&z) {
-                            atoms.push(z);
-                        }
+                    if let Some(z) = intersect_atom_sets_memo(x, y, src_intersect, pos_memo) {
+                        atoms.insert(z);
                     }
                 }
             }
             if !atoms.is_empty() {
+                let atoms: Vec<AtomSet<S3>> = atoms.into_iter().collect();
                 edges.insert((pair_id(a1, a2), pair_id(b1, b2)), atoms);
             }
         }
@@ -53,10 +117,7 @@ where
     let mut used: Vec<u64> = edges
         .keys()
         .flat_map(|&(x, y)| [x, y])
-        .chain([
-            pair_id(a.source, b.source),
-            pair_id(a.target, b.target),
-        ])
+        .chain([pair_id(a.source, b.source), pair_id(a.target, b.target)])
         .collect();
     used.sort_unstable();
     used.dedup();
@@ -88,6 +149,16 @@ pub fn intersect_atom_sets<S1, S2, S3>(
     y: &AtomSet<S2>,
     src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
 ) -> Option<AtomSet<S3>> {
+    intersect_atom_sets_memo(x, y, src_intersect, &PosMemo::new())
+}
+
+/// [`intersect_atom_sets`] with a shared [`PosMemo`].
+pub fn intersect_atom_sets_memo<S1, S2, S3>(
+    x: &AtomSet<S1>,
+    y: &AtomSet<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+    pos_memo: &PosMemo,
+) -> Option<AtomSet<S3>> {
     match (x, y) {
         (AtomSet::ConstStr(s1), AtomSet::ConstStr(s2)) if s1 == s2 => {
             Some(AtomSet::ConstStr(s1.clone()))
@@ -106,14 +177,8 @@ pub fn intersect_atom_sets<S1, S2, S3>(
             },
         ) => {
             let src = src_intersect(src1, src2)?;
-            let p1 = intersect_pos_lists(p11, p21);
-            if p1.is_empty() {
-                return None;
-            }
-            let p2 = intersect_pos_lists(p12, p22);
-            if p2.is_empty() {
-                return None;
-            }
+            let p1 = pos_memo.intersect(p11, p21)?;
+            let p2 = pos_memo.intersect(p12, p22)?;
             Some(AtomSet::SubStr { src, p1, p2 })
         }
         _ => None,
@@ -151,16 +216,18 @@ pub fn intersect_pos_sets(x: &PosSet, y: &PosSet) -> Option<PosSet> {
                 cs: bc,
             },
         ) => {
+            // Occurrence indices are the cheapest component: reject on them
+            // before allocating sequence intersections.
+            let cs: Vec<i32> = ac.iter().copied().filter(|c| bc.contains(c)).collect();
+            if cs.is_empty() {
+                return None;
+            }
             let r1s = seq_intersection(a1, b1);
             if r1s.is_empty() {
                 return None;
             }
             let r2s = seq_intersection(a2, b2);
             if r2s.is_empty() {
-                return None;
-            }
-            let cs: Vec<i32> = ac.iter().copied().filter(|c| bc.contains(c)).collect();
-            if cs.is_empty() {
                 return None;
             }
             Some(PosSet::Pos { r1s, r2s, cs })
@@ -204,13 +271,17 @@ mod tests {
         let inter = intersect_dags(&d1, &d2, &mut var_eq).expect("nonempty");
         let opts = GenOptions::default();
         for prog in inter.enumerate_programs(200) {
-            let got1 = eval_expr(&prog, &mut |v: &Var| {
-                (v.0 == 0).then(|| "ab 12 cd".to_string())
-            }, &opts.token_set);
+            let got1 = eval_expr(
+                &prog,
+                &mut |v: &Var| (v.0 == 0).then(|| "ab 12 cd".to_string()),
+                &opts.token_set,
+            );
             assert_eq!(got1.as_deref(), Some("12"), "prog {prog}");
-            let got2 = eval_expr(&prog, &mut |v: &Var| {
-                (v.0 == 0).then(|| "x 345 yz".to_string())
-            }, &opts.token_set);
+            let got2 = eval_expr(
+                &prog,
+                &mut |v: &Var| (v.0 == 0).then(|| "x 345 yz".to_string()),
+                &opts.token_set,
+            );
             assert_eq!(got2.as_deref(), Some("345"), "prog {prog}");
         }
         // Constants are gone: "12" != "345".

@@ -210,10 +210,7 @@ mod tests {
         };
         assert_eq!(atom.to_string(), "SubStr(v1, 0, -1)");
         let e = StringExpr {
-            atoms: vec![
-                AtomicExpr::ConstStr(" ".into()),
-                AtomicExpr::Whole(Var(1)),
-            ],
+            atoms: vec![AtomicExpr::ConstStr(" ".into()), AtomicExpr::Whole(Var(1))],
         };
         assert_eq!(e.to_string(), "Concatenate(ConstStr(\" \"), v2)");
         let single = StringExpr::atom(AtomicExpr::<Var>::ConstStr("x".into()));

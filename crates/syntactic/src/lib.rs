@@ -43,8 +43,11 @@ mod tokens;
 
 pub use dag::{AtomSet, Dag, PosSet};
 pub use eval::{eval_atom, eval_expr, eval_on_state, eval_pos, eval_pos_with_runs};
-pub use generate::{generate_dag, GenOptions};
-pub use intersect::{intersect_atom_sets, intersect_dags, intersect_pos_lists, intersect_pos_sets};
+pub use generate::{generate_dag, generate_dag_prepared, GenOptions, PreparedSources};
+pub use intersect::{
+    intersect_atom_sets, intersect_atom_sets_memo, intersect_dags, intersect_dags_memo,
+    intersect_pos_lists, intersect_pos_sets, PosMemo,
+};
 pub use language::{AtomicExpr, PosExpr, RegexSeq, StringExpr, Var, VarId};
 pub use matches::Matcher;
 pub use positions::PositionLearner;
@@ -82,9 +85,7 @@ impl SyntacticLearner {
         let mut dag = self.generate(first_in, first_out);
         for (inputs, output) in iter {
             let next = self.generate(inputs, output);
-            dag = intersect_dags(&dag, &next, &mut |a: &Var, b: &Var| {
-                (a == b).then_some(*a)
-            })?;
+            dag = intersect_dags(&dag, &next, &mut |a: &Var, b: &Var| (a == b).then_some(*a))?;
         }
         Some(LearnedSyntactic {
             dag,
@@ -146,9 +147,7 @@ mod tests {
     #[test]
     fn learn_name_initial_format_generalizes() {
         let learner = SyntacticLearner::default();
-        let learned = learner
-            .learn(&[ex(&["Alan Turing"], "Turing A")])
-            .unwrap();
+        let learned = learner.learn(&[ex(&["Alan Turing"], "Turing A")]).unwrap();
         let top = learned.top().unwrap();
         assert_eq!(
             learned.run(&top, &["Grace Hopper"]).as_deref(),

@@ -9,8 +9,8 @@
 //! These two predicates induce the position sets used by `pos(r1, r2, c)`:
 //! `T(r1, r2) = ends(r1) ∩ starts(r2)`, with `ε` matching everywhere.
 
-use crate::tokens::{StringRuns, TokenSet};
 use crate::language::RegexSeq;
+use crate::tokens::{StringRuns, TokenSet};
 
 /// Match computations for one subject string.
 pub struct Matcher<'a> {
@@ -164,6 +164,9 @@ mod tests {
         let runs = StringRuns::compute("a1", &set);
         let m = Matcher::new(&runs, &set);
         // Alpha is not in the custom set.
-        assert_eq!(m.all_ends(&RegexSeq::token(Token::Alpha)), Vec::<u32>::new());
+        assert_eq!(
+            m.all_ends(&RegexSeq::token(Token::Alpha)),
+            Vec::<u32>::new()
+        );
     }
 }

@@ -73,8 +73,8 @@ impl<'a> PositionLearner<'a> {
 
         for (ends, r1s) in &left_groups {
             for (starts, r2s) in &right_groups {
-                let both_epsilon = r1s.iter().all(RegexSeq::is_epsilon)
-                    && r2s.iter().all(RegexSeq::is_epsilon);
+                let both_epsilon =
+                    r1s.iter().all(RegexSeq::is_epsilon) && r2s.iter().all(RegexSeq::is_epsilon);
                 if both_epsilon {
                     continue; // pos(ε, ε, c) ≡ CPos, already covered
                 }
@@ -312,9 +312,7 @@ mod tests {
         // ends at 4.
         let (sets, _, _) = learn("ab12", 4);
         let has_two = sets.iter().any(|p| match p {
-            PosSet::Pos { r1s, .. } => r1s
-                .iter()
-                .any(|r| r.0 == vec![Token::Alpha, Token::Num]),
+            PosSet::Pos { r1s, .. } => r1s.iter().any(|r| r.0 == vec![Token::Alpha, Token::Num]),
             _ => false,
         });
         assert!(has_two, "expected TokenSeq(AlphaTok, NumTok) ending at 4");

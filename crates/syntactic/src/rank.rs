@@ -296,9 +296,7 @@ mod tests {
     fn veto_source_falls_back() {
         let dag = gen(&["abc"], "abc");
         // Veto all sources: only the constant remains.
-        let (_, prog) = w()
-            .best_program(&dag, &mut |_: &Var| None)
-            .unwrap();
+        let (_, prog) = w().best_program(&dag, &mut |_: &Var| None).unwrap();
         assert_eq!(prog.to_string(), "ConstStr(\"abc\")");
     }
 

@@ -135,8 +135,9 @@ impl TokenSet {
             Token::Start,
             Token::End,
         ];
-        for c in ['/', '-', '.', ',', ':', ';', '_', '@', '$', '%', '(', ')', '+', '*', '#', '&']
-        {
+        for c in [
+            '/', '-', '.', ',', ':', ';', '_', '@', '$', '%', '(', ')', '+', '*', '#', '&',
+        ] {
             tokens.push(Token::Special(c));
         }
         TokenSet { tokens }

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::TableError;
+use crate::intern::Symbol;
 use crate::table::{CellRef, Table};
 use crate::value_index::ValueIndex;
 
@@ -86,11 +87,9 @@ impl Database {
             .map(|(i, t)| (i as TableId, t))
     }
 
-    /// All cells across all tables equal to `value`.
-    pub fn cells_equal<'a>(
-        &'a self,
-        value: &'a str,
-    ) -> impl Iterator<Item = (TableId, CellRef)> + 'a {
+    /// All cells across all tables equal to the interned `value`. One hash
+    /// of a `u32` per table — the `GenerateStr_t` frontier probe.
+    pub fn cells_equal(&self, value: Symbol) -> impl Iterator<Item = (TableId, CellRef)> + '_ {
         self.indexes.iter().enumerate().flat_map(move |(tid, idx)| {
             idx.cells_equal(value)
                 .iter()
@@ -150,7 +149,8 @@ mod tests {
     #[test]
     fn cross_table_cell_query() {
         let db = db();
-        let hits: Vec<(TableId, CellRef)> = db.cells_equal("2").collect();
+        let hits: Vec<(TableId, CellRef)> = db.cells_equal(Symbol::intern("2")).collect();
+        assert_eq!(db.cells_equal(Symbol::intern("never-a-cell")).count(), 0);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 0);
         assert_eq!(hits[1].0, 1);

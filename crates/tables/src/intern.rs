@@ -1,0 +1,218 @@
+//! Global string interner: the workspace's interned value plane.
+//!
+//! Every cell value, example string and reachability-frontier value is
+//! interned once into a process-global table and represented thereafter by a
+//! [`Symbol`] — a `u32` id. The synthesis hot path (`GenerateStr_t`'s
+//! frontier probes, `ValueIndex` lookups, node-map keys, predicate
+//! constants) then works entirely on symbols: equality is an integer
+//! compare, hashing is one multiply, and no per-probe `String` is ever
+//! allocated. Interned strings live for the process lifetime — the set is
+//! bounded by the database contents plus the example strings, which is
+//! exactly the working set the synthesizer touches anyway.
+//!
+//! `Symbol(0)` is always the empty string, so emptiness tests need no
+//! resolution.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense `u32` id into the process-global interner.
+///
+/// Equal symbols ⇔ equal strings. Ordering follows interning order (first
+/// intern wins the smaller id), which is stable within a process but *not*
+/// lexicographic — sort resolved strings when presentation order matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        let mut map = HashMap::with_capacity(1024);
+        map.insert("", 0);
+        RwLock::new(Interner {
+            map,
+            strings: vec![""],
+        })
+    })
+}
+
+impl Symbol {
+    /// The interned empty string.
+    pub const EMPTY: Symbol = Symbol(0);
+
+    /// Interns `s`, returning its symbol (idempotent).
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let guard = interner().read().expect("interner poisoned");
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write().expect("interner poisoned");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id); // raced: someone interned between locks
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = guard.strings.len() as u32;
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Looks `s` up without interning; `None` when never interned. Use for
+    /// probe values that should not grow the intern table.
+    pub fn get(s: &str) -> Option<Symbol> {
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").strings[self.0 as usize]
+    }
+
+    /// The raw id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// True iff this is the empty string (no resolution needed).
+    pub fn is_empty(self) -> bool {
+        self == Symbol::EMPTY
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+/// Multiply-xor hasher for small integer keys ([`Symbol`], node-id pairs).
+/// One multiply per word beats SipHash on the synthesis hot path; symbols
+/// are attacker-free internal ids, so DoS hardening is not needed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntHasher(u64);
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer fields; rarely used on the hot path.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(SEED).rotate_left(23);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let x = (self.0.rotate_left(29) ^ v).wrapping_mul(SEED);
+        self.0 = x ^ (x >> 32);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` keyed by integer-like keys via [`IntHasher`].
+pub type IntMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
+
+/// `HashMap` from [`Symbol`]s, the common case.
+pub type SymbolMap<V> = IntMap<Symbol, V>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_equal_by_content() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        let c = Symbol::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn empty_symbol_is_reserved() {
+        assert_eq!(Symbol::intern(""), Symbol::EMPTY);
+        assert!(Symbol::EMPTY.is_empty());
+        assert!(!Symbol::intern("x").is_empty());
+        assert_eq!(Symbol::EMPTY.as_str(), "");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        assert_eq!(Symbol::get("never-interned-probe-q7x"), None);
+        let s = Symbol::intern("interned-once-q7x");
+        assert_eq!(Symbol::get("interned-once-q7x"), Some(s));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let s: Symbol = "conv".into();
+        assert_eq!(s.to_string(), "conv");
+        let t: Symbol = String::from("conv").into();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn symbol_map_round_trips() {
+        let mut m: SymbolMap<u32> = SymbolMap::default();
+        for i in 0..100u32 {
+            m.insert(Symbol::intern(&format!("k{i}")), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&Symbol::intern(&format!("k{i}"))), Some(&i));
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("t{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

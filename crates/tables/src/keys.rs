@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use crate::intern::Symbol;
 use crate::table::{ColId, Table};
 
 /// Returns true iff `cols` has no two rows agreeing on all columns.
@@ -18,9 +19,9 @@ pub fn is_unique_key(table: &Table, cols: &[ColId]) -> bool {
     if cols.is_empty() {
         return table.len() <= 1;
     }
-    let mut seen: HashSet<Vec<&str>> = HashSet::with_capacity(table.len());
+    let mut seen: HashSet<Vec<Symbol>> = HashSet::with_capacity(table.len());
     for row in table.iter_rows() {
-        let key: Vec<&str> = cols.iter().map(|&c| row[c as usize].as_str()).collect();
+        let key: Vec<Symbol> = cols.iter().map(|&c| row[c as usize]).collect();
         if !seen.insert(key) {
             return false;
         }
@@ -162,11 +163,7 @@ mod tests {
 
     #[test]
     fn no_key_within_bound_errors() {
-        let r = Table::new(
-            "T",
-            vec!["A", "B"],
-            vec![vec!["1", "1"], vec!["1", "1"]],
-        );
+        let r = Table::new("T", vec!["A", "B"], vec![vec!["1", "1"], vec!["1", "1"]]);
         assert!(matches!(r, Err(crate::TableError::NoCandidateKey(_))));
     }
 

@@ -19,12 +19,16 @@
 mod csv;
 mod database;
 mod error;
+mod intern;
 mod keys;
+mod progset;
 mod table;
 mod value_index;
 
 pub use csv::{parse_csv, write_csv, CsvError};
 pub use database::{Database, TableId};
 pub use error::TableError;
+pub use intern::{IntHasher, IntMap, Symbol, SymbolMap};
+pub use progset::ProgSet;
 pub use table::{CellRef, ColId, RowId, Table};
 pub use value_index::ValueIndex;

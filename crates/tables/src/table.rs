@@ -4,6 +4,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use crate::error::TableError;
+use crate::intern::Symbol;
 use crate::keys;
 
 /// Column index within a table.
@@ -23,14 +24,16 @@ pub struct CellRef {
 
 /// An immutable string table with named columns and candidate keys.
 ///
-/// Rows and columns are dense; every cell is an owned `String`. Candidate
-/// keys are *ordered* column lists — the ordering matters because the
-/// paper's `Intersect_t` intersects key predicates positionally (Fig. 5b).
+/// Rows and columns are dense; every cell is an interned [`Symbol`], so
+/// cloning a table is cheap and cell equality is an integer compare.
+/// Candidate keys are *ordered* column lists — the ordering matters because
+/// the paper's `Intersect_t` intersects key predicates positionally
+/// (Fig. 5b).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     name: String,
     columns: Vec<String>,
-    rows: Vec<Vec<String>>,
+    rows: Vec<Vec<Symbol>>,
     candidate_keys: Vec<Vec<ColId>>,
 }
 
@@ -39,11 +42,7 @@ impl Table {
     ///
     /// Key inference can be overridden with [`Table::with_keys`] or widened
     /// with [`Table::new_with_key_width`].
-    pub fn new<N, C, R>(
-        name: N,
-        columns: Vec<C>,
-        rows: Vec<Vec<R>>,
-    ) -> Result<Self, TableError>
+    pub fn new<N, C, R>(name: N, columns: Vec<C>, rows: Vec<Vec<R>>) -> Result<Self, TableError>
     where
         N: Into<String>,
         C: Into<String>,
@@ -90,7 +89,11 @@ impl Table {
     pub fn to_csv(&self) -> String {
         let mut all: Vec<Vec<String>> = Vec::with_capacity(self.rows.len() + 1);
         all.push(self.columns.clone());
-        all.extend(self.rows.iter().cloned());
+        all.extend(
+            self.rows
+                .iter()
+                .map(|row| row.iter().map(|s| s.as_str().to_string()).collect()),
+        );
         crate::csv::write_csv(&all)
     }
 
@@ -128,11 +131,7 @@ impl Table {
         Ok(table)
     }
 
-    fn build<N, C, R>(
-        name: N,
-        columns: Vec<C>,
-        rows: Vec<Vec<R>>,
-    ) -> Result<Self, TableError>
+    fn build<N, C, R>(name: N, columns: Vec<C>, rows: Vec<Vec<R>>) -> Result<Self, TableError>
     where
         N: Into<String>,
         C: Into<String>,
@@ -151,7 +150,10 @@ impl Table {
         }
         let mut converted = Vec::with_capacity(rows.len());
         for (i, row) in rows.into_iter().enumerate() {
-            let row: Vec<String> = row.into_iter().map(Into::into).collect();
+            let row: Vec<Symbol> = row
+                .into_iter()
+                .map(|cell| Symbol::intern(&cell.into()))
+                .collect();
             if row.len() != columns.len() {
                 return Err(TableError::RaggedRow {
                     row: i,
@@ -196,7 +198,10 @@ impl Table {
 
     /// Resolves a column name to its index.
     pub fn column_id(&self, name: &str) -> Option<ColId> {
-        self.columns.iter().position(|c| c == name).map(|i| i as ColId)
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as ColId)
     }
 
     /// Column name for an index.
@@ -205,22 +210,28 @@ impl Table {
     }
 
     /// Cell content at `(col, row)`.
-    pub fn cell(&self, col: ColId, row: RowId) -> &str {
-        &self.rows[row as usize][col as usize]
+    pub fn cell(&self, col: ColId, row: RowId) -> &'static str {
+        self.rows[row as usize][col as usize].as_str()
     }
 
-    /// A full row as a slice of cells.
-    pub fn row(&self, row: RowId) -> &[String] {
+    /// Interned cell at `(col, row)` — the hot-path accessor: no string
+    /// resolution, equality by id.
+    pub fn cell_sym(&self, col: ColId, row: RowId) -> Symbol {
+        self.rows[row as usize][col as usize]
+    }
+
+    /// A full row as a slice of interned cells.
+    pub fn row(&self, row: RowId) -> &[Symbol] {
         &self.rows[row as usize]
     }
 
-    /// Iterates over all rows.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[String]> {
+    /// Iterates over all rows as interned cells.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Symbol]> {
         self.rows.iter().map(|r| r.as_slice())
     }
 
     /// Iterates over every cell as `(CellRef, &str)`.
-    pub fn iter_cells(&self) -> impl Iterator<Item = (CellRef, &str)> {
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellRef, &'static str)> + '_ {
         self.rows.iter().enumerate().flat_map(|(r, row)| {
             row.iter().enumerate().map(move |(c, v)| {
                 (
@@ -244,9 +255,10 @@ impl Table {
     pub fn cells_related_to<'a>(
         &'a self,
         s: &'a str,
-    ) -> impl Iterator<Item = (CellRef, &'a str)> + 'a {
-        self.iter_cells()
-            .filter(move |(_, v)| !v.is_empty() && !s.is_empty() && (s.contains(v) || v.contains(s)))
+    ) -> impl Iterator<Item = (CellRef, &'static str)> + 'a {
+        self.iter_cells().filter(move |(_, v)| {
+            !v.is_empty() && !s.is_empty() && (s.contains(v) || v.contains(s))
+        })
     }
 
     /// Finds the unique row where each `(col, value)` pair matches, if any.
@@ -255,12 +267,21 @@ impl Table {
     /// conditions cover a candidate key, so at most one row can match; we
     /// nevertheless scan defensively and return `None` on ambiguity.
     pub fn find_unique_row(&self, conds: &[(ColId, &str)]) -> Option<RowId> {
+        // Resolve each probe string to a symbol once, without interning: a
+        // value that was never interned cannot equal any cell (cells intern
+        // on construction), so the scan below is pure integer compares.
+        let mut resolved = Vec::with_capacity(conds.len());
+        for (c, v) in conds {
+            resolved.push((*c, Symbol::get(v)?));
+        }
+        self.find_unique_row_sym(&resolved)
+    }
+
+    /// [`Table::find_unique_row`] over interned probe values.
+    pub fn find_unique_row_sym(&self, conds: &[(ColId, Symbol)]) -> Option<RowId> {
         let mut found: Option<RowId> = None;
         for (r, row) in self.rows.iter().enumerate() {
-            if conds
-                .iter()
-                .all(|(c, v)| row[*c as usize].as_str() == *v)
-            {
+            if conds.iter().all(|(c, v)| row[*c as usize] == *v) {
                 if found.is_some() {
                     return None;
                 }
@@ -276,7 +297,7 @@ impl fmt::Display for Table {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(cell.as_str().len());
             }
         }
         writeln!(f, "{}:", self.name)?;
@@ -291,7 +312,7 @@ impl fmt::Display for Table {
             let cells: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .map(|(i, c)| format!("{:w$}", c.as_str(), w = widths[i]))
                 .collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
@@ -327,7 +348,7 @@ mod tests {
         assert_eq!(t.column_id("Name"), Some(1));
         assert_eq!(t.column_id("Nope"), None);
         assert_eq!(t.column_name(0), "Id");
-        assert_eq!(t.row(1), ["c2".to_string(), "Google".to_string()]);
+        assert_eq!(t.row(1), [Symbol::intern("c2"), Symbol::intern("Google")]);
     }
 
     #[test]
@@ -376,13 +397,7 @@ mod tests {
 
     #[test]
     fn declared_key_unknown_column() {
-        let err = Table::with_keys(
-            "T",
-            vec!["A"],
-            vec![vec!["x"]],
-            vec![vec!["Z"]],
-        )
-        .unwrap_err();
+        let err = Table::with_keys("T", vec!["A"], vec![vec!["x"]], vec![vec!["Z"]]).unwrap_err();
         assert_eq!(err, TableError::UnknownColumn("Z".into()));
     }
 
@@ -397,12 +412,7 @@ mod tests {
 
     #[test]
     fn find_unique_row_rejects_ambiguity() {
-        let t = Table::new(
-            "T",
-            vec!["A", "B"],
-            vec![vec!["x", "1"], vec!["y", "1"]],
-        )
-        .unwrap();
+        let t = Table::new("T", vec!["A", "B"], vec![vec!["x", "1"], vec!["y", "1"]]).unwrap();
         assert_eq!(t.find_unique_row(&[(1, "1")]), None);
     }
 

@@ -1,48 +1,46 @@
-//! Inverted value→cell index.
+//! Inverted value→cell index over interned symbols.
 //!
 //! `GenerateStr_t` (Fig. 5a, line 9) iterates over "each table T, col C,
 //! row r s.t. `T[C,r] = val(η)`" for every frontier node η. Scanning all
 //! tables per frontier string would be quadratic; this index answers the
-//! query in O(1) per distinct value.
+//! query in O(1) per distinct value. Keys are [`Symbol`]s, so a cross-table
+//! probe hashes one `u32` once — no per-table string hashing, no `String`
+//! allocation.
 
-use std::collections::HashMap;
-
+use crate::intern::{Symbol, SymbolMap};
 use crate::table::{CellRef, ColId, RowId, Table};
 
-/// Inverted index from cell value to every cell holding that value.
+/// Inverted index from interned cell value to every cell holding it.
 #[derive(Debug, Clone, Default)]
 pub struct ValueIndex {
-    cells: HashMap<String, Vec<CellRef>>,
+    cells: SymbolMap<Vec<CellRef>>,
 }
 
 impl ValueIndex {
     /// Builds the index for one table.
     pub fn build(table: &Table) -> Self {
-        let mut cells: HashMap<String, Vec<CellRef>> =
-            HashMap::with_capacity(table.len() * table.width());
+        let mut cells: SymbolMap<Vec<CellRef>> = SymbolMap::default();
+        cells.reserve(table.len() * table.width());
         for r in 0..table.len() {
             for c in 0..table.width() {
-                let v = table.cell(c as ColId, r as RowId);
-                cells
-                    .entry(v.to_string())
-                    .or_default()
-                    .push(CellRef {
-                        col: c as ColId,
-                        row: r as RowId,
-                    });
+                let v = table.cell_sym(c as ColId, r as RowId);
+                cells.entry(v).or_default().push(CellRef {
+                    col: c as ColId,
+                    row: r as RowId,
+                });
             }
         }
         ValueIndex { cells }
     }
 
     /// All cells whose content equals `value`.
-    pub fn cells_equal(&self, value: &str) -> &[CellRef] {
-        self.cells.get(value).map(Vec::as_slice).unwrap_or(&[])
+    pub fn cells_equal(&self, value: Symbol) -> &[CellRef] {
+        self.cells.get(&value).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Distinct values stored in the table.
-    pub fn distinct_values(&self) -> impl Iterator<Item = &str> {
-        self.cells.keys().map(String::as_str)
+    pub fn distinct_values(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.cells.keys().map(|s| s.as_str())
     }
 
     /// Number of distinct values.
@@ -67,7 +65,7 @@ mod tests {
     #[test]
     fn equal_lookup_finds_all_cells() {
         let idx = ValueIndex::build(&t());
-        let mut hits = idx.cells_equal("x").to_vec();
+        let mut hits = idx.cells_equal(Symbol::intern("x")).to_vec();
         hits.sort();
         assert_eq!(
             hits,
@@ -77,7 +75,7 @@ mod tests {
                 CellRef { col: 1, row: 2 },
             ]
         );
-        assert_eq!(idx.cells_equal("nope"), &[]);
+        assert_eq!(idx.cells_equal(Symbol::intern("nope")), &[]);
     }
 
     #[test]

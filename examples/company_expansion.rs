@@ -24,10 +24,7 @@ fn main() {
 
     let synthesizer = Synthesizer::new(db);
     let learned = synthesizer
-        .learn(&[Example::new(
-            vec!["c4 c3 c1"],
-            "Facebook Apple Microsoft",
-        )])
+        .learn(&[Example::new(vec!["c4 c3 c1"], "Facebook Apple Microsoft")])
         .expect("a consistent transformation exists");
 
     let program = learned.top().expect("ranked transformation");

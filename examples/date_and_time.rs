@@ -23,15 +23,18 @@ fn main() {
         .expect("time transformation learnable");
     let program = learned.top().expect("ranked program");
     println!("Example 7 (time):\n  {program}\n");
-    for (input, expected) in [("2245", "10:45 PM"), ("940", "9:40 AM"), ("1205", "12:05 PM")] {
+    for (input, expected) in [
+        ("2245", "10:45 PM"),
+        ("940", "9:40 AM"),
+        ("1205", "12:05 PM"),
+    ] {
         let got = program.run(&[input]).expect("evaluates");
         println!("  {input:<6} -> {got}");
         assert_eq!(got, expected);
     }
 
     // ---- Example 8: date reformatting ---------------------------------
-    let db =
-        Database::from_tables(vec![month_table(), date_ord_table()]).expect("valid database");
+    let db = Database::from_tables(vec![month_table(), date_ord_table()]).expect("valid database");
     let synthesizer = Synthesizer::new(db);
     let learned = synthesizer
         .learn(&[
@@ -41,7 +44,10 @@ fn main() {
         .expect("date transformation learnable");
     let program = learned.top().expect("ranked program");
     println!("\nExample 8 (dates):\n  {program}\n");
-    for (input, expected) in [("8-1-2009", "Aug 1st, 2009"), ("9-24-2007", "Sep 24th, 2007")] {
+    for (input, expected) in [
+        ("8-1-2009", "Aug 1st, 2009"),
+        ("9-24-2007", "Sep 24th, 2007"),
+    ] {
         let got = program.run(&[input]).expect("evaluates");
         println!("  {input:<10} -> {got}");
         assert_eq!(got, expected);

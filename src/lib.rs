@@ -60,6 +60,6 @@ pub use sst_benchmarks as benchmarks;
 
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
-    pub use sst_core::{Example, LearnedPrograms, Synthesizer, SynthesisOptions};
+    pub use sst_core::{Example, LearnedPrograms, SynthesisOptions, Synthesizer};
     pub use sst_tables::{Database, Table};
 }

@@ -9,7 +9,10 @@ use semantic_strings::core::{distinguishing_input, highlight_ambiguous, Synthesi
 fn ambiguous_rows_are_flagged_until_examples_fix_them() {
     // student_grade: grades repeat, so one example leaves ambiguity
     // between "grade of st3" and other constants/lookups on some rows.
-    let task = all_tasks().into_iter().find(|t| t.name == "student_grade").unwrap();
+    let task = all_tasks()
+        .into_iter()
+        .find(|t| t.name == "student_grade")
+        .unwrap();
     let synthesizer = Synthesizer::new(task.db.clone());
     let learned = synthesizer.learn(task.examples(1)).unwrap();
     let rows = task.input_rows();
@@ -39,7 +42,11 @@ fn distinguishing_input_matches_first_ambiguous_row() {
 
 #[test]
 fn outputs_on_training_row_is_singleton() {
-    for name in ["company_code_to_name", "ex6_company_series", "ex4_name_initial"] {
+    for name in [
+        "company_code_to_name",
+        "ex6_company_series",
+        "ex4_name_initial",
+    ] {
         let task = all_tasks().into_iter().find(|t| t.name == name).unwrap();
         let synthesizer = Synthesizer::new(task.db.clone());
         let learned = synthesizer.learn(task.examples(1)).unwrap();

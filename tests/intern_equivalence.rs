@@ -1,0 +1,162 @@
+//! Observational-equivalence pins for the interned value plane.
+//!
+//! The symbol/`Arc`/hash-set representation introduced for the synthesis hot
+//! path is a *representation* change: program counts, data-structure sizes
+//! and ranking must be bit-for-bit what the pre-intern seed produced. These
+//! tests pin a sample of suite tasks to expectations captured from the seed
+//! (same `examples(2)` protocol), so any representational drift — a dedup
+//! that merges programs the seed kept apart, an ordering change that flips
+//! the ranked winner — fails loudly.
+//!
+//! Full decimals are asserted where they fit; the astronomically counted
+//! tasks pin the seed's 3-significant-digit scientific rendering plus the
+//! exact structure size, which no count-changing bug plausibly preserves.
+
+use semantic_strings::benchmarks::all_tasks;
+use semantic_strings::prelude::*;
+
+/// (task id, name, seed count (scientific), seed size, seed top-program
+/// outputs over the whole spreadsheet).
+const SEED_EXPECTATIONS: &[(usize, &str, &str, usize, &[&str])] = &[
+    (
+        1,
+        "ex2_customer_price_join",
+        "1.53e+353",
+        43803,
+        &["110", "225", "2015", "495"],
+    ),
+    (
+        7,
+        "bike_model_price_pair",
+        "2.05e+82",
+        11027,
+        &["11,500", "10,000", "19,000", "18,000", "12,500"],
+    ),
+    (
+        15,
+        "ex6_company_series",
+        "6.96e+129",
+        4398,
+        &[
+            "Facebook Apple Microsoft",
+            "Google IBM Xerox",
+            "Microsoft IBM Facebook",
+            "Google Apple Facebook",
+        ],
+    ),
+    (
+        17,
+        "ex8_date_format",
+        "7.14e+96",
+        8621,
+        &[
+            "Jun 3rd, 2008",
+            "Mar 26th, 2010",
+            "Aug 1st, 2009",
+            "Sep 24th, 2007",
+        ],
+    ),
+    (
+        25,
+        "currency_name_parenthetical",
+        "4.86e+31",
+        1438,
+        &[
+            "US Dollar (USD)",
+            "Euro (EUR)",
+            "Swiss Franc (CHF)",
+            "Turkish Lira (TRY)",
+        ],
+    ),
+    (
+        31,
+        "name_swap_comma",
+        "7.18e+18",
+        2488,
+        &[
+            "Alan Turing",
+            "Grace Hopper",
+            "Barbara Liskov",
+            "Donald Knuth",
+        ],
+    ),
+    (
+        42,
+        "book_citation",
+        "1.55e+796",
+        38847,
+        &[
+            "Cormen, Introduction to Algorithms (2009)",
+            "Kernighan, The C Programming Language (1988)",
+            "Gamma, Design Patterns (1994)",
+            "Kleppmann, Designing Data-Intensive Applications (2017)",
+        ],
+    ),
+];
+
+/// Exact decimal pins for the tasks whose counts are small enough to read.
+const SEED_EXACT_COUNTS: &[(usize, &str)] = &[
+    (25, "48673400740845753376056637328546"),
+    (31, "7181726502069868320"),
+];
+
+fn learn_task(id: usize) -> (String, semantic_strings::core::LearnedPrograms) {
+    let tasks = all_tasks();
+    let task = &tasks[id - 1];
+    let synthesizer = Synthesizer::new(task.db.clone());
+    let learned = synthesizer
+        .learn(task.examples(2))
+        .unwrap_or_else(|e| panic!("task {id} ({}) failed to learn: {e}", task.name));
+    (task.name.to_string(), learned)
+}
+
+#[test]
+fn counts_and_sizes_match_seed_expectations() {
+    for &(id, name, count_sci, size, _) in SEED_EXPECTATIONS {
+        let (task_name, learned) = learn_task(id);
+        assert_eq!(task_name, name, "suite order changed for task {id}");
+        assert_eq!(
+            learned.count().to_scientific(),
+            count_sci,
+            "program count drifted on task {id} ({name})"
+        );
+        assert_eq!(
+            learned.size(),
+            size,
+            "data-structure size drifted on task {id} ({name})"
+        );
+    }
+}
+
+#[test]
+fn exact_counts_match_seed_decimals() {
+    for &(id, decimal) in SEED_EXACT_COUNTS {
+        let (name, learned) = learn_task(id);
+        assert_eq!(
+            learned.count().to_decimal(),
+            decimal,
+            "exact count drifted on task {id} ({name})"
+        );
+    }
+}
+
+#[test]
+fn top_ranked_outputs_match_seed_expectations() {
+    let tasks = all_tasks();
+    for &(id, name, _, _, outputs) in SEED_EXPECTATIONS {
+        let task = &tasks[id - 1];
+        let (_, learned) = learn_task(id);
+        let got: Vec<String> = task
+            .rows
+            .iter()
+            .map(|r| {
+                let refs: Vec<&str> = r.inputs.iter().map(String::as_str).collect();
+                learned.run(&refs).unwrap_or_default()
+            })
+            .collect();
+        assert_eq!(
+            got, outputs,
+            "top-ranked outputs drifted on task {id} ({name})"
+        );
+    }
+}

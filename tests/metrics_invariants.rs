@@ -2,8 +2,8 @@
 //! guards for the figure-regeneration harness.
 
 use semantic_strings::benchmarks::{all_tasks, Category};
-use semantic_strings::counting::BigUint;
 use semantic_strings::core::Synthesizer;
+use semantic_strings::counting::BigUint;
 use semantic_strings::lookup::{generate_str_t, LtOptions};
 
 /// A small representative slice (keeps debug-mode runtime reasonable).

@@ -78,8 +78,8 @@ fn paper_examples_converge_within_three() {
     ] {
         let task = task_by_name(name);
         let synthesizer = Synthesizer::new(task.db.clone());
-        let report = converge(&synthesizer, &task.rows, 3)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            converge(&synthesizer, &task.rows, 3).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(report.converged, "{name} did not converge within 3");
         assert!(
             report.examples_used <= 2,

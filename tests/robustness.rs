@@ -15,11 +15,7 @@ fn empty_cells_in_tables_are_tolerated() {
     let t = Table::new(
         "T",
         vec!["K", "V"],
-        vec![
-            vec!["a", "Apple"],
-            vec!["b", ""],
-            vec!["c", "Cherry"],
-        ],
+        vec![vec!["a", "Apple"], vec!["b", ""], vec!["c", "Cherry"]],
     )
     .unwrap();
     let s = synth(vec![t]);
@@ -41,9 +37,7 @@ fn empty_input_columns_are_tolerated() {
     .unwrap();
     let s = synth(vec![t]);
     // Second input column is empty in the example.
-    let learned = s
-        .learn(&[Example::new(vec!["a", ""], "Apple")])
-        .unwrap();
+    let learned = s.learn(&[Example::new(vec!["a", ""], "Apple")]).unwrap();
     let top = learned.top().unwrap();
     assert_eq!(top.run(&["b", ""]).as_deref(), Some("Berry"));
 }
@@ -127,18 +121,8 @@ fn converge_with_single_row_spreadsheet() {
 fn deep_depth_bound_is_safe_on_cyclic_tables() {
     // Two tables forming a reference cycle; a huge depth bound must not
     // hang (reachability saturates) and learned programs stay finite.
-    let t1 = Table::new(
-        "A",
-        vec!["X", "Y"],
-        vec![vec!["p", "q"], vec!["r", "s"]],
-    )
-    .unwrap();
-    let t2 = Table::new(
-        "B",
-        vec!["Y", "X"],
-        vec![vec!["q", "p"], vec!["s", "r"]],
-    )
-    .unwrap();
+    let t1 = Table::new("A", vec!["X", "Y"], vec![vec!["p", "q"], vec!["r", "s"]]).unwrap();
+    let t2 = Table::new("B", vec!["Y", "X"], vec![vec!["q", "p"], vec!["s", "r"]]).unwrap();
     let db = Database::from_tables(vec![t1, t2]).unwrap();
     let options = semantic_strings::core::SynthesisOptions {
         lu: LuOptions {
@@ -169,9 +153,7 @@ fn arity_one_vs_many_columns() {
     let s = synth(Vec::new());
     let inputs: Vec<String> = (0..10).map(|i| format!("col{i}")).collect();
     let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
-    let learned = s
-        .learn(&[Example::new(refs.clone(), "col9")])
-        .unwrap();
+    let learned = s.learn(&[Example::new(refs.clone(), "col9")]).unwrap();
     let top = learned.top().unwrap();
     let other: Vec<String> = (0..10).map(|i| format!("x{i}")).collect();
     let other_refs: Vec<&str> = other.iter().map(String::as_str).collect();

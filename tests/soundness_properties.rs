@@ -12,9 +12,7 @@
 
 use proptest::prelude::*;
 
-use semantic_strings::core::{
-    eval_sem, generate_str_u, intersect_du, LuOptions, LuRankWeights,
-};
+use semantic_strings::core::{eval_sem, generate_str_u, intersect_du, LuOptions, LuRankWeights};
 use semantic_strings::prelude::*;
 use semantic_strings::syntactic::TokenSet;
 use semantic_strings::tables::Table;

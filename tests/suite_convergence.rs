@@ -36,7 +36,10 @@ fn every_task_converges_within_three_examples() {
 #[test]
 fn lookup_tasks_learn_with_lookup_learner() {
     use semantic_strings::lookup::LookupLearner;
-    for task in all_tasks().into_iter().filter(|t| t.category == Category::Lookup) {
+    for task in all_tasks()
+        .into_iter()
+        .filter(|t| t.category == Category::Lookup)
+    {
         let learner = LookupLearner::new(task.db.clone());
         let solved = (1..=3usize).any(|n| {
             let examples: Vec<(Vec<String>, String)> = task
@@ -47,20 +50,29 @@ fn lookup_tasks_learn_with_lookup_learner() {
             let Some(learned) = learner.learn(&examples) else {
                 return false;
             };
-            let Some(top) = learned.top() else { return false };
+            let Some(top) = learned.top() else {
+                return false;
+            };
             task.rows.iter().all(|r| {
                 let refs: Vec<&str> = r.inputs.iter().map(String::as_str).collect();
                 learned.run(&top, &refs).as_deref() == Some(r.output.as_str())
             })
         });
-        assert!(solved, "Lt task {} ({}) not Lt-solvable", task.id, task.name);
+        assert!(
+            solved,
+            "Lt task {} ({}) not Lt-solvable",
+            task.id, task.name
+        );
     }
 }
 
 #[test]
 fn semantic_tasks_are_not_lookup_expressible() {
     use semantic_strings::lookup::LookupLearner;
-    for task in all_tasks().into_iter().filter(|t| t.category == Category::Semantic) {
+    for task in all_tasks()
+        .into_iter()
+        .filter(|t| t.category == Category::Semantic)
+    {
         let learner = LookupLearner::new(task.db.clone());
         let solved = (1..=3usize).any(|n| {
             let examples: Vec<(Vec<String>, String)> = task
@@ -71,7 +83,9 @@ fn semantic_tasks_are_not_lookup_expressible() {
             let Some(learned) = learner.learn(&examples) else {
                 return false;
             };
-            let Some(top) = learned.top() else { return false };
+            let Some(top) = learned.top() else {
+                return false;
+            };
             task.rows.iter().all(|r| {
                 let refs: Vec<&str> = r.inputs.iter().map(String::as_str).collect();
                 learned.run(&top, &refs).as_deref() == Some(r.output.as_str())
