@@ -1,26 +1,61 @@
 //! Emits a JSON perf snapshot of the whole §7 suite: per-task learn times,
-//! convergence metrics and structure sizes, plus totals. Future PRs diff
-//! their snapshot against the committed `BENCH_PR<n>.json` to track the
-//! performance trajectory.
+//! convergence metrics and structure sizes, totals, plus a
+//! `relaxed_reachability` micro-section timing one `GenerateStr_u` call per
+//! task (the §5.3 hot loop the `SubstringIndex` postings serve). Future PRs
+//! diff their snapshot against the committed `BENCH_PR<n>.json` to track
+//! the performance trajectory.
 //!
-//! Usage: `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
+//! Usage:
+//!   `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --smoke`
+//!
+//! `--smoke` evaluates only the first [`SMOKE_PER_CATEGORY`] tasks of
+//! *each* category (`Lt` and `Lu`), so CI exercises both learn paths —
+//! including the semantic one the substring index serves — and proves the
+//! snapshot stays generatable without replaying the suite.
 
 use std::time::Duration;
 
-use sst_bench::evaluate_suite;
+use sst_bench::{evaluate_tasks, generate_u_time};
+use sst_benchmarks::Category;
+
+/// Tasks evaluated per category under `--smoke`.
+const SMOKE_PER_CATEGORY: usize = 3;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
-    let reports = evaluate_suite();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut tasks = sst_benchmarks::all_tasks();
+    if smoke {
+        let (mut lookup, mut semantic) = (0usize, 0usize);
+        tasks.retain(|t| {
+            let kept = match t.category {
+                Category::Lookup => &mut lookup,
+                Category::Semantic => &mut semantic,
+            };
+            *kept += 1;
+            *kept <= SMOKE_PER_CATEGORY
+        });
+    }
+    let reports = evaluate_tasks(&tasks);
     let total_learn: Duration = reports.iter().map(|r| r.learn_time).sum();
     let converged = reports.iter().filter(|r| r.converged).count();
     let total_size_final: usize = reports.iter().map(|r| r.size_final).sum();
+    let micro: Vec<Duration> = tasks.iter().map(generate_u_time).collect();
+    let total_generate_u: Duration = micro.iter().sum();
 
     println!("{{");
-    println!("  \"suite\": \"vldb2012-50\",");
+    println!(
+        "  \"suite\": \"{}\",",
+        if smoke {
+            "vldb2012-smoke"
+        } else {
+            "vldb2012-50"
+        }
+    );
     println!("  \"tasks\": [");
     for (i, r) in reports.iter().enumerate() {
         let comma = if i + 1 < reports.len() { "," } else { "" };
@@ -40,10 +75,27 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"relaxed_reachability\": [");
+    for (i, (task, t)) in tasks.iter().zip(&micro).enumerate() {
+        let comma = if i + 1 < tasks.len() { "," } else { "" };
+        println!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{:?}\", \
+             \"generate_u_ms\": {:.3}}}{comma}",
+            task.id,
+            json_escape(task.name),
+            task.category,
+            t.as_secs_f64() * 1e3,
+        );
+    }
+    println!("  ],");
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");
     println!("    \"total_size_final\": {total_size_final},");
+    println!(
+        "    \"total_generate_u_ms\": {:.3},",
+        total_generate_u.as_secs_f64() * 1e3
+    );
     println!(
         "    \"total_learn_ms\": {:.3}",
         total_learn.as_secs_f64() * 1e3

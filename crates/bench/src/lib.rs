@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use sst_benchmarks::{BenchmarkTask, Category};
-use sst_core::{converge, Synthesizer};
+use sst_core::{converge, generate_str_u, LuOptions, Synthesizer};
 use sst_counting::BigUint;
 
 /// Maximum examples the simulated user provides (the paper's tasks all
@@ -80,10 +80,27 @@ pub fn evaluate_task(task: &BenchmarkTask) -> TaskReport {
 
 /// Evaluates the whole suite in task order.
 pub fn evaluate_suite() -> Vec<TaskReport> {
-    sst_benchmarks::all_tasks()
-        .iter()
-        .map(evaluate_task)
-        .collect()
+    evaluate_tasks(&sst_benchmarks::all_tasks())
+}
+
+/// Evaluates a slice of tasks in order (the `--smoke` subset path).
+pub fn evaluate_tasks(tasks: &[BenchmarkTask]) -> Vec<TaskReport> {
+    tasks.iter().map(evaluate_task).collect()
+}
+
+/// Wall-clock time of one `GenerateStr_u` call on a task's first example —
+/// the §5.3 relaxed-reachability micro-benchmark. Isolates the frontier →
+/// substring-relation → assemblability loop from intersection and ranking,
+/// so snapshots can track the gate's cost on its own.
+pub fn generate_u_time(task: &BenchmarkTask) -> Duration {
+    let example = &task.rows[0];
+    let inputs = example.input_refs();
+    let opts = LuOptions::default();
+    let start = Instant::now();
+    let d = generate_str_u(&task.db, &inputs, &example.output, &opts);
+    let elapsed = start.elapsed();
+    drop(d);
+    elapsed
 }
 
 /// Formats a duration in seconds with millisecond resolution.

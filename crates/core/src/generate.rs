@@ -17,14 +17,22 @@
 //!    strings builds the output DAG whose atoms reference lookup nodes.
 //!
 //! The iteration bound `k` defaults to the number of tables (§4.3).
+//!
+//! The iteration itself lives in `sst-lookup`'s shared reachability engine
+//! ([`sst_lookup::reach`]); this module contributes only the *relaxed* gate
+//! ([`RelaxedGate`]): a cell activates when it is substring-related to a
+//! frontier string (answered by the `SubstringIndex` postings behind
+//! [`Database::cells_related_to`] — no cell scan) and assemblable from the
+//! known strings with at least one non-constant atom, and conditions carry
+//! nested-DAG predicates over the step's σ ∪ η̃ snapshot.
 
 use std::collections::HashSet;
-use std::hash::{BuildHasher, BuildHasherDefault};
 use std::sync::Arc;
 
+use sst_lookup::reach::{reach, Activation, ReachPolicy, ReachState};
 use sst_lookup::NodeId;
-use sst_syntactic::{generate_dag, generate_dag_prepared, Dag, GenOptions, PreparedSources};
-use sst_tables::{ColId, Database, IntHasher, IntMap, RowId, Symbol, SymbolMap, TableId};
+use sst_syntactic::{generate_dag_prepared, Dag, GenOptions, PreparedSources};
+use sst_tables::{ColId, Database, IntMap, RowId, TableId};
 
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
@@ -59,76 +67,90 @@ impl LuOptions {
     }
 }
 
-/// Builds the `Du` structure of all `Lu` programs consistent with one
-/// input-output example. Never fails: the all-constant program always
-/// exists (ranking deprioritizes it).
-pub fn generate_str_u(
-    db: &Database,
-    inputs: &[&str],
-    output: &str,
-    opts: &LuOptions,
-) -> SemDStruct {
-    let k = opts.depth_for(db);
-    let mut d = SemDStruct::default();
-    let mut val_to_node: SymbolMap<NodeId> = SymbolMap::default();
-    // Hash index over each node's program list: hash → prog positions.
-    // Re-activated rows re-derive identical `Select`s across steps; the
-    // index turns the seed's linear `Vec::contains` (a deep compare per
-    // existing program) into one hash plus collision checks.
-    let hasher = BuildHasherDefault::<IntHasher>::default();
-    let mut prog_index: Vec<IntMap<u64, Vec<u32>>> = Vec::new();
-    let insert_prog = |d: &mut SemDStruct,
-                       prog_index: &mut Vec<IntMap<u64, Vec<u32>>>,
-                       node: NodeId,
-                       prog: GenLookupU| {
-        let progs = &mut d.nodes[node.0 as usize].progs;
-        let h = hasher.hash_one(&prog);
-        let bucket = prog_index[node.0 as usize].entry(h).or_default();
-        if bucket.iter().any(|&i| progs[i as usize] == prog) {
-            return;
-        }
-        bucket.push(progs.len() as u32);
-        progs.push(prog);
-    };
+/// The relaxed-reachability gate (§5.3): substring relation via the
+/// precomputed index, then syntactic assemblability, with nested-DAG key
+/// predicates over the step's σ ∪ η̃ snapshot.
+///
+/// The assemblability check ("the cell's DAG has a program using at least
+/// one non-constant atom") never builds a DAG here. A freshly generated DAG
+/// has every `(i, j)` edge present and every edge carries the constant
+/// atom, so a non-constant program exists iff *some atom anywhere* is
+/// non-constant — iff some single character of the cell occurs in some
+/// source. Two consequences the gate exploits:
+///
+/// * **substring gate on** — every candidate passes vacuously: the
+///   relating frontier string is itself a source, and either direction of
+///   the relation is an occurrence (cell ⊑ w occurs in `w`; `w` ⊑ cell
+///   puts `w` on one of the cell's edges), so the per-candidate check is
+///   skipped entirely;
+/// * **substring gate off** — the check reduces to one character-set
+///   membership probe per cell character against the union of source
+///   characters.
+struct RelaxedGate<'a> {
+    opts: &'a LuOptions,
+    /// The σ ∪ η̃ snapshot: prepared sources for every node the engine had
+    /// when the current step's [`RelaxedGate::activations`] ran —
+    /// conditions see the *pre-expansion* sources, as the paper specifies.
+    /// Extended incrementally (sources only grow), so token runs and
+    /// learned positions are computed once per node across all steps.
+    prepared: Option<PreparedSources<NodeId>>,
+    /// Per-step memo: condition handle per activated row. Rows activated
+    /// through several cells in one step share one `Arc` instead of
+    /// re-deriving the identical predicate DAGs (insert-time dedup made
+    /// the duplicates no-ops anyway; the memo skips building them).
+    row_conds: IntMap<(TableId, RowId), Arc<Vec<GenCondU>>>,
+}
 
-    let mut frontier: Vec<NodeId> = Vec::new();
-    for (i, value) in inputs.iter().enumerate() {
-        if value.is_empty() {
-            continue;
+impl RelaxedGate<'_> {
+    /// Brings `prepared` up to date with every node the engine holds.
+    fn sync_sources(&mut self, state: &ReachState<GenLookupU>) -> &PreparedSources<NodeId> {
+        let prepared = self.prepared.get_or_insert_with(|| {
+            PreparedSources::new(&[] as &[(NodeId, &str)], &self.opts.syntactic)
+        });
+        if prepared.len() < state.len() {
+            let fresh: Vec<(NodeId, &'static str)> = state
+                .iter()
+                .skip(prepared.len())
+                .map(|(id, val)| (id, val.as_str()))
+                .collect();
+            prepared.extend(&fresh);
         }
-        let sym = Symbol::intern(value);
-        let node = match val_to_node.get(&sym) {
-            Some(&id) => id,
-            None => {
-                let id = NodeId(d.nodes.len() as u32);
-                d.nodes.push(SemNode {
-                    vals: vec![sym],
-                    progs: Vec::new(),
-                });
-                prog_index.push(IntMap::default());
-                val_to_node.insert(sym, id);
-                frontier.push(id);
-                id
-            }
-        };
-        insert_prog(&mut d, &mut prog_index, node, GenLookupU::Var(i as u32));
+        prepared
+    }
+}
+
+impl ReachPolicy for RelaxedGate<'_> {
+    type Prog = GenLookupU;
+    type Conds = Arc<Vec<GenCondU>>;
+
+    // Empty inputs are dropped up front: they can neither relate to a cell
+    // nor contribute atoms.
+    const SEED_EMPTY_INPUTS: bool = false;
+    // The assembled cell is not a lookup output — it is merely assemblable
+    // — so it only becomes a node if some other activation reaches it.
+    const MATERIALIZE_HITS: bool = false;
+
+    fn var_prog(&self, var: u32) -> GenLookupU {
+        GenLookupU::Var(var)
     }
 
-    for _step in 0..k {
-        if frontier.is_empty() {
-            break;
-        }
+    fn activations(
+        &mut self,
+        db: &Database,
+        state: &ReachState<GenLookupU>,
+        frontier: &[NodeId],
+        out: &mut Vec<Activation>,
+    ) {
         // Candidate cells: substring-related to some frontier string (the
-        // paper's experimental restriction), or every cell when the gate
-        // is disabled.
+        // paper's experimental restriction), answered by the per-table
+        // `SubstringIndex` postings; or every cell when the gate is
+        // disabled.
         let mut candidates: HashSet<(TableId, RowId, ColId)> = HashSet::new();
-        if opts.substring_gate {
-            for &node in &frontier {
-                let w = d.nodes[node.0 as usize].vals[0].as_str();
-                for (tid, table) in db.iter() {
-                    for (cell, _) in table.cells_related_to(w) {
-                        candidates.insert((tid, cell.row, cell.col));
-                    }
+        if self.opts.substring_gate {
+            for &node in frontier {
+                let w = state.val(node).as_str();
+                for (tid, cell) in db.cells_related_to(w) {
+                    candidates.insert((tid, cell.row, cell.col));
                 }
             }
         } else {
@@ -147,113 +169,118 @@ pub fn generate_str_u(
         let mut ordered: Vec<(TableId, RowId, ColId)> = candidates.into_iter().collect();
         ordered.sort_unstable();
 
-        // Snapshot σ ∪ η̃ and prepare it once: token classification runs
-        // once per source string per step, and every probe below reuses the
-        // cached runs and position sets. (Symbols resolve to &'static str,
-        // so the snapshot borrows nothing from `d`.)
-        let sources = current_sources(&d);
-        let prepared = PreparedSources::new(&sources, &opts.syntactic);
+        // Snapshot σ ∪ η̃ (this step's new nodes) and reset the per-step
+        // condition memo. (Symbols resolve to `&'static str`, so the
+        // snapshot borrows nothing from `state`.)
+        self.sync_sources(state);
+        self.row_conds.clear();
 
         // Gate: the matched cell must be assemblable with ≥1 non-constant
-        // atom from the *current* sources.
-        let mut passed: Vec<(TableId, RowId, ColId)> = Vec::new();
-        for &(tid, row, col) in &ordered {
-            let value = db.table(tid).cell(col, row);
-            let dag = generate_dag_prepared(&prepared, value);
-            if dag.has_nonconst_program() {
-                passed.push((tid, row, col));
-            }
-        }
-
-        // Pass 1: materialize nodes for the *other* columns of activated
-        // rows — the matched column itself is not a lookup output (it is
-        // merely assemblable), so it only becomes a node if some other
-        // activation reaches it.
-        let mut next_frontier: Vec<NodeId> = Vec::new();
-        for &(tid, row, col) in &passed {
-            let table = db.table(tid);
-            for c in 0..table.width() as ColId {
-                if c == col {
-                    continue;
-                }
-                let value = table.cell_sym(c, row);
-                if value.is_empty() || val_to_node.contains_key(&value) {
-                    continue;
-                }
-                let id = NodeId(d.nodes.len() as u32);
-                d.nodes.push(SemNode {
-                    vals: vec![value],
-                    progs: Vec::new(),
+        // atom from the *current* sources. Substring-related candidates
+        // pass vacuously (see the type docs); the full-enumeration path
+        // checks shared characters instead of building DAGs.
+        if self.opts.substring_gate {
+            for (tid, row, col) in ordered {
+                out.push(Activation {
+                    table: tid,
+                    row,
+                    hit_cols: vec![col],
                 });
-                prog_index.push(IntMap::default());
-                val_to_node.insert(value, id);
-                next_frontier.push(id);
             }
-        }
-
-        // Pass 2: build B (predicate DAGs over the *pre-expansion* sources,
-        // matching the paper's σ ∪ η̃ at this step) once per activated row,
-        // and attach Arc-shared Selects.
-        for &(tid, row, col) in &passed {
-            let table = db.table(tid);
-            let conds: Vec<GenCondU> = table
-                .candidate_keys()
-                .iter()
-                .enumerate()
-                .map(|(key_idx, key)| GenCondU {
-                    key: key_idx,
-                    preds: key
-                        .iter()
-                        .map(|&kc| GenPredU {
-                            col: kc,
-                            dag: generate_dag_prepared(&prepared, table.cell(kc, row)),
-                        })
-                        .collect(),
-                })
-                .collect();
-            if conds.is_empty() {
-                continue;
+        } else {
+            let mut source_chars: HashSet<char> = HashSet::new();
+            for (_, val) in state.iter() {
+                source_chars.extend(val.as_str().chars());
             }
-            let conds = Arc::new(conds);
-            for c in 0..table.width() as ColId {
-                if c == col {
-                    continue;
-                }
-                let value = table.cell_sym(c, row);
-                if value.is_empty() {
-                    continue;
-                }
-                let node = val_to_node[&value];
-                insert_prog(
-                    &mut d,
-                    &mut prog_index,
-                    node,
-                    GenLookupU::Select {
-                        col: c,
+            for (tid, row, col) in ordered {
+                let value = db.table(tid).cell(col, row);
+                if value.chars().any(|c| source_chars.contains(&c)) {
+                    out.push(Activation {
                         table: tid,
-                        conds: Arc::clone(&conds),
-                    },
-                );
+                        row,
+                        hit_cols: vec![col],
+                    });
+                }
             }
         }
-        frontier = next_frontier;
     }
 
-    // Top-level DAG over every known string.
-    let sources = current_sources(&d);
-    let top: Dag<NodeId> = generate_dag(&sources, output, &opts.syntactic);
-    d.top = Some(top);
-    d
+    fn conds(
+        &mut self,
+        db: &Database,
+        _state: &ReachState<GenLookupU>,
+        act: &Activation,
+    ) -> Option<Arc<Vec<GenCondU>>> {
+        if let Some(conds) = self.row_conds.get(&(act.table, act.row)) {
+            return Some(Arc::clone(conds));
+        }
+        let prepared = self.prepared.as_ref().expect("activations ran this step");
+        let table = db.table(act.table);
+        let conds: Vec<GenCondU> = table
+            .candidate_keys()
+            .iter()
+            .enumerate()
+            .map(|(key_idx, key)| GenCondU {
+                key: key_idx,
+                preds: key
+                    .iter()
+                    .map(|&kc| GenPredU {
+                        col: kc,
+                        dag: generate_dag_prepared(prepared, table.cell(kc, act.row)),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let conds = (!conds.is_empty()).then(|| Arc::new(conds))?;
+        self.row_conds
+            .insert((act.table, act.row), Arc::clone(&conds));
+        Some(conds)
+    }
+
+    fn select_prog(&self, act: &Activation, col: ColId, conds: &Arc<Vec<GenCondU>>) -> GenLookupU {
+        GenLookupU::Select {
+            col,
+            table: act.table,
+            conds: Arc::clone(conds),
+        }
+    }
 }
 
-/// Snapshot of σ ∪ η̃: every known string as an atom source. Symbols
-/// resolve to `&'static str`, so the snapshot borrows nothing from `d`.
-fn current_sources(d: &SemDStruct) -> Vec<(NodeId, &'static str)> {
-    d.nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (NodeId(i as u32), n.vals[0].as_str()))
-        .collect()
+/// Builds the `Du` structure of all `Lu` programs consistent with one
+/// input-output example. Never fails: the all-constant program always
+/// exists (ranking deprioritizes it).
+pub fn generate_str_u(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+) -> SemDStruct {
+    let mut gate = RelaxedGate {
+        opts,
+        prepared: None,
+        row_conds: IntMap::default(),
+    };
+    let state = reach(db, inputs, opts.depth_for(db), &mut gate);
+
+    // Top-level DAG over every known string: extend the last step's
+    // snapshot with the final expansion's nodes instead of re-preparing.
+    gate.sync_sources(&state);
+    let top: Dag<NodeId> = generate_dag_prepared(
+        gate.prepared.as_ref().expect("sync_sources initializes"),
+        output,
+    );
+
+    SemDStruct {
+        nodes: state
+            .into_nodes()
+            .into_iter()
+            .map(|(val, progs)| SemNode {
+                vals: vec![val],
+                progs: progs.into_iter().collect(),
+            })
+            .collect(),
+        top: Some(top),
+    }
 }
 
 #[cfg(test)]

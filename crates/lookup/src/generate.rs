@@ -18,12 +18,19 @@
 //! columns whose node is created at line 13 moments later). This only adds
 //! represented programs — soundness is unaffected and `k`-completeness is
 //! preserved more faithfully.
+//!
+//! The iteration itself lives in the shared [`crate::reach`] engine; this
+//! module contributes only the *exact* gate ([`ExactGate`]): a row
+//! activates when a frontier value equals one of its cells
+//! ([`Database::cells_equal`], one `u32` hash per frontier symbol), and
+//! conditions carry constant-or-node predicates.
 
 use std::sync::Arc;
 
-use sst_tables::{ColId, Database, IntMap, ProgSet, RowId, Symbol, SymbolMap, TableId};
+use sst_tables::{ColId, Database, IntMap, RowId, Symbol, TableId};
 
 use crate::dstruct::{GenCond, GenLookup, GenPred, LookupDStruct, NodeData, NodeId};
+use crate::reach::{reach, Activation, ReachPolicy, ReachState};
 
 /// Options for lookup-reachability generation.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +46,92 @@ impl LtOptions {
     }
 }
 
+/// The exact-equality gate: `ValueIndex`-backed row matching with
+/// constant-or-node key predicates (Fig. 5a's `B`).
+struct ExactGate;
+
+impl ReachPolicy for ExactGate {
+    type Prog = GenLookup;
+    type Conds = Arc<Vec<GenCond>>;
+
+    // Empty inputs still seed nodes (the frontier probe skips them:
+    // empty strings match empty cells only vacuously).
+    const SEED_EMPTY_INPUTS: bool = true;
+    // Matched cells are reachable strings themselves.
+    const MATERIALIZE_HITS: bool = true;
+
+    fn var_prog(&self, var: u32) -> GenLookup {
+        GenLookup::Var(var)
+    }
+
+    fn activations(
+        &mut self,
+        db: &Database,
+        state: &ReachState<GenLookup>,
+        frontier: &[NodeId],
+        out: &mut Vec<Activation>,
+    ) {
+        // Rows matched by the frontier values, with their matched columns.
+        // The probe is one u32 hash per frontier symbol.
+        let mut matched: IntMap<(TableId, RowId), Vec<ColId>> = IntMap::default();
+        for &node in frontier {
+            let val = state.val(node);
+            if val.is_empty() {
+                continue;
+            }
+            for (tid, cell) in db.cells_equal(val) {
+                matched.entry((tid, cell.row)).or_default().push(cell.col);
+            }
+        }
+        let mut keys: Vec<(TableId, RowId)> = matched.keys().copied().collect();
+        keys.sort_unstable();
+        for key @ (table, row) in keys {
+            out.push(Activation {
+                table,
+                row,
+                hit_cols: matched.remove(&key).expect("key came from the map"),
+            });
+        }
+    }
+
+    fn conds(
+        &mut self,
+        db: &Database,
+        state: &ReachState<GenLookup>,
+        act: &Activation,
+    ) -> Option<Arc<Vec<GenCond>>> {
+        let table = db.table(act.table);
+        let conds: Vec<GenCond> = table
+            .candidate_keys()
+            .iter()
+            .enumerate()
+            .map(|(key_idx, key)| GenCond {
+                key: key_idx,
+                preds: key
+                    .iter()
+                    .map(|&kc| {
+                        let value = table.cell_sym(kc, act.row);
+                        GenPred {
+                            col: kc,
+                            constant: Some(value),
+                            node: state.node_of(value),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        (!conds.is_empty()).then(|| Arc::new(conds))
+    }
+
+    fn select_prog(&self, act: &Activation, col: ColId, conds: &Arc<Vec<GenCond>>) -> GenLookup {
+        GenLookup::Select {
+            col,
+            table: act.table,
+            conds: Arc::clone(conds),
+        }
+    }
+}
+
 /// Builds the set of all `Lt` expressions (depth ≤ k) consistent with one
 /// input-output example.
 pub fn generate_str_t(
@@ -47,120 +140,19 @@ pub fn generate_str_t(
     output: &str,
     opts: &LtOptions,
 ) -> LookupDStruct {
-    let k = opts.depth_for(db);
-    let mut d = LookupDStruct::default();
-    let mut val_to_node: SymbolMap<NodeId> = SymbolMap::default();
-
-    let get_or_create = |d: &mut LookupDStruct,
-                         val_to_node: &mut SymbolMap<NodeId>,
-                         val: Symbol|
-     -> (NodeId, bool) {
-        if let Some(&id) = val_to_node.get(&val) {
-            return (id, false);
-        }
-        let id = NodeId(d.nodes.len() as u32);
-        d.nodes.push(NodeData {
-            vals: vec![val],
-            progs: ProgSet::new(),
-        });
-        val_to_node.insert(val, id);
-        (id, true)
-    };
-
-    // Base case: one node per distinct input value.
-    let mut frontier: Vec<NodeId> = Vec::new();
-    for (i, value) in inputs.iter().enumerate() {
-        let (node, is_new) = get_or_create(&mut d, &mut val_to_node, Symbol::intern(value));
-        d.nodes[node.0 as usize]
-            .progs
-            .insert(GenLookup::Var(i as u32));
-        if is_new {
-            frontier.push(node);
-        }
+    let state = reach(db, inputs, opts.depth_for(db), &mut ExactGate);
+    let target = Symbol::get(output).and_then(|s| state.node_of(s));
+    LookupDStruct {
+        nodes: state
+            .into_nodes()
+            .into_iter()
+            .map(|(val, progs)| NodeData {
+                vals: vec![val],
+                progs,
+            })
+            .collect(),
+        target,
     }
-
-    for _step in 0..k {
-        if frontier.is_empty() {
-            break;
-        }
-        // Collect the rows matched by the frontier values: (table, row,
-        // matched columns). The probe is one u32 hash per frontier symbol.
-        let mut matched: IntMap<(TableId, RowId), Vec<ColId>> = IntMap::default();
-        for &node in &frontier {
-            let val = d.nodes[node.0 as usize].vals[0];
-            if val.is_empty() {
-                continue; // empty strings match empty cells vacuously
-            }
-            for (tid, cell) in db.cells_equal(val) {
-                matched.entry((tid, cell.row)).or_default().push(cell.col);
-            }
-        }
-        let mut next_frontier: Vec<NodeId> = Vec::new();
-        // Pass 1: materialize nodes for every column of every matched row.
-        let mut keys: Vec<(TableId, RowId)> = matched.keys().copied().collect();
-        keys.sort_unstable();
-        for &(tid, row) in &keys {
-            let table = db.table(tid);
-            for col in 0..table.width() as ColId {
-                let value = table.cell_sym(col, row);
-                if value.is_empty() {
-                    continue;
-                }
-                let (node, is_new) = get_or_create(&mut d, &mut val_to_node, value);
-                if is_new {
-                    next_frontier.push(node);
-                }
-            }
-        }
-        // Pass 2: build B per row (once — the Arc is shared by every
-        // attached column) and attach Selects to non-matched columns.
-        for &(tid, row) in &keys {
-            let table = db.table(tid);
-            let matched_cols = &matched[&(tid, row)];
-            let conds: Vec<GenCond> = table
-                .candidate_keys()
-                .iter()
-                .enumerate()
-                .map(|(key_idx, key)| GenCond {
-                    key: key_idx,
-                    preds: key
-                        .iter()
-                        .map(|&kc| {
-                            let value = table.cell_sym(kc, row);
-                            GenPred {
-                                col: kc,
-                                constant: Some(value),
-                                node: val_to_node.get(&value).copied(),
-                            }
-                        })
-                        .collect(),
-                })
-                .collect();
-            if conds.is_empty() {
-                continue;
-            }
-            let conds = Arc::new(conds);
-            for col in 0..table.width() as ColId {
-                if matched_cols.contains(&col) {
-                    continue;
-                }
-                let value = table.cell_sym(col, row);
-                if value.is_empty() {
-                    continue;
-                }
-                let node = val_to_node[&value];
-                d.nodes[node.0 as usize].progs.insert(GenLookup::Select {
-                    col,
-                    table: tid,
-                    conds: Arc::clone(&conds),
-                });
-            }
-        }
-        frontier = next_frontier;
-    }
-
-    d.target = Symbol::get(output).and_then(|s| val_to_node.get(&s).copied());
-    d
 }
 
 #[cfg(test)]

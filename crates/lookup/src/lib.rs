@@ -40,6 +40,7 @@ mod generate;
 mod intersect;
 mod language;
 mod rank;
+pub mod reach;
 
 pub use dstruct::{GenCond, GenLookup, GenPred, LookupDStruct, NodeData, NodeId};
 pub use eval::eval_lookup;
@@ -47,6 +48,7 @@ pub use generate::{generate_str_t, LtOptions};
 pub use intersect::intersect_dt;
 pub use language::{LookupExpr, PredRhs, Predicate, VarId};
 pub use rank::{LtRankWeights, RankedLookup};
+pub use reach::{reach, Activation, ReachPolicy, ReachState};
 pub use sst_tables::ProgSet;
 
 use sst_counting::BigUint;

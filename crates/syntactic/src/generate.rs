@@ -67,23 +67,13 @@ struct PreparedSource<S> {
 impl<S: Clone> PreparedSources<S> {
     /// Classifies every source string against the option's token set.
     pub fn new(sources: &[(S, &str)], opts: &GenOptions) -> Self {
-        let entries = sources
-            .iter()
-            .map(|(handle, w)| {
-                let runs = StringRuns::compute(w, &opts.token_set);
-                let slots = runs.len() as usize + 1;
-                PreparedSource {
-                    handle: handle.clone(),
-                    runs,
-                    positions: (0..slots).map(|_| OnceCell::new()).collect(),
-                }
-            })
-            .collect();
-        PreparedSources {
+        let mut prepared = PreparedSources {
             token_set: opts.token_set.clone(),
             max_seq_len: opts.max_seq_len,
-            entries,
-        }
+            entries: Vec::new(),
+        };
+        prepared.extend(sources);
+        prepared
     }
 
     /// Number of prepared sources.
@@ -94,6 +84,27 @@ impl<S: Clone> PreparedSources<S> {
     /// True iff no sources were prepared.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Appends more sources, keeping every existing entry's cached token
+    /// runs and learned positions.
+    ///
+    /// `GenerateStr_u`'s σ ∪ η̃ only ever *grows* (nodes are never removed
+    /// and values never change), so each reachability step can extend the
+    /// previous step's snapshot instead of re-preparing — and re-learning
+    /// positions for — every source from scratch. Shared `Arc`'d position
+    /// sets also stay pointer-identical across steps, which keeps the
+    /// intersection layer's pointer-keyed memo hitting.
+    pub fn extend(&mut self, sources: &[(S, &str)]) {
+        self.entries.extend(sources.iter().map(|(handle, w)| {
+            let runs = StringRuns::compute(w, &self.token_set);
+            let slots = runs.len() as usize + 1;
+            PreparedSource {
+                handle: handle.clone(),
+                runs,
+                positions: (0..slots).map(|_| OnceCell::new()).collect(),
+            }
+        }));
     }
 
     fn positions(&self, src: usize, t: u32) -> Arc<Vec<PosSet>> {

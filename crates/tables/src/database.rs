@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::error::TableError;
 use crate::intern::Symbol;
+use crate::substring_index::SubstringIndex;
 use crate::table::{CellRef, Table};
 use crate::value_index::ValueIndex;
 
@@ -17,6 +18,7 @@ pub type TableId = u32;
 pub struct Database {
     tables: Vec<Table>,
     indexes: Vec<ValueIndex>,
+    sub_indexes: Vec<SubstringIndex>,
     by_name: HashMap<String, TableId>,
 }
 
@@ -35,7 +37,8 @@ impl Database {
         Ok(db)
     }
 
-    /// Adds a table and builds its value index; returns its id.
+    /// Adds a table and builds its value and substring indexes; returns its
+    /// id.
     pub fn add_table(&mut self, table: Table) -> Result<TableId, TableError> {
         if self.by_name.contains_key(table.name()) {
             return Err(TableError::DuplicateTable(table.name().to_string()));
@@ -43,6 +46,7 @@ impl Database {
         let id = self.tables.len() as TableId;
         self.by_name.insert(table.name().to_string(), id);
         self.indexes.push(ValueIndex::build(&table));
+        self.sub_indexes.push(SubstringIndex::build(&table));
         self.tables.push(table);
         Ok(id)
     }
@@ -65,6 +69,11 @@ impl Database {
     /// Value index of a table.
     pub fn value_index(&self, id: TableId) -> &ValueIndex {
         &self.indexes[id as usize]
+    }
+
+    /// Substring index of a table.
+    pub fn substring_index(&self, id: TableId) -> &SubstringIndex {
+        &self.sub_indexes[id as usize]
     }
 
     /// Table id by name.
@@ -95,6 +104,28 @@ impl Database {
                 .iter()
                 .map(move |&cell| (tid as TableId, cell))
         })
+    }
+
+    /// All cells across all tables in a substring relation with `s` (cell
+    /// content ⊑ `s` or `s` ⊑ cell content) — the §5.3 relaxed-reachability
+    /// frontier probe, answered by the per-table [`SubstringIndex`]es
+    /// instead of a full cell scan. Empty probes and empty cells never
+    /// relate. Order is unspecified; callers canonicalize.
+    pub fn cells_related_to<'a>(
+        &'a self,
+        s: &'a str,
+    ) -> impl Iterator<Item = (TableId, CellRef)> + 'a {
+        self.sub_indexes
+            .iter()
+            .zip(self.indexes.iter())
+            .enumerate()
+            .flat_map(move |(tid, (sub, vidx))| {
+                sub.related_values(s).into_iter().flat_map(move |val| {
+                    vidx.cells_equal(val)
+                        .iter()
+                        .map(move |&cell| (tid as TableId, cell))
+                })
+            })
     }
 
     /// Total number of cells, used to bound the reachability iteration.
@@ -154,6 +185,25 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0, 0);
         assert_eq!(hits[1].0, 1);
+    }
+
+    #[test]
+    fn cross_table_substring_query_matches_scan() {
+        let db = Database::from_tables(vec![
+            Table::new("C", vec!["Id", "Name"], vec![vec!["c1", "Microsoft"]]).unwrap(),
+            Table::new("D", vec!["K", "V"], vec![vec!["soft", "c1 c2"]]).unwrap(),
+        ])
+        .unwrap();
+        for probe in ["c1", "soft", "Microsoft Excel", "c1 c2 c3", "", "zz"] {
+            let mut indexed: Vec<(TableId, CellRef)> = db.cells_related_to(probe).collect();
+            indexed.sort_unstable();
+            let mut scanned: Vec<(TableId, CellRef)> = db
+                .iter()
+                .flat_map(|(tid, t)| t.cells_related_to(probe).map(move |(c, _)| (tid, c)))
+                .collect();
+            scanned.sort_unstable();
+            assert_eq!(indexed, scanned, "probe {probe:?}");
+        }
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!    `GenerateStr_t`, Fig. 5a of the paper), answered by an inverted
 //!    [`ValueIndex`], and
 //! 2. *relaxed reachability* — "which cells are in a substring relation with
-//!    this string?" (drives `GenerateStr'_t`, §5.3), answered by
-//!    [`Table::cells_related_to`].
+//!    this string?" (drives `GenerateStr'_t`, §5.3), answered by the q-gram
+//!    postings of [`SubstringIndex`] via [`Database::cells_related_to`]
+//!    (the [`Table::cells_related_to`] full scan remains as the index's
+//!    correctness oracle).
 //!
 //! The paper assumes Excel provides this substrate; here it is built from
 //! scratch, including minimal-candidate-key inference and a small CSV reader
@@ -22,6 +24,7 @@ mod error;
 mod intern;
 mod keys;
 mod progset;
+mod substring_index;
 mod table;
 mod value_index;
 
@@ -30,5 +33,6 @@ pub use database::{Database, TableId};
 pub use error::TableError;
 pub use intern::{IntHasher, IntMap, Symbol, SymbolMap};
 pub use progset::ProgSet;
+pub use substring_index::SubstringIndex;
 pub use table::{CellRef, ColId, RowId, Table};
 pub use value_index::ValueIndex;

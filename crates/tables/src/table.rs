@@ -4,7 +4,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use crate::error::TableError;
-use crate::intern::Symbol;
+use crate::intern::{IntMap, Symbol};
 use crate::keys;
 
 /// Column index within a table.
@@ -35,6 +35,11 @@ pub struct Table {
     columns: Vec<String>,
     rows: Vec<Vec<Symbol>>,
     candidate_keys: Vec<Vec<ColId>>,
+    /// `(column, value)` → rows holding it, ascending — the `Select`
+    /// evaluator's probe ([`Table::find_unique_row_sym`]). Derived from
+    /// `rows` at construction, so it never affects table equality beyond
+    /// what `rows` already decides.
+    col_postings: IntMap<(ColId, Symbol), Vec<RowId>>,
 }
 
 impl Table {
@@ -163,11 +168,21 @@ impl Table {
             }
             converted.push(row);
         }
+        let mut col_postings: IntMap<(ColId, Symbol), Vec<RowId>> = IntMap::default();
+        for (r, row) in converted.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                col_postings
+                    .entry((c as ColId, v))
+                    .or_default()
+                    .push(r as RowId);
+            }
+        }
         Ok(Table {
             name,
             columns,
             rows: converted,
             candidate_keys: Vec::new(),
+            col_postings,
         })
     }
 
@@ -251,13 +266,36 @@ impl Table {
     }
 
     /// Cells whose content is a substring of `s` or contains `s`
-    /// (the §5.3 relaxed-reachability gate). Empty cells never relate.
+    /// (the §5.3 relaxed-reachability relation), by full cell scan. Empty
+    /// probes and empty cells never relate; empty probes short-circuit to
+    /// an empty iterator without visiting any cell. Returned strings are
+    /// interner-backed `&'static str`s — they borrow nothing from the
+    /// table.
+    ///
+    /// This scan is the correctness *oracle* for the production query: the
+    /// `GenerateStr_u` hot path asks [`crate::Database::cells_related_to`]
+    /// instead, which answers from the precomputed
+    /// [`crate::SubstringIndex`] postings. The property tests pin the two
+    /// to identical answer sets.
+    #[inline]
     pub fn cells_related_to<'a>(
         &'a self,
         s: &'a str,
     ) -> impl Iterator<Item = (CellRef, &'static str)> + 'a {
-        self.iter_cells().filter(move |(_, v)| {
-            !v.is_empty() && !s.is_empty() && (s.contains(v) || v.contains(s))
+        let rows: &[Vec<Symbol>] = if s.is_empty() { &[] } else { &self.rows };
+        rows.iter().enumerate().flat_map(move |(r, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(c, v)| {
+                    (
+                        CellRef {
+                            col: c as ColId,
+                            row: r as RowId,
+                        },
+                        v.as_str(),
+                    )
+                })
+                .filter(move |(_, v)| !v.is_empty() && (s.contains(v) || v.contains(s)))
         })
     }
 
@@ -278,14 +316,27 @@ impl Table {
     }
 
     /// [`Table::find_unique_row`] over interned probe values.
+    ///
+    /// Probes the per-column posting map built at construction: candidate
+    /// rows come from the first condition's postings (O(matches) instead of
+    /// O(rows)), the remaining conditions are integer compares per
+    /// candidate, and the defensive ambiguity check is preserved — two
+    /// matching rows still return `None`.
     pub fn find_unique_row_sym(&self, conds: &[(ColId, Symbol)]) -> Option<RowId> {
+        let Some((first, rest)) = conds.split_first() else {
+            // No conditions: every row matches vacuously; unique iff the
+            // table has exactly one row (the seed scan's behavior).
+            return (self.rows.len() == 1).then_some(0);
+        };
+        let candidates = self.col_postings.get(first)?;
         let mut found: Option<RowId> = None;
-        for (r, row) in self.rows.iter().enumerate() {
-            if conds.iter().all(|(c, v)| row[*c as usize] == *v) {
+        for &r in candidates {
+            let row = &self.rows[r as usize];
+            if rest.iter().all(|(c, v)| row[*c as usize] == *v) {
                 if found.is_some() {
                     return None;
                 }
-                found = Some(r as RowId);
+                found = Some(r);
             }
         }
         found
@@ -414,6 +465,21 @@ mod tests {
     fn find_unique_row_rejects_ambiguity() {
         let t = Table::new("T", vec!["A", "B"], vec![vec!["x", "1"], vec!["y", "1"]]).unwrap();
         assert_eq!(t.find_unique_row(&[(1, "1")]), None);
+        // Ambiguity on the posting-probed first condition, disambiguated by
+        // a later condition.
+        assert_eq!(
+            t.find_unique_row_sym(&[(1, Symbol::intern("1")), (0, Symbol::intern("y"))]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn find_unique_row_no_conditions_matches_seed_scan() {
+        // Vacuous conditions match every row: unique only in a 1-row table.
+        let one = Table::new_with_key_width("T", vec!["A"], vec![vec!["x"]], 1).unwrap();
+        assert_eq!(one.find_unique_row_sym(&[]), Some(0));
+        let two = Table::new("T", vec!["A"], vec![vec!["x"], vec!["y"]]).unwrap();
+        assert_eq!(two.find_unique_row_sym(&[]), None);
     }
 
     #[test]
