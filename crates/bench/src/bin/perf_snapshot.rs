@@ -1,22 +1,26 @@
 //! Emits a JSON perf snapshot of the whole §7 suite: per-task learn times,
-//! convergence metrics and structure sizes, totals, plus a
+//! convergence metrics and structure sizes, totals, a
 //! `relaxed_reachability` micro-section timing one `GenerateStr_u` call per
-//! task (the §5.3 hot loop the `SubstringIndex` postings serve). Future PRs
-//! diff their snapshot against the committed `BENCH_PR<n>.json` to track
-//! the performance trajectory.
+//! task (the §5.3 hot loop the `SubstringIndex` postings serve), and a
+//! `dag_cache` micro-section timing cold vs warm learns through the
+//! memoized DAG plane. Future PRs diff their snapshot against the
+//! committed `BENCH_PR<n>.json` to track the performance trajectory.
 //!
 //! Usage:
 //!   `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --smoke`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --no-dag-cache`
 //!
 //! `--smoke` evaluates only the first [`SMOKE_PER_CATEGORY`] tasks of
 //! *each* category (`Lt` and `Lu`), so CI exercises both learn paths —
 //! including the semantic one the substring index serves — and proves the
-//! snapshot stays generatable without replaying the suite.
+//! snapshot stays generatable without replaying the suite. `--no-dag-cache`
+//! runs the per-task reports with the `DagCache` disabled; CI runs the
+//! smoke snapshot both ways so the differential path stays green.
 
 use std::time::Duration;
 
-use sst_bench::{evaluate_tasks, generate_u_time};
+use sst_bench::{dag_cache_times, evaluate_tasks_with, generate_u_time};
 use sst_benchmarks::Category;
 
 /// Tasks evaluated per category under `--smoke`.
@@ -28,6 +32,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let dag_cache = !std::env::args().any(|a| a == "--no-dag-cache");
     let mut tasks = sst_benchmarks::all_tasks();
     if smoke {
         let (mut lookup, mut semantic) = (0usize, 0usize);
@@ -40,12 +45,18 @@ fn main() {
             *kept <= SMOKE_PER_CATEGORY
         });
     }
-    let reports = evaluate_tasks(&tasks);
+    let reports = evaluate_tasks_with(&tasks, dag_cache);
     let total_learn: Duration = reports.iter().map(|r| r.learn_time).sum();
     let converged = reports.iter().filter(|r| r.converged).count();
     let total_size_final: usize = reports.iter().map(|r| r.size_final).sum();
     let micro: Vec<Duration> = tasks.iter().map(generate_u_time).collect();
     let total_generate_u: Duration = micro.iter().sum();
+    let cache_micro: Vec<(Duration, Duration)> = tasks
+        .iter()
+        .map(|t| dag_cache_times(t, dag_cache))
+        .collect();
+    let total_cold: Duration = cache_micro.iter().map(|(c, _)| *c).sum();
+    let total_warm: Duration = cache_micro.iter().map(|(_, w)| *w).sum();
 
     println!("{{");
     println!(
@@ -56,6 +67,7 @@ fn main() {
             "vldb2012-50"
         }
     );
+    println!("  \"dag_cache\": {dag_cache},");
     println!("  \"tasks\": [");
     for (i, r) in reports.iter().enumerate() {
         let comma = if i + 1 < reports.len() { "," } else { "" };
@@ -88,6 +100,20 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"dag_cache_micro\": [");
+    for (i, (task, (cold, warm))) in tasks.iter().zip(&cache_micro).enumerate() {
+        let comma = if i + 1 < tasks.len() { "," } else { "" };
+        println!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{:?}\", \
+             \"learn_cold_ms\": {:.3}, \"learn_warm_ms\": {:.3}}}{comma}",
+            task.id,
+            json_escape(task.name),
+            task.category,
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e3,
+        );
+    }
+    println!("  ],");
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");
@@ -95,6 +121,14 @@ fn main() {
     println!(
         "    \"total_generate_u_ms\": {:.3},",
         total_generate_u.as_secs_f64() * 1e3
+    );
+    println!(
+        "    \"total_learn_cold_ms\": {:.3},",
+        total_cold.as_secs_f64() * 1e3
+    );
+    println!(
+        "    \"total_learn_warm_ms\": {:.3},",
+        total_warm.as_secs_f64() * 1e3
     );
     println!(
         "    \"total_learn_ms\": {:.3}",

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use sst_benchmarks::{BenchmarkTask, Category};
-use sst_core::{converge, generate_str_u, LuOptions, Synthesizer};
+use sst_core::{converge, generate_str_u, LuOptions, SynthesisOptions, Synthesizer};
 use sst_counting::BigUint;
 
 /// Maximum examples the simulated user provides (the paper's tasks all
@@ -44,9 +44,25 @@ pub struct TaskReport {
     pub learn_time: Duration,
 }
 
-/// Runs the full measurement protocol on one task.
+/// Runs the full measurement protocol on one task (memoized DAG plane
+/// enabled, the production default).
 pub fn evaluate_task(task: &BenchmarkTask) -> TaskReport {
-    let synthesizer = Synthesizer::new(task.db.clone());
+    evaluate_task_with(task, true)
+}
+
+/// [`evaluate_task`] with the `DagCache` toggled, so CI and the
+/// differential harness can replay the suite on both paths. Note the
+/// protocol itself makes the cache matter: `converge` warms the session
+/// memo, so the timed `learn` below measures warm-path work (intersection
+/// and ranking) when the cache is on, and full regeneration when off.
+pub fn evaluate_task_with(task: &BenchmarkTask, dag_cache: bool) -> TaskReport {
+    let synthesizer = Synthesizer::with_options(
+        task.db.clone(),
+        SynthesisOptions {
+            dag_cache,
+            ..Default::default()
+        },
+    );
     let report = converge(&synthesizer, &task.rows, MAX_EXAMPLES)
         .unwrap_or_else(|e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name));
     let learned = report
@@ -85,7 +101,44 @@ pub fn evaluate_suite() -> Vec<TaskReport> {
 
 /// Evaluates a slice of tasks in order (the `--smoke` subset path).
 pub fn evaluate_tasks(tasks: &[BenchmarkTask]) -> Vec<TaskReport> {
-    tasks.iter().map(evaluate_task).collect()
+    evaluate_tasks_with(tasks, true)
+}
+
+/// [`evaluate_tasks`] with the `DagCache` toggled.
+pub fn evaluate_tasks_with(tasks: &[BenchmarkTask], dag_cache: bool) -> Vec<TaskReport> {
+    tasks
+        .iter()
+        .map(|t| evaluate_task_with(t, dag_cache))
+        .collect()
+}
+
+/// Cold/warm learn times of one task through the memoized DAG plane: one
+/// synthesizer, the converged example protocol (2 examples), learned
+/// twice. With `dag_cache` on, the first call fills the
+/// `(sources_epoch, value)` DAG memo and the whole-example memo and the
+/// second is served from them — the spread is the `dag_cache_micro`
+/// section of the perf snapshot. With it off (`--no-dag-cache`
+/// snapshots), both calls pay full generation, so the emitted baseline
+/// really is cache-free.
+pub fn dag_cache_times(task: &BenchmarkTask, dag_cache: bool) -> (Duration, Duration) {
+    let synthesizer = Synthesizer::with_options(
+        task.db.clone(),
+        SynthesisOptions {
+            dag_cache,
+            ..Default::default()
+        },
+    );
+    let examples = task.examples(2);
+    let fail = |e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name);
+    let cold_start = Instant::now();
+    let cold = synthesizer.learn(examples).unwrap_or_else(fail);
+    let cold_time = cold_start.elapsed();
+    drop(cold);
+    let warm_start = Instant::now();
+    let warm = synthesizer.learn(examples).unwrap_or_else(fail);
+    let warm_time = warm_start.elapsed();
+    drop(warm);
+    (cold_time, warm_time)
 }
 
 /// Wall-clock time of one `GenerateStr_u` call on a task's first example —

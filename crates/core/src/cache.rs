@@ -1,0 +1,282 @@
+//! The memoized DAG plane: a per-synthesizer cache that removes the
+//! dominant repeated work in `GenerateStr_u` (§5.3).
+//!
+//! Profiling after the substring-index PR showed DAG *construction* — the
+//! top-level output DAG plus a fresh nested predicate DAG per candidate-key
+//! cell — dwarfing everything else in semantic-task learning: the §3.2
+//! interaction loop re-learns on a growing example prefix, so the same
+//! example is re-generated once per step, and within one generation the
+//! same key value is re-derived for every row that carries it.
+//!
+//! [`DagCache`] memoizes at two granularities, both keyed so a hit is
+//! *provably* bit-identical to a recomputation:
+//!
+//! * **Per-value DAGs** — `generate_dag_prepared` results keyed by
+//!   `(sources_epoch, value)`. A *sources epoch* is the interned identity
+//!   of the full σ ∪ η̃ snapshot (the ordered list of source symbols): the
+//!   DAG of a value is a pure function of that list, so equal epochs imply
+//!   equal DAGs, and the cached [`Arc`] handle is shared structurally —
+//!   repeated key values reference one allocation, which the intersection
+//!   layer's pointer-keyed memos then exploit.
+//! * **Per-example structures** — whole `GenerateStr_u` results keyed by
+//!   the example's interned input/output symbols. `Synthesize` on a grown
+//!   example prefix replays generation for every earlier example; the memo
+//!   serves a cheap clone (`Arc`-shared DAGs, shallow condition handles)
+//!   instead.
+//!
+//! Both levels are scoped to one database state: the cache records the
+//! [`Database::epoch`] it was filled under and [`DagCache::validate`]
+//! clears everything when the epoch moved (a background table added
+//! between learning steps changes reachability, so *no* cached result may
+//! survive). Epoch interning also restarts, so stale `(epoch, value)` keys
+//! can never collide with post-mutation snapshots.
+
+use std::sync::Arc;
+
+use sst_lookup::NodeId;
+use sst_syntactic::Dag;
+use sst_tables::{Database, IntMap, Symbol};
+
+use crate::dstruct::SemDStruct;
+
+/// Identity of one σ ∪ η̃ snapshot: equal epochs ⇔ equal ordered source
+/// symbol lists (within one database state). Allocated densely by
+/// [`DagCache::epoch_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourcesEpoch(u32);
+
+/// Key of one memoized `GenerateStr_u` call: the example's interned
+/// inputs and output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExampleKey {
+    inputs: Box<[Symbol]>,
+    output: Symbol,
+}
+
+/// Cache hit/miss counters, exposed for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DagCacheStats {
+    /// Per-value DAG hits.
+    pub dag_hits: u64,
+    /// Per-value DAG misses (builds).
+    pub dag_misses: u64,
+    /// Whole-example hits.
+    pub example_hits: u64,
+    /// Whole-example misses (full generations).
+    pub example_misses: u64,
+}
+
+/// Flush threshold for the per-value DAG memo (and its epoch interner):
+/// a learning session over the whole benchmark suite stays in the low
+/// thousands, so the bound only triggers for long-lived synthesizers
+/// serving many distinct workloads — where dropping and refilling is
+/// cheaper than growing without limit.
+const MAX_DAG_ENTRIES: usize = 1 << 16;
+
+/// Flush threshold for the whole-example memo. Example structures are the
+/// heavyweight entries (a full `SemDStruct` clone each); one §3.2 session
+/// needs a handful.
+const MAX_EXAMPLE_ENTRIES: usize = 1 << 12;
+
+/// The memoized DAG plane (see the module docs). One cache serves one
+/// synthesizer configuration: entries are only sound across calls that
+/// share the database state *and* the generation options, which
+/// [`crate::Synthesizer`] guarantees by construction. Direct users of
+/// [`crate::generate_str_u_cached`] must not share a cache across differing
+/// [`crate::LuOptions`].
+///
+/// Memory is bounded: each memo flushes wholesale when it outgrows its
+/// threshold ([`MAX_DAG_ENTRIES`], [`MAX_EXAMPLE_ENTRIES`]) — correctness
+/// never depends on an entry being present, so eviction is just a refill
+/// cost on workloads large enough to hit it.
+#[derive(Debug, Default)]
+pub struct DagCache {
+    /// The [`Database::epoch`] the entries were computed under.
+    db_epoch: u64,
+    /// Source-list interning: ordered symbol list → epoch id.
+    epochs: IntMap<Box<[Symbol]>, u32>,
+    /// Next epoch id. Monotone for the cache's lifetime — never reset by
+    /// flushes or validation — so an id held across a flush (a generation
+    /// session keeps its `SourcesEpoch` for the step) can never collide
+    /// with a later snapshot's id and serve a stale DAG.
+    next_epoch: u32,
+    /// `(sources epoch, value) → DAG of all expressions producing the
+    /// value over that snapshot`.
+    dags: IntMap<(u32, Symbol), Arc<Dag<NodeId>>>,
+    /// Whole-example generation memo.
+    examples: IntMap<ExampleKey, SemDStruct>,
+    stats: DagCacheStats,
+}
+
+impl DagCache {
+    /// An empty cache (binds to a database epoch on first
+    /// [`DagCache::validate`]).
+    pub fn new() -> Self {
+        DagCache::default()
+    }
+
+    /// Rebinds the cache to `db_epoch`, clearing every entry when the
+    /// database mutated since the cache was filled. Epoch interning
+    /// restarts too, so pre-mutation `(epoch, value)` keys cannot be
+    /// served to post-mutation lookups.
+    pub fn validate(&mut self, db_epoch: u64) {
+        if self.db_epoch != db_epoch {
+            self.epochs.clear();
+            self.dags.clear();
+            self.examples.clear();
+            self.db_epoch = db_epoch;
+        }
+    }
+
+    /// [`DagCache::validate`] against a database.
+    pub fn validate_db(&mut self, db: &Database) {
+        self.validate(db.epoch());
+    }
+
+    /// The database epoch the entries are valid for.
+    pub fn db_epoch(&self) -> u64 {
+        self.db_epoch
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> DagCacheStats {
+        self.stats
+    }
+
+    /// Number of cached per-value DAGs.
+    pub fn dag_entries(&self) -> usize {
+        self.dags.len()
+    }
+
+    /// Number of cached whole-example structures.
+    pub fn example_entries(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Interns the identity of one σ ∪ η̃ snapshot (the ordered source
+    /// symbol list) into an epoch id.
+    pub fn epoch_of(&mut self, symbols: &[Symbol]) -> SourcesEpoch {
+        if let Some(&id) = self.epochs.get(symbols) {
+            return SourcesEpoch(id);
+        }
+        let id = self.next_epoch;
+        self.next_epoch += 1;
+        self.epochs.insert(symbols.into(), id);
+        SourcesEpoch(id)
+    }
+
+    /// The DAG of all syntactic expressions producing `value` over the
+    /// snapshot `epoch`, built by `build` on a miss. The returned handle is
+    /// shared: every hit aliases one allocation.
+    pub fn dag_for(
+        &mut self,
+        epoch: SourcesEpoch,
+        value: Symbol,
+        build: impl FnOnce() -> Dag<NodeId>,
+    ) -> Arc<Dag<NodeId>> {
+        if let Some(dag) = self.dags.get(&(epoch.0, value)) {
+            self.stats.dag_hits += 1;
+            return Arc::clone(dag);
+        }
+        self.stats.dag_misses += 1;
+        if self.dags.len() >= MAX_DAG_ENTRIES {
+            // Epochs key into `dags`, so both flush together; the next
+            // sync re-interns the live snapshot.
+            self.dags.clear();
+            self.epochs.clear();
+        }
+        let dag = Arc::new(build());
+        self.dags.insert((epoch.0, value), Arc::clone(&dag));
+        dag
+    }
+
+    /// A previously generated per-example structure, if any.
+    pub(crate) fn example(&mut self, inputs: &[Symbol], output: Symbol) -> Option<SemDStruct> {
+        let key = ExampleKey {
+            inputs: inputs.into(),
+            output,
+        };
+        match self.examples.get(&key) {
+            Some(d) => {
+                self.stats.example_hits += 1;
+                Some(d.clone())
+            }
+            None => {
+                self.stats.example_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly generated per-example structure.
+    pub(crate) fn store_example(&mut self, inputs: &[Symbol], output: Symbol, d: &SemDStruct) {
+        if self.examples.len() >= MAX_EXAMPLE_ENTRIES {
+            self.examples.clear();
+        }
+        let key = ExampleKey {
+            inputs: inputs.into(),
+            output,
+        };
+        self.examples.insert(key, d.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn dag(n: u32) -> Dag<NodeId> {
+        Dag {
+            num_nodes: n.max(1),
+            source: 0,
+            target: n.max(1) - 1,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn epochs_intern_by_content() {
+        let mut c = DagCache::new();
+        let (a, b) = (Symbol::intern("ep-a"), Symbol::intern("ep-b"));
+        let e1 = c.epoch_of(&[a, b]);
+        let e2 = c.epoch_of(&[a, b]);
+        let e3 = c.epoch_of(&[b, a]);
+        assert_eq!(e1, e2, "same ordered list, same epoch");
+        assert_ne!(e1, e3, "order is part of the identity");
+        assert_ne!(e1, c.epoch_of(&[a]), "prefixes are distinct snapshots");
+    }
+
+    #[test]
+    fn dag_for_builds_once_and_shares() {
+        let mut c = DagCache::new();
+        let e = c.epoch_of(&[Symbol::intern("s")]);
+        let v = Symbol::intern("val");
+        let mut builds = 0;
+        let d1 = c.dag_for(e, v, || {
+            builds += 1;
+            dag(3)
+        });
+        let d2 = c.dag_for(e, v, || {
+            builds += 1;
+            dag(3)
+        });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&d1, &d2), "hits alias one allocation");
+        assert_eq!(c.stats().dag_hits, 1);
+        assert_eq!(c.stats().dag_misses, 1);
+    }
+
+    #[test]
+    fn validate_clears_on_epoch_move_only() {
+        let mut c = DagCache::new();
+        c.validate(7);
+        let e = c.epoch_of(&[Symbol::intern("s")]);
+        c.dag_for(e, Symbol::intern("v"), || dag(2));
+        c.validate(7);
+        assert_eq!(c.dag_entries(), 1, "same epoch keeps entries");
+        c.validate(8);
+        assert_eq!(c.dag_entries(), 0, "moved epoch clears everything");
+        assert_eq!(c.db_epoch(), 8);
+    }
+}

@@ -33,8 +33,11 @@ pub struct GenPredU {
     /// Constrained column.
     pub col: ColId,
     /// All `e_s` expressions producing the value of `col` in the selected
-    /// row; sources are lookup-node handles.
-    pub dag: Dag<NodeId>,
+    /// row; sources are lookup-node handles. `Arc`-shared: repeated key
+    /// values within a reachability step (and `DagCache` hits across
+    /// steps) reference one DAG allocation, and intersection's nested-DAG
+    /// memo keys on exactly this pointer identity.
+    pub dag: Arc<Dag<NodeId>>,
 }
 
 /// Generalized condition for one candidate key.
@@ -83,8 +86,10 @@ pub struct SemDStruct {
     /// Lookup nodes (`η̃`), including one per distinct input value.
     pub nodes: Vec<SemNode>,
     /// DAG of all programs generating the output; `None` when the
-    /// intersection across examples became empty.
-    pub top: Option<Dag<NodeId>>,
+    /// intersection across examples became empty. `Arc`-shared so a
+    /// `DagCache` hit and the structure it produced alias one allocation;
+    /// mutation (pruning) goes through copy-on-write.
+    pub top: Option<Arc<Dag<NodeId>>>,
 }
 
 impl SemDStruct {
@@ -105,7 +110,7 @@ impl SemDStruct {
 
     /// True iff at least one consistent program is represented.
     pub fn has_programs(&self) -> bool {
-        self.top.as_ref().is_some_and(Dag::is_nonempty)
+        self.top.as_ref().is_some_and(|top| top.is_nonempty())
     }
 
     /// Exact number of programs with lookup depth ≤ `depth` (Figure 11(a)).
@@ -218,6 +223,12 @@ impl SemDStruct {
         }
 
         // Rewrite node programs: filter DAG atoms, drop dead conditions.
+        // Predicate DAGs are `Arc`-shared (repeated key values, memoized
+        // intersections), so filtering+pruning is memoized per pointer: one
+        // distinct DAG is rewritten once and every referent re-shares the
+        // result. Entries pin their key `Arc`, so a freed allocation can
+        // never be confused with a later one at the same address.
+        let mut dag_memo: PrunedDagMemo = IntMap::default();
         for i in 0..n {
             let progs = std::mem::take(&mut self.nodes[i].progs);
             self.nodes[i].progs = progs
@@ -233,9 +244,10 @@ impl SemDStruct {
                                 let preds: Vec<GenPredU> = c
                                     .preds
                                     .into_iter()
-                                    .filter_map(|mut pred| {
-                                        filter_dag(&mut pred.dag, &productive);
-                                        pred.dag.prune().then_some(pred)
+                                    .filter_map(|pred| {
+                                        let dag =
+                                            pruned_shared(&mut dag_memo, &pred.dag, &productive)?;
+                                        Some(GenPredU { col: pred.col, dag })
                                     })
                                     .collect();
                                 // All key columns must survive: a partial
@@ -253,13 +265,16 @@ impl SemDStruct {
                 })
                 .collect();
         }
+        drop(dag_memo);
 
-        // Top DAG: drop atoms referencing unproductive nodes.
+        // Top DAG: drop atoms referencing unproductive nodes. Copy-on-write
+        // keeps any cache-shared original intact.
         let Some(top) = &mut self.top else {
             return false;
         };
-        filter_dag(top, &productive);
-        if !top.prune() {
+        let top_mut = Arc::make_mut(top);
+        filter_dag(top_mut, &productive);
+        if !top_mut.prune() {
             self.top = None;
             return false;
         }
@@ -303,23 +318,68 @@ impl SemDStruct {
                 kept.push(std::mem::take(&mut self.nodes[i]));
             }
         }
+        let mut remap_memo: RemappedDagMemo = IntMap::default();
         for node in &mut kept {
             for p in &mut node.progs {
                 if let GenLookupU::Select { conds, .. } = p {
-                    // Clone-on-write: shared condition lists get one copy.
+                    // Clone-on-write: shared condition lists get one copy;
+                    // shared DAGs are remapped once per pointer and
+                    // re-shared.
                     for pred in Arc::make_mut(conds)
                         .iter_mut()
                         .flat_map(|c| c.preds.iter_mut())
                     {
-                        remap_dag(&mut pred.dag, &remap);
+                        pred.dag = remapped_shared(&mut remap_memo, &pred.dag, &remap);
                     }
                 }
             }
         }
-        remap_dag(self.top.as_mut().unwrap(), &remap);
+        remap_dag(Arc::make_mut(self.top.as_mut().unwrap()), &remap);
         self.nodes = kept;
         true
     }
+}
+
+/// Memo for [`pruned_shared`]: `Arc` address → (pinned key, rewritten DAG).
+type PrunedDagMemo = IntMap<usize, (Arc<Dag<NodeId>>, Option<Arc<Dag<NodeId>>>)>;
+
+/// Filters and prunes one (possibly shared) predicate DAG, once per
+/// distinct allocation. `None` when no program survives.
+fn pruned_shared(
+    memo: &mut PrunedDagMemo,
+    dag: &Arc<Dag<NodeId>>,
+    productive: &[bool],
+) -> Option<Arc<Dag<NodeId>>> {
+    let key = Arc::as_ptr(dag) as usize;
+    if let Some((_, hit)) = memo.get(&key) {
+        return hit.clone();
+    }
+    let mut rewritten = (**dag).clone();
+    filter_dag(&mut rewritten, productive);
+    let out = rewritten.prune().then(|| Arc::new(rewritten));
+    memo.insert(key, (Arc::clone(dag), out.clone()));
+    out
+}
+
+/// Memo for [`remapped_shared`]: `Arc` address → (pinned key, remapped DAG).
+type RemappedDagMemo = IntMap<usize, (Arc<Dag<NodeId>>, Arc<Dag<NodeId>>)>;
+
+/// Remaps one (possibly shared) predicate DAG's node references, once per
+/// distinct allocation.
+fn remapped_shared(
+    memo: &mut RemappedDagMemo,
+    dag: &Arc<Dag<NodeId>>,
+    remap: &[u32],
+) -> Arc<Dag<NodeId>> {
+    let key = Arc::as_ptr(dag) as usize;
+    if let Some((_, hit)) = memo.get(&key) {
+        return Arc::clone(hit);
+    }
+    let mut rewritten = (**dag).clone();
+    remap_dag(&mut rewritten, remap);
+    let out = Arc::new(rewritten);
+    memo.insert(key, (Arc::clone(dag), Arc::clone(&out)));
+    out
 }
 
 /// True iff the DAG has a source→target path whose every edge offers an
@@ -410,7 +470,10 @@ mod tests {
                 key: 0,
                 preds: conds_dags
                     .into_iter()
-                    .map(|dag| GenPredU { col: 0, dag })
+                    .map(|dag| GenPredU {
+                        col: 0,
+                        dag: Arc::new(dag),
+                    })
                     .collect(),
             }]),
         }
@@ -434,7 +497,7 @@ mod tests {
             vals: vec!["Google".into()],
             progs: vec![select(vec![key_dag])],
         });
-        d.top = Some(node_dag(1));
+        d.top = Some(Arc::new(node_dag(1)));
         d
     }
 
@@ -476,7 +539,7 @@ mod tests {
             vals: vec!["b".into()],
             progs: vec![select(vec![node_dag(0)])],
         });
-        d.top = Some(node_dag(0));
+        d.top = Some(Arc::new(node_dag(0)));
         assert!(!d.prune());
         assert!(!d.has_programs());
     }
@@ -497,7 +560,7 @@ mod tests {
             vals: vec!["b".into()],
             progs: vec![select(vec![node_dag(0)])],
         });
-        d.top = Some(node_dag(0));
+        d.top = Some(Arc::new(node_dag(0)));
         assert!(d.prune());
         assert!(d.count(2).to_u64().unwrap() >= 1);
     }
@@ -528,7 +591,7 @@ mod tests {
     #[test]
     fn top_const_only_still_has_programs() {
         let mut d = SemDStruct {
-            top: Some(const_dag("out")),
+            top: Some(Arc::new(const_dag("out"))),
             ..Default::default()
         };
         assert!(d.prune());

@@ -32,8 +32,9 @@ use std::sync::Arc;
 use sst_lookup::reach::{reach, Activation, ReachPolicy, ReachState};
 use sst_lookup::NodeId;
 use sst_syntactic::{generate_dag_prepared, Dag, GenOptions, PreparedSources};
-use sst_tables::{ColId, Database, IntMap, RowId, TableId};
+use sst_tables::{ColId, Database, IntMap, RowId, Symbol, TableId};
 
+use crate::cache::{DagCache, SourcesEpoch};
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
 /// Options for `Lu` generation.
@@ -94,16 +95,26 @@ struct RelaxedGate<'a> {
     /// Extended incrementally (sources only grow), so token runs and
     /// learned positions are computed once per node across all steps.
     prepared: Option<PreparedSources<NodeId>>,
+    /// The snapshot's values in node order — the content identity the
+    /// [`DagCache`] interns into a sources epoch. Extended in lockstep
+    /// with `prepared`.
+    source_syms: Vec<Symbol>,
     /// Per-step memo: condition handle per activated row. Rows activated
     /// through several cells in one step share one `Arc` instead of
     /// re-deriving the identical predicate DAGs (insert-time dedup made
     /// the duplicates no-ops anyway; the memo skips building them).
     row_conds: IntMap<(TableId, RowId), Arc<Vec<GenCondU>>>,
+    /// The memoized DAG plane, when the caller runs with one.
+    cache: Option<&'a mut DagCache>,
+    /// The current snapshot's interned epoch; `None` while no cache is
+    /// attached (or before the first sync).
+    epoch: Option<SourcesEpoch>,
 }
 
 impl RelaxedGate<'_> {
-    /// Brings `prepared` up to date with every node the engine holds.
-    fn sync_sources(&mut self, state: &ReachState<GenLookupU>) -> &PreparedSources<NodeId> {
+    /// Brings `prepared` (and the snapshot epoch) up to date with every
+    /// node the engine holds.
+    fn sync_sources(&mut self, state: &ReachState<GenLookupU>) {
         let prepared = self.prepared.get_or_insert_with(|| {
             PreparedSources::new(&[] as &[(NodeId, &str)], &self.opts.syntactic)
         });
@@ -113,9 +124,27 @@ impl RelaxedGate<'_> {
                 .skip(prepared.len())
                 .map(|(id, val)| (id, val.as_str()))
                 .collect();
+            self.source_syms
+                .extend(state.symbols().skip(self.source_syms.len()));
             prepared.extend(&fresh);
         }
-        prepared
+        if let Some(cache) = self.cache.as_deref_mut() {
+            self.epoch = Some(cache.epoch_of(&self.source_syms));
+        }
+    }
+
+    /// The DAG of all expressions producing `value` over the current
+    /// snapshot — served from the cache when one is attached (keyed by
+    /// `(sources_epoch, value)`, so repeated key values share one
+    /// allocation), built fresh otherwise.
+    fn dag_for_value(&mut self, value: Symbol) -> Arc<Dag<NodeId>> {
+        let prepared = self.prepared.as_ref().expect("sync_sources ran this step");
+        match (self.cache.as_deref_mut(), self.epoch) {
+            (Some(cache), Some(epoch)) => cache.dag_for(epoch, value, || {
+                generate_dag_prepared(prepared, value.as_str())
+            }),
+            _ => Arc::new(generate_dag_prepared(prepared, value.as_str())),
+        }
     }
 }
 
@@ -214,7 +243,6 @@ impl ReachPolicy for RelaxedGate<'_> {
         if let Some(conds) = self.row_conds.get(&(act.table, act.row)) {
             return Some(Arc::clone(conds));
         }
-        let prepared = self.prepared.as_ref().expect("activations ran this step");
         let table = db.table(act.table);
         let conds: Vec<GenCondU> = table
             .candidate_keys()
@@ -226,7 +254,7 @@ impl ReachPolicy for RelaxedGate<'_> {
                     .iter()
                     .map(|&kc| GenPredU {
                         col: kc,
-                        dag: generate_dag_prepared(prepared, table.cell(kc, act.row)),
+                        dag: self.dag_for_value(table.cell_sym(kc, act.row)),
                     })
                     .collect(),
             })
@@ -255,22 +283,67 @@ pub fn generate_str_u(
     output: &str,
     opts: &LuOptions,
 ) -> SemDStruct {
+    generate_str_u_impl(db, inputs, output, opts, None)
+}
+
+/// [`generate_str_u`] backed by a [`DagCache`]: per-value DAGs are served
+/// from `(sources_epoch, value)` entries and whole repeated examples from
+/// the example memo, with results bit-identical to the uncached path (the
+/// cache self-validates against `db.epoch()` first, so a mutated database
+/// never serves stale structures). The cache must not be shared across
+/// differing `opts`.
+pub fn generate_str_u_cached(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+    cache: &mut DagCache,
+) -> SemDStruct {
+    generate_str_u_impl(db, inputs, output, opts, Some(cache))
+}
+
+fn generate_str_u_impl(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+    mut cache: Option<&mut DagCache>,
+) -> SemDStruct {
+    // Whole-example memo: `Synthesize` on a growing example prefix (the
+    // §3.2 loop) replays generation for every earlier example; generation
+    // is deterministic in (db, inputs, output, opts), so an unmutated
+    // database can serve the previous structure outright.
+    let example_key: Option<(Vec<Symbol>, Symbol)> = cache.as_deref_mut().map(|c| {
+        c.validate_db(db);
+        (
+            inputs.iter().map(|s| Symbol::intern(s)).collect(),
+            Symbol::intern(output),
+        )
+    });
+    if let (Some(cache), Some((ins, out))) = (cache.as_deref_mut(), &example_key) {
+        if let Some(hit) = cache.example(ins, *out) {
+            return hit;
+        }
+    }
+
     let mut gate = RelaxedGate {
         opts,
         prepared: None,
+        source_syms: Vec::new(),
         row_conds: IntMap::default(),
+        cache: cache.as_deref_mut(),
+        epoch: None,
     };
     let state = reach(db, inputs, opts.depth_for(db), &mut gate);
 
     // Top-level DAG over every known string: extend the last step's
     // snapshot with the final expansion's nodes instead of re-preparing.
+    // Served from the same `(sources_epoch, value)` plane as the predicate
+    // DAGs — an output equal to a cached key value shares its allocation.
     gate.sync_sources(&state);
-    let top: Dag<NodeId> = generate_dag_prepared(
-        gate.prepared.as_ref().expect("sync_sources initializes"),
-        output,
-    );
+    let top: Arc<Dag<NodeId>> = gate.dag_for_value(Symbol::intern(output));
 
-    SemDStruct {
+    let d = SemDStruct {
         nodes: state
             .into_nodes()
             .into_iter()
@@ -280,7 +353,11 @@ pub fn generate_str_u(
             })
             .collect(),
         top: Some(top),
+    };
+    if let (Some(cache), Some((ins, out))) = (cache, example_key) {
+        cache.store_example(&ins, out, &d);
     }
+    d
 }
 
 #[cfg(test)]

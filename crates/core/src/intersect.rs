@@ -18,14 +18,62 @@
 use std::sync::Arc;
 
 use sst_lookup::NodeId;
-use sst_syntactic::{intersect_dags_memo, PosMemo};
+use sst_syntactic::{intersect_dags_memo, intersect_dags_memo_unpruned, Dag, PosMemo};
 use sst_tables::IntMap;
 
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
 /// Intersects two `Du` structures. The result's `top` is `None` when no
 /// common program survives.
+///
+/// Three optimizations prune the §5.3 edge product, each invisible after
+/// the final productivity prune (pinned against
+/// [`intersect_du_unpruned`], the naive oracle, by the property tests):
+///
+/// * edge pairs off all source→target paths of the product skip their
+///   O(atoms²) expansion (structural reachability masks in the syntactic
+///   layer);
+/// * node pairs where either side's program set is empty are never
+///   created — they can only ever be unproductive;
+/// * nested predicate-DAG intersections are memoized on the `Arc`
+///   identity of the operand DAGs, which generation shares per repeated
+///   key value — one row pair's predicate work serves every row pair
+///   carrying the same values.
 pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
+    intersect_du_impl(a, b, Tuning::OPTIMIZED)
+}
+
+/// The unpruned, unmemoized `Intersect_u`: every edge pair expands its
+/// atom products and every referenced node pair is materialized, exactly
+/// as the pre-cache implementation did. Kept as the correctness oracle for
+/// the differential property tests; counts, sizes and ranking must match
+/// [`intersect_du`] bit for bit.
+pub fn intersect_du_unpruned(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
+    intersect_du_impl(a, b, Tuning::ORACLE)
+}
+
+/// Which product-pruning optimizations run (see [`intersect_du`]).
+#[derive(Clone, Copy)]
+struct Tuning {
+    prune_product: bool,
+    skip_empty_pairs: bool,
+    memo_nested: bool,
+}
+
+impl Tuning {
+    const OPTIMIZED: Tuning = Tuning {
+        prune_product: true,
+        skip_empty_pairs: true,
+        memo_nested: true,
+    };
+    const ORACLE: Tuning = Tuning {
+        prune_product: false,
+        skip_empty_pairs: false,
+        memo_nested: false,
+    };
+}
+
+fn intersect_du_impl(a: &SemDStruct, b: &SemDStruct, tuning: Tuning) -> SemDStruct {
     let (Some(ta), Some(tb)) = (&a.top, &b.top) else {
         return SemDStruct::default();
     };
@@ -39,16 +87,13 @@ pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
     let mut ctx = Ctx {
         a,
         b,
+        tuning,
         out_nodes: Vec::new(),
         memo,
+        dag_memo: IntMap::default(),
         pos_memo: &pos_memo,
     };
-    let top = intersect_dags_memo(
-        ta,
-        tb,
-        &mut |x: &NodeId, y: &NodeId| Some(ctx.pair(*x, *y)),
-        &pos_memo,
-    );
+    let top = ctx.intersect_top(ta, tb);
     let mut out = SemDStruct {
         nodes: ctx.out_nodes,
         top,
@@ -59,15 +104,85 @@ pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
     out
 }
 
+/// Memo entry for nested predicate-DAG intersections: the two pinned
+/// operand `Arc`s (their addresses are the key, so they must stay alive)
+/// plus the cached result.
+type NestedDagEntry = (Arc<Dag<NodeId>>, Arc<Dag<NodeId>>, Option<Arc<Dag<NodeId>>>);
+
 struct Ctx<'a> {
     a: &'a SemDStruct,
     b: &'a SemDStruct,
+    tuning: Tuning,
     out_nodes: Vec<SemNode>,
     memo: IntMap<(NodeId, NodeId), NodeId>,
+    dag_memo: IntMap<(usize, usize), NestedDagEntry>,
     pos_memo: &'a PosMemo,
 }
 
 impl Ctx<'_> {
+    /// Source-handle intersection for the DAG product: pairs the two
+    /// lookup nodes, short-circuiting pairs that cannot be productive
+    /// (either side has no generalized program) so their recursive
+    /// intersection work never happens.
+    fn pair_src(&mut self, na: NodeId, nb: NodeId) -> Option<NodeId> {
+        if self.tuning.skip_empty_pairs
+            && (self.a.node(na).progs.is_empty() || self.b.node(nb).progs.is_empty())
+        {
+            return None;
+        }
+        Some(self.pair(na, nb))
+    }
+
+    fn intersect_top(
+        &mut self,
+        ta: &Arc<Dag<NodeId>>,
+        tb: &Arc<Dag<NodeId>>,
+    ) -> Option<Arc<Dag<NodeId>>> {
+        self.intersect_dag_pair(ta, tb, false)
+    }
+
+    /// Intersects two (possibly shared) DAGs with lookup-node pairing.
+    /// With `memoize` (nested predicate DAGs), the result is cached on the
+    /// operands' `Arc` identity: generation hands every repeated key value
+    /// the same allocation, and re-intersecting identical operands only
+    /// replays `pair` memo hits, so serving the cache is exact.
+    fn intersect_dag_pair(
+        &mut self,
+        da: &Arc<Dag<NodeId>>,
+        db: &Arc<Dag<NodeId>>,
+        memoize: bool,
+    ) -> Option<Arc<Dag<NodeId>>> {
+        let memoize = memoize && self.tuning.memo_nested;
+        let key = (Arc::as_ptr(da) as usize, Arc::as_ptr(db) as usize);
+        if memoize {
+            if let Some((_, _, hit)) = self.dag_memo.get(&key) {
+                return hit.clone();
+            }
+        }
+        let pos_memo = self.pos_memo;
+        let out = if self.tuning.prune_product {
+            intersect_dags_memo(
+                &**da,
+                &**db,
+                &mut |x: &NodeId, y: &NodeId| self.pair_src(*x, *y),
+                pos_memo,
+            )
+        } else {
+            intersect_dags_memo_unpruned(
+                &**da,
+                &**db,
+                &mut |x: &NodeId, y: &NodeId| self.pair_src(*x, *y),
+                pos_memo,
+            )
+        }
+        .map(Arc::new);
+        if memoize {
+            self.dag_memo
+                .insert(key, (Arc::clone(da), Arc::clone(db), out.clone()));
+        }
+        out
+    }
+
     fn pair(&mut self, na: NodeId, nb: NodeId) -> NodeId {
         if let Some(&id) = self.memo.get(&(na, nb)) {
             return id;
@@ -144,13 +259,7 @@ impl Ctx<'_> {
             if p.col != q.col {
                 return None;
             }
-            let pos_memo = self.pos_memo;
-            let dag = intersect_dags_memo(
-                &p.dag,
-                &q.dag,
-                &mut |u: &NodeId, v: &NodeId| Some(self.pair(*u, *v)),
-                pos_memo,
-            )?;
+            let dag = self.intersect_dag_pair(&p.dag, &q.dag, true)?;
             preds.push(GenPredU { col: p.col, dag });
         }
         Some(GenCondU { key: x.key, preds })

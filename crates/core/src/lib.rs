@@ -50,6 +50,7 @@
 //! );
 //! ```
 
+mod cache;
 mod dstruct;
 mod eval;
 mod generate;
@@ -60,11 +61,12 @@ mod paraphrase;
 mod rank;
 mod synthesizer;
 
+pub use cache::{DagCache, DagCacheStats, SourcesEpoch};
 pub use dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 pub use eval::{eval_lookup_u, eval_sem};
-pub use generate::{generate_str_u, LuOptions};
+pub use generate::{generate_str_u, generate_str_u_cached, LuOptions};
 pub use interaction::{converge, distinguishing_input, highlight_ambiguous, ConvergenceReport};
-pub use intersect::intersect_du;
+pub use intersect::{intersect_du, intersect_du_unpruned};
 pub use language::{
     display_sem, sem_depth, sem_select_count, LookupU, PredRhsU, PredicateU, SemAtom, SemExpr,
     VarId,

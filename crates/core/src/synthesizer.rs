@@ -5,15 +5,16 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use sst_counting::BigUint;
 use sst_syntactic::TokenSet;
-use sst_tables::Database;
+use sst_tables::{Database, Table, TableError, TableId};
 
+use crate::cache::DagCache;
 use crate::dstruct::SemDStruct;
 use crate::eval::eval_sem;
-use crate::generate::{generate_str_u, LuOptions};
+use crate::generate::{generate_str_u, generate_str_u_cached, LuOptions};
 use crate::intersect::intersect_du;
 use crate::language::{display_sem, SemExpr};
 use crate::paraphrase::paraphrase_sem;
@@ -83,29 +84,51 @@ impl fmt::Display for SynthesisError {
 impl std::error::Error for SynthesisError {}
 
 /// Synthesis configuration: generation options plus ranking weights.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SynthesisOptions {
     /// Generation options (depth bound, token set).
     pub lu: LuOptions,
     /// Ranking weights.
     pub weights: LuRankWeights,
+    /// Whether learning runs on the memoized DAG plane ([`DagCache`]):
+    /// per-value predicate/top DAGs shared by `(sources_epoch, value)` and
+    /// whole repeated examples served from the session memo. Results are
+    /// bit-identical either way (pinned by `tests/dag_memo_equivalence.rs`);
+    /// the toggle exists for that differential harness and for perf
+    /// comparisons. Default: enabled.
+    pub dag_cache: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            lu: LuOptions::default(),
+            weights: LuRankWeights::default(),
+            dag_cache: true,
+        }
+    }
 }
 
 /// The programming-by-example synthesizer for semantic string
 /// transformations.
+///
+/// Holds the session's memoized DAG plane: a [`DagCache`] shared by every
+/// `learn` call (and by clones of this synthesizer), so the §3.2
+/// interaction loop's repeated generations are served from memory. The
+/// cache self-validates against the database epoch, so
+/// [`Synthesizer::add_table`] between learning steps can never leak stale
+/// structures.
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     db: Arc<Database>,
     options: SynthesisOptions,
+    cache: Arc<Mutex<DagCache>>,
 }
 
 impl Synthesizer {
     /// Creates a synthesizer over a database with default options.
     pub fn new(db: Database) -> Self {
-        Synthesizer {
-            db: Arc::new(db),
-            options: SynthesisOptions::default(),
-        }
+        Synthesizer::with_options(db, SynthesisOptions::default())
     }
 
     /// Creates a synthesizer with explicit options.
@@ -113,6 +136,7 @@ impl Synthesizer {
         Synthesizer {
             db: Arc::new(db),
             options,
+            cache: Arc::new(Mutex::new(DagCache::new())),
         }
     }
 
@@ -126,7 +150,44 @@ impl Synthesizer {
         &self.options
     }
 
+    /// Adds a background-knowledge table between learning steps. The
+    /// database's mutation epoch moves, so the next `learn` invalidates
+    /// the whole DAG cache instead of serving structures computed against
+    /// the smaller database (stale reachability). Learned programs handed
+    /// out earlier keep their own snapshot (`Arc`-shared).
+    ///
+    /// The mutated synthesizer also detaches onto a fresh cache: clones
+    /// made before the mutation keep the old one, so two diverged
+    /// databases never alternate `validate` clears on a shared cache
+    /// (which would silently disable caching for both).
+    pub fn add_table(&mut self, table: Table) -> Result<TableId, TableError> {
+        let id = Arc::make_mut(&mut self.db).add_table(table)?;
+        self.cache = Arc::new(Mutex::new(DagCache::new()));
+        Ok(id)
+    }
+
+    /// The session cache, recovered if a previous holder panicked (the
+    /// cache self-validates, so a partially filled state is still sound —
+    /// at worst some entries are recomputed).
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, DagCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Snapshot of the DAG-cache hit/miss counters (benchmark
+    /// introspection).
+    pub fn cache_stats(&self) -> crate::cache::DagCacheStats {
+        self.lock_cache().stats()
+    }
+
     /// Learns the set of all programs consistent with the examples.
+    ///
+    /// Holds the session cache's lock for the whole call (generation *and*
+    /// intersection): learning is the unit of cache consistency, and
+    /// per-call granularity keeps the fast path to one lock acquisition.
+    /// Concurrent learns over clones therefore serialize; give each thread
+    /// its own synthesizer (separate caches) for parallel learning.
     pub fn learn(&self, examples: &[Example]) -> Result<LearnedPrograms, SynthesisError> {
         let first = examples.first().ok_or(SynthesisError::NoExamples)?;
         let arity = first.inputs.len();
@@ -139,14 +200,16 @@ impl Synthesizer {
                 });
             }
         }
-        let mut d = generate_str_u(
-            &self.db,
-            &first.input_refs(),
-            &first.output,
-            &self.options.lu,
-        );
+        let mut cache = self.options.dag_cache.then(|| self.lock_cache());
+        let mut generate = |e: &Example| match cache.as_deref_mut() {
+            Some(c) => {
+                generate_str_u_cached(&self.db, &e.input_refs(), &e.output, &self.options.lu, c)
+            }
+            None => generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu),
+        };
+        let mut d = generate(first);
         for e in &examples[1..] {
-            let next = generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu);
+            let next = generate(e);
             d = intersect_du(&d, &next);
             if !d.has_programs() {
                 return Err(SynthesisError::NoConsistentProgram);
@@ -338,6 +401,65 @@ mod tests {
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         assert!(learned.count() > BigUint::from(1u64));
         assert!(learned.size() > 0);
+    }
+
+    #[test]
+    fn add_table_invalidates_the_dag_cache() {
+        // Warm the whole-example memo while the database cannot solve the
+        // task semantically: the learned set is constants-only.
+        let mut s = Synthesizer::new(Database::new());
+        let example = Example::new(vec!["c2"], "Google");
+        let constant_only = s.learn(std::slice::from_ref(&example)).unwrap();
+        assert_eq!(
+            constant_only.run(&["c1"]).as_deref(),
+            Some("Google"),
+            "without tables only the constant program exists"
+        );
+
+        // Mutate the database between learning steps. A stale memo hit
+        // would keep serving the constants-only structure; the epoch bump
+        // must invalidate it so the new table's lookups are found.
+        s.add_table(
+            Table::new(
+                "Comp",
+                vec!["Id", "Name"],
+                vec![
+                    vec!["c1", "Microsoft"],
+                    vec!["c2", "Google"],
+                    vec!["c3", "Apple"],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let relearned = s.learn(std::slice::from_ref(&example)).unwrap();
+        assert_eq!(
+            relearned.run(&["c1"]).as_deref(),
+            Some("Microsoft"),
+            "stale DAG cache served: the lookup row is reachable now"
+        );
+
+        // And the post-mutation session is bit-identical to a fresh
+        // synthesizer over the same database.
+        let fresh = Synthesizer::new(s.db().clone());
+        let baseline = fresh.learn(std::slice::from_ref(&example)).unwrap();
+        assert_eq!(relearned.count(), baseline.count());
+        assert_eq!(relearned.size(), baseline.size());
+    }
+
+    #[test]
+    fn cloned_synthesizers_share_one_cache() {
+        let s = Synthesizer::new(comp_db());
+        let clone = s.clone();
+        s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        let warmed = clone.cache_stats();
+        assert!(
+            warmed.example_misses > 0 || warmed.dag_misses > 0,
+            "clones observe the shared cache: {warmed:?}"
+        );
+        // The clone's next learn of the same example is a memo hit.
+        clone.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        assert!(clone.cache_stats().example_hits > 0);
     }
 
     #[test]

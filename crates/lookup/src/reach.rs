@@ -95,6 +95,17 @@ impl<P: Hash + Eq> ReachState<P> {
             .map(|(i, (val, _))| (NodeId(i as u32), *val))
     }
 
+    /// The node values in node-id order — the content identity of the
+    /// σ ∪ η̃ snapshot. Because nodes are append-only and never re-valued,
+    /// this list is a *prefix-stable epoch key*: gates that extend a
+    /// [`sst_syntactic::PreparedSources`] snapshot incrementally
+    /// (`PreparedSources::extend`) can intern it (e.g. into a `DagCache`
+    /// sources epoch upstream) and equal keys guarantee byte-identical
+    /// prepared sources.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.nodes.iter().map(|(val, _)| *val)
+    }
+
     /// Consumes the state into `(value, programs)` pairs in node-id order.
     pub fn into_nodes(self) -> Vec<(Symbol, ProgSet<P>)> {
         self.nodes

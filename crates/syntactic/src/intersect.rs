@@ -80,6 +80,12 @@ where
 /// [`intersect_dags`] with a caller-supplied [`PosMemo`], for sessions that
 /// intersect many DAGs sharing position vectors (`Intersect_u`'s nested
 /// predicate DAGs all draw from one per-step cache).
+///
+/// Edge pairs are pruned by product reachability before any atom product is
+/// expanded (see [`product_path_masks`]); the result is provably identical
+/// to the unpruned construction ([`intersect_dags_memo_unpruned`], the
+/// differential oracle) because the final productivity prune removes
+/// everything the mask rejects.
 pub fn intersect_dags_memo<S1, S2, S3>(
     a: &Dag<S1>,
     b: &Dag<S2>,
@@ -89,13 +95,111 @@ pub fn intersect_dags_memo<S1, S2, S3>(
 where
     S3: Eq + Hash,
 {
+    intersect_dags_impl(a, b, src_intersect, pos_memo, true)
+}
+
+/// The unpruned product construction: every edge pair expands its atom
+/// products, exactly as the pre-mask implementation did. Kept as the
+/// correctness oracle for the differential property tests — pruning must
+/// never drop a program this construction keeps.
+pub fn intersect_dags_memo_unpruned<S1, S2, S3>(
+    a: &Dag<S1>,
+    b: &Dag<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+    pos_memo: &PosMemo,
+) -> Option<Dag<S3>>
+where
+    S3: Eq + Hash,
+{
+    intersect_dags_impl(a, b, src_intersect, pos_memo, false)
+}
+
+/// Forward/backward reachability over the *structural* product graph: pair
+/// `(x1, x2)` has an edge to `(y1, y2)` iff `a` has edge `x1→y1` and `b`
+/// has edge `x2→y2` (atom contents ignored). Returns `(fwd, bwd)` bitmaps
+/// indexed `x1 * b.num_nodes + x2`: reachable from the source pair /
+/// co-reachable to the target pair.
+///
+/// Structural reachability over-approximates post-intersection reachability
+/// (atom products only remove edges), so any edge pair outside
+/// `fwd[start] ∧ bwd[end]` is guaranteed dead after [`Dag::prune`] — which
+/// is what makes skipping its atom product a pure optimization: the §5.3
+/// `Intersect_u` edge product is O(edges² · atoms²), and the mask removes
+/// the atoms² factor for every edge pair off all source→target paths.
+fn product_path_masks<S1, S2>(a: &Dag<S1>, b: &Dag<S2>) -> (Vec<bool>, Vec<bool>) {
+    let n2 = b.num_nodes as usize;
+    let idx = |x1: u32, x2: u32| x1 as usize * n2 + x2 as usize;
+    let total = a.num_nodes as usize * n2;
+
+    // Forward: a.edges iterates ascending in the first component, so every
+    // pair in row `a1` is final before `a1`'s outgoing edges propagate.
+    let mut fwd = vec![false; total];
+    fwd[idx(a.source, b.source)] = true;
+    for &(a1, y1) in a.edges.keys() {
+        for x2 in 0..b.num_nodes {
+            if fwd[idx(a1, x2)] {
+                for (&(_, y2), _) in b.outgoing(x2) {
+                    fwd[idx(y1, y2)] = true;
+                }
+            }
+        }
+    }
+
+    // Backward: descending in the first component, so rows above `a1` are
+    // final before they are read.
+    let mut bwd = vec![false; total];
+    bwd[idx(a.target, b.target)] = true;
+    for &(a1, y1) in a.edges.keys().rev() {
+        for x2 in 0..b.num_nodes {
+            if !bwd[idx(a1, x2)] {
+                let reaches = b.outgoing(x2).any(|(&(_, y2), _)| bwd[idx(y1, y2)]);
+                if reaches {
+                    bwd[idx(a1, x2)] = true;
+                }
+            }
+        }
+    }
+    (fwd, bwd)
+}
+
+fn intersect_dags_impl<S1, S2, S3>(
+    a: &Dag<S1>,
+    b: &Dag<S2>,
+    src_intersect: &mut impl FnMut(&S1, &S2) -> Option<S3>,
+    pos_memo: &PosMemo,
+    prune_product: bool,
+) -> Option<Dag<S3>>
+where
+    S3: Eq + Hash,
+{
     // Enumerate node pairs in lexicographic order; edges go forward in both
     // components, so this is a topological order of the product.
     let pair_id = |n1: u32, n2: u32| (n1 as u64) * b.num_nodes as u64 + n2 as u64;
     let mut edges: BTreeMap<(u64, u64), Vec<AtomSet<S3>>> = BTreeMap::new();
 
+    let masks = prune_product.then(|| product_path_masks(a, b));
+    if let Some((_, bwd)) = &masks {
+        // The source pair cannot reach the target pair even structurally:
+        // the intersection is empty unless both sides are the single empty
+        // program (source == target on both, handled below — the pair is
+        // then trivially co-reachable, so this branch is not taken).
+        if !bwd[(a.source as usize) * b.num_nodes as usize + b.source as usize] {
+            return None;
+        }
+    }
+    let n2 = b.num_nodes as usize;
+    let on_path = |x1: u32, x2: u32, y1: u32, y2: u32| match &masks {
+        Some((fwd, bwd)) => {
+            fwd[x1 as usize * n2 + x2 as usize] && bwd[y1 as usize * n2 + y2 as usize]
+        }
+        None => true,
+    };
+
     for (&(a1, b1), atoms1) in &a.edges {
         for (&(a2, b2), atoms2) in &b.edges {
+            if !on_path(a1, a2, b1, b2) {
+                continue;
+            }
             // Hashed dedup: products of large atom sets made the seed's
             // `Vec::contains` quadratic in deep comparisons.
             let mut atoms: ProgSet<AtomSet<S3>> = ProgSet::new();
@@ -332,6 +436,48 @@ mod tests {
             d.count_programs(&mut |_| BigUint::one()),
             i.count_programs(&mut |_| BigUint::one())
         );
+    }
+
+    #[test]
+    fn pruned_product_matches_unpruned_oracle() {
+        // The structural edge-pair mask must not change what is
+        // represented: counts and sizes agree with the unpruned product on
+        // overlapping, disjoint and self intersections.
+        let cases = [
+            (vec!["ab 12 cd"], "12", vec!["x 345 yz"], "345"),
+            (vec!["A"], "A", vec!["B"], "B"),
+            (vec!["banana"], "an", vec!["canal"], "an"),
+            (vec!["q"], "X", vec!["q"], "X"),
+            (
+                vec!["Honda", "125"],
+                "Honda125",
+                vec!["Ducati", "250"],
+                "Ducati250",
+            ),
+        ];
+        for (in1, out1, in2, out2) in cases {
+            let d1 = gen(&in1, out1);
+            let d2 = gen(&in2, out2);
+            let pruned = intersect_dags(&d1, &d2, &mut var_eq);
+            let oracle = intersect_dags_memo_unpruned(&d1, &d2, &mut var_eq, &PosMemo::new());
+            match (&pruned, &oracle) {
+                (Some(p), Some(o)) => {
+                    assert_eq!(
+                        p.count_programs(&mut |_| BigUint::one()),
+                        o.count_programs(&mut |_| BigUint::one()),
+                        "count drifted on {in1:?}->{out1} x {in2:?}->{out2}"
+                    );
+                    assert_eq!(p.size(&mut |_| 1), o.size(&mut |_| 1));
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "emptiness drifted on {in1:?}->{out1} x {in2:?}->{out2}: \
+                     pruned={} oracle={}",
+                    pruned.is_some(),
+                    oracle.is_some()
+                ),
+            }
+        }
     }
 
     #[test]

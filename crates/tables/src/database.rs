@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::TableError;
 use crate::intern::Symbol;
@@ -12,6 +13,13 @@ use crate::value_index::ValueIndex;
 /// Index of a table within a [`Database`].
 pub type TableId = u32;
 
+/// Process-global source of fresh database epochs. Every mutation event on
+/// any `Database` draws a new value, so two databases (or two states of one
+/// database) never share an epoch unless one is an unmutated clone of the
+/// other — in which case their contents are identical and serving cached
+/// results across them is sound.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
 /// The relational database the synthesizer runs against: the user's helper
 /// tables plus any background-knowledge tables (§6).
 #[derive(Debug, Clone, Default)]
@@ -20,6 +28,11 @@ pub struct Database {
     indexes: Vec<ValueIndex>,
     sub_indexes: Vec<SubstringIndex>,
     by_name: HashMap<String, TableId>,
+    /// Mutation epoch: bumped to a globally fresh value by every
+    /// [`Database::add_table`]. Caches keyed on synthesis results (the
+    /// `DagCache` upstream) compare epochs to detect background-table
+    /// mutation between learning steps. `0` = the empty database.
+    epoch: u64,
 }
 
 impl Database {
@@ -48,7 +61,15 @@ impl Database {
         self.indexes.push(ValueIndex::build(&table));
         self.sub_indexes.push(SubstringIndex::build(&table));
         self.tables.push(table);
+        self.epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// The database's mutation epoch: changes (to a process-globally fresh
+    /// value) whenever a table is added. Equal epochs imply equal contents,
+    /// which is the invariant result caches rely on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of tables.
@@ -204,6 +225,29 @@ mod tests {
             scanned.sort_unstable();
             assert_eq!(indexed, scanned, "probe {probe:?}");
         }
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_add() {
+        let mut d = Database::new();
+        assert_eq!(d.epoch(), 0, "empty database has the zero epoch");
+        d.add_table(Table::new("A", vec!["X"], vec![vec!["1"]]).unwrap())
+            .unwrap();
+        let e1 = d.epoch();
+        assert_ne!(e1, 0);
+        // An unmutated clone shares the epoch (contents are identical)...
+        let clone = d.clone();
+        assert_eq!(clone.epoch(), e1);
+        // ...but any further mutation diverges, on either copy.
+        d.add_table(Table::new("B", vec!["Y"], vec![vec!["2"]]).unwrap())
+            .unwrap();
+        assert_ne!(d.epoch(), e1);
+        assert_eq!(clone.epoch(), e1);
+        // Fresh epochs are globally unique, not per-instance counters.
+        let other =
+            Database::from_tables(vec![Table::new("A", vec!["X"], vec![vec!["1"]]).unwrap()])
+                .unwrap();
+        assert_ne!(other.epoch(), e1);
     }
 
     #[test]
