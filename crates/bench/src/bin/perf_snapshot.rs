@@ -1,26 +1,31 @@
 //! Emits a JSON perf snapshot of the whole §7 suite: per-task learn times,
 //! convergence metrics and structure sizes, totals, a
 //! `relaxed_reachability` micro-section timing one `GenerateStr_u` call per
-//! task (the §5.3 hot loop the `SubstringIndex` postings serve), and a
+//! task (the §5.3 hot loop the `SubstringIndex` postings serve), a
 //! `dag_cache` micro-section timing cold vs warm learns through the
-//! memoized DAG plane. Future PRs diff their snapshot against the
+//! memoized DAG plane, and a `parallel_micro` section timing one warm
+//! `Intersect_u` per task at 1, 2 and N worker threads (the parallel
+//! intersection plane). Future PRs diff their snapshot against the
 //! committed `BENCH_PR<n>.json` to track the performance trajectory.
 //!
 //! Usage:
 //!   `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --smoke`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --no-dag-cache`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --threads 4`
 //!
 //! `--smoke` evaluates only the first [`SMOKE_PER_CATEGORY`] tasks of
 //! *each* category (`Lt` and `Lu`), so CI exercises both learn paths —
 //! including the semantic one the substring index serves — and proves the
 //! snapshot stays generatable without replaying the suite. `--no-dag-cache`
-//! runs the per-task reports with the `DagCache` disabled; CI runs the
-//! smoke snapshot both ways so the differential path stays green.
+//! runs the per-task reports with the `DagCache` disabled; `--threads N`
+//! sizes the `Intersect_u` worker pool (default: machine parallelism; `1`
+//! is the serial execution). CI runs the smoke snapshot across cache modes
+//! and thread counts and checks that everything but the timings agrees.
 
 use std::time::Duration;
 
-use sst_bench::{dag_cache_times, evaluate_tasks_with, generate_u_time};
+use sst_bench::{dag_cache_times, evaluate_tasks_opts, generate_u_time, intersect_micro_times};
 use sst_benchmarks::Category;
 
 /// Tasks evaluated per category under `--smoke`.
@@ -31,8 +36,20 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let dag_cache = !std::env::args().any(|a| a == "--no-dag-cache");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let dag_cache = !args.iter().any(|a| a == "--no-dag-cache");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(0);
+    let effective_threads = if threads == 0 {
+        sst_core::default_threads()
+    } else {
+        threads
+    };
     let mut tasks = sst_benchmarks::all_tasks();
     if smoke {
         let (mut lookup, mut semantic) = (0usize, 0usize);
@@ -45,7 +62,7 @@ fn main() {
             *kept <= SMOKE_PER_CATEGORY
         });
     }
-    let reports = evaluate_tasks_with(&tasks, dag_cache);
+    let reports = evaluate_tasks_opts(&tasks, dag_cache, threads);
     let total_learn: Duration = reports.iter().map(|r| r.learn_time).sum();
     let converged = reports.iter().filter(|r| r.converged).count();
     let total_size_final: usize = reports.iter().map(|r| r.size_final).sum();
@@ -57,6 +74,20 @@ fn main() {
         .collect();
     let total_cold: Duration = cache_micro.iter().map(|(c, _)| *c).sum();
     let total_warm: Duration = cache_micro.iter().map(|(_, w)| *w).sum();
+    // Warm-intersection widths: serial, two workers, the configured width
+    // (deduplicated, ascending).
+    let mut widths: Vec<usize> = vec![1, 2, effective_threads];
+    widths.sort_unstable();
+    widths.dedup();
+    let par_micro: Vec<Vec<Duration>> = tasks
+        .iter()
+        .map(|t| intersect_micro_times(t, &widths))
+        .collect();
+    let par_totals: Vec<Duration> = widths
+        .iter()
+        .enumerate()
+        .map(|(i, _)| par_micro.iter().map(|row| row[i]).sum())
+        .collect();
 
     println!("{{");
     println!(
@@ -68,6 +99,7 @@ fn main() {
         }
     );
     println!("  \"dag_cache\": {dag_cache},");
+    println!("  \"threads\": {effective_threads},");
     println!("  \"tasks\": [");
     for (i, r) in reports.iter().enumerate() {
         let comma = if i + 1 < reports.len() { "," } else { "" };
@@ -114,6 +146,23 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"parallel_micro\": [");
+    for (i, (task, times)) in tasks.iter().zip(&par_micro).enumerate() {
+        let comma = if i + 1 < tasks.len() { "," } else { "" };
+        let cols: Vec<String> = widths
+            .iter()
+            .zip(times)
+            .map(|(w, t)| format!("\"intersect_t{}_ms\": {:.3}", w, t.as_secs_f64() * 1e3))
+            .collect();
+        println!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{:?}\", {}}}{comma}",
+            task.id,
+            json_escape(task.name),
+            task.category,
+            cols.join(", "),
+        );
+    }
+    println!("  ],");
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");
@@ -130,6 +179,13 @@ fn main() {
         "    \"total_learn_warm_ms\": {:.3},",
         total_warm.as_secs_f64() * 1e3
     );
+    for (w, t) in widths.iter().zip(&par_totals) {
+        println!(
+            "    \"total_intersect_t{}_ms\": {:.3},",
+            w,
+            t.as_secs_f64() * 1e3
+        );
+    }
     println!(
         "    \"total_learn_ms\": {:.3}",
         total_learn.as_secs_f64() * 1e3

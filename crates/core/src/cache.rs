@@ -1,14 +1,18 @@
 //! The memoized DAG plane: a per-synthesizer cache that removes the
-//! dominant repeated work in `GenerateStr_u` (§5.3).
+//! dominant repeated work in `GenerateStr_u` (§5.3) and, since the
+//! parallel-intersection PR, in `Intersect_u`'s §3.2 replays too.
 //!
 //! Profiling after the substring-index PR showed DAG *construction* — the
 //! top-level output DAG plus a fresh nested predicate DAG per candidate-key
 //! cell — dwarfing everything else in semantic-task learning: the §3.2
 //! interaction loop re-learns on a growing example prefix, so the same
 //! example is re-generated once per step, and within one generation the
-//! same key value is re-derived for every row that carries it.
+//! same key value is re-derived for every row that carries it. After the
+//! DAG plane landed, the warm path became almost pure `Intersect_u` — and
+//! the same §3.2 loop re-intersects the same example *pairs* step after
+//! step.
 //!
-//! [`DagCache`] memoizes at two granularities, both keyed so a hit is
+//! [`DagCache`] memoizes at three granularities, each keyed so a hit is
 //! *provably* bit-identical to a recomputation:
 //!
 //! * **Per-value DAGs** — `generate_dag_prepared` results keyed by
@@ -23,13 +27,34 @@
 //!   example prefix replays generation for every earlier example; the memo
 //!   serves a cheap clone (`Arc`-shared DAGs, shallow condition handles)
 //!   instead.
+//! * **Example-pair intersections** — whole `Intersect_u` results keyed by
+//!   the cache-assigned *uids* of the two operands. Every structure the
+//!   cache hands out (example memo hit or stored intersection result)
+//!   carries a uid naming exactly that value, so a `(uid, uid)` key
+//!   identifies the operand *values*, not addresses — a re-learn on a
+//!   grown prefix replays `d₁ ∩ d₂ ∩ … ∩ dₖ` as k−1 memo hits and only
+//!   intersects the genuinely new final example. Uids are monotone for the
+//!   cache's lifetime and never reused, so a stale uid can at worst miss.
 //!
-//! Both levels are scoped to one database state: the cache records the
-//! [`Database::epoch`] it was filled under and [`DagCache::validate`]
+//! # Concurrency
+//!
+//! The cache is **interior-mutable and shareable**: state sits behind one
+//! [`RwLock`], counters are atomics, and every read path (probes, epoch
+//! checks) takes only the read lock — concurrent learns over synthesizer
+//! clones no longer serialize on a `Mutex` the way the pre-parallel design
+//! did. Misses compute *outside* any lock and insert under a brief write
+//! lock with a double-check, keeping the first-inserted value canonical so
+//! racing writers converge on one shared allocation.
+//!
+//! All three levels are scoped to one database state: the cache records
+//! the [`Database::epoch`] it was filled under and [`DagCache::validate`]
 //! clears everything when the epoch moved (a background table added
 //! between learning steps changes reachability, so *no* cached result may
-//! survive). Epoch interning also restarts, so stale `(epoch, value)` keys
-//! can never collide with post-mutation snapshots.
+//! survive). Epoch interning and uid assignment never restart, so stale
+//! keys can never collide with post-mutation entries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use std::sync::Arc;
 
@@ -64,6 +89,11 @@ pub struct DagCacheStats {
     pub example_hits: u64,
     /// Whole-example misses (full generations).
     pub example_misses: u64,
+    /// Example-pair intersection hits.
+    pub intersect_hits: u64,
+    /// Example-pair intersection misses (full `Intersect_u` runs through
+    /// the memoized path).
+    pub intersect_misses: u64,
 }
 
 /// Flush threshold for the per-value DAG memo (and its epoch interner):
@@ -78,19 +108,13 @@ const MAX_DAG_ENTRIES: usize = 1 << 16;
 /// needs a handful.
 const MAX_EXAMPLE_ENTRIES: usize = 1 << 12;
 
-/// The memoized DAG plane (see the module docs). One cache serves one
-/// synthesizer configuration: entries are only sound across calls that
-/// share the database state *and* the generation options, which
-/// [`crate::Synthesizer`] guarantees by construction. Direct users of
-/// [`crate::generate_str_u_cached`] must not share a cache across differing
-/// [`crate::LuOptions`].
-///
-/// Memory is bounded: each memo flushes wholesale when it outgrows its
-/// threshold ([`MAX_DAG_ENTRIES`], [`MAX_EXAMPLE_ENTRIES`]) — correctness
-/// never depends on an entry being present, so eviction is just a refill
-/// cost on workloads large enough to hit it.
+/// Flush threshold for the example-pair intersection memo; sized like the
+/// example memo (its entries are the same shape).
+const MAX_INTERSECTION_ENTRIES: usize = 1 << 12;
+
+/// The lock-guarded cache state (see [`DagCache`]).
 #[derive(Debug, Default)]
-pub struct DagCache {
+struct CacheState {
     /// The [`Database::epoch`] the entries were computed under.
     db_epoch: u64,
     /// Source-list interning: ordered symbol list → epoch id.
@@ -103,9 +127,43 @@ pub struct DagCache {
     /// `(sources epoch, value) → DAG of all expressions producing the
     /// value over that snapshot`.
     dags: IntMap<(u32, Symbol), Arc<Dag<NodeId>>>,
-    /// Whole-example generation memo.
-    examples: IntMap<ExampleKey, SemDStruct>,
-    stats: DagCacheStats,
+    /// Whole-example generation memo: key → (uid, structure).
+    examples: IntMap<ExampleKey, (u64, SemDStruct)>,
+    /// Example-pair intersection memo: operand uids → (uid, structure).
+    intersections: IntMap<(u64, u64), (u64, SemDStruct)>,
+}
+
+/// Lock-free hit/miss counters.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    dag_hits: AtomicU64,
+    dag_misses: AtomicU64,
+    example_hits: AtomicU64,
+    example_misses: AtomicU64,
+    intersect_hits: AtomicU64,
+    intersect_misses: AtomicU64,
+}
+
+/// The memoized DAG plane (see the module docs). One cache serves one
+/// synthesizer configuration: entries are only sound across calls that
+/// share the database state *and* the generation options, which
+/// [`crate::Synthesizer`] guarantees by construction. Direct users of
+/// [`crate::generate_str_u_cached`] must not share a cache across differing
+/// [`crate::LuOptions`].
+///
+/// Memory is bounded: each memo flushes wholesale when it outgrows its
+/// threshold ([`MAX_DAG_ENTRIES`], [`MAX_EXAMPLE_ENTRIES`],
+/// [`MAX_INTERSECTION_ENTRIES`]) — correctness never depends on an entry
+/// being present, so eviction is just a refill cost on workloads large
+/// enough to hit it.
+#[derive(Debug, Default)]
+pub struct DagCache {
+    state: RwLock<CacheState>,
+    stats: AtomicStats,
+    /// Next structure uid; monotone forever (survives flushes *and*
+    /// validation clears), so an intersection key formed from a uid can
+    /// never alias a different value.
+    next_uid: AtomicU64,
 }
 
 impl DagCache {
@@ -115,109 +173,220 @@ impl DagCache {
         DagCache::default()
     }
 
+    /// Recovers the state lock if a holder panicked: every entry is a
+    /// completed value (writes happen-before unlock), so a poisoned lock
+    /// only means some fill was abandoned — at worst it is recomputed.
+    fn read(&self) -> RwLockReadGuard<'_, CacheState> {
+        self.state
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, CacheState> {
+        self.state
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Rebinds the cache to `db_epoch`, clearing every entry when the
-    /// database mutated since the cache was filled. Epoch interning
-    /// restarts too, so pre-mutation `(epoch, value)` keys cannot be
-    /// served to post-mutation lookups.
-    pub fn validate(&mut self, db_epoch: u64) {
-        if self.db_epoch != db_epoch {
-            self.epochs.clear();
-            self.dags.clear();
-            self.examples.clear();
-            self.db_epoch = db_epoch;
+    /// database mutated since the cache was filled. The common case — the
+    /// epoch did not move — is a read-lock check, so concurrent learns
+    /// validating the same state never contend.
+    pub fn validate(&self, db_epoch: u64) {
+        if self.read().db_epoch == db_epoch {
+            return;
+        }
+        let mut state = self.write();
+        if state.db_epoch != db_epoch {
+            state.epochs.clear();
+            state.dags.clear();
+            state.examples.clear();
+            state.intersections.clear();
+            state.db_epoch = db_epoch;
         }
     }
 
     /// [`DagCache::validate`] against a database.
-    pub fn validate_db(&mut self, db: &Database) {
+    pub fn validate_db(&self, db: &Database) {
         self.validate(db.epoch());
     }
 
     /// The database epoch the entries are valid for.
     pub fn db_epoch(&self) -> u64 {
-        self.db_epoch
+        self.read().db_epoch
     }
 
     /// Hit/miss counters.
     pub fn stats(&self) -> DagCacheStats {
-        self.stats
+        DagCacheStats {
+            dag_hits: self.stats.dag_hits.load(Ordering::Relaxed),
+            dag_misses: self.stats.dag_misses.load(Ordering::Relaxed),
+            example_hits: self.stats.example_hits.load(Ordering::Relaxed),
+            example_misses: self.stats.example_misses.load(Ordering::Relaxed),
+            intersect_hits: self.stats.intersect_hits.load(Ordering::Relaxed),
+            intersect_misses: self.stats.intersect_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached per-value DAGs.
     pub fn dag_entries(&self) -> usize {
-        self.dags.len()
+        self.read().dags.len()
     }
 
     /// Number of cached whole-example structures.
     pub fn example_entries(&self) -> usize {
-        self.examples.len()
+        self.read().examples.len()
+    }
+
+    /// Number of cached example-pair intersections.
+    pub fn intersection_entries(&self) -> usize {
+        self.read().intersections.len()
     }
 
     /// Interns the identity of one σ ∪ η̃ snapshot (the ordered source
     /// symbol list) into an epoch id.
-    pub fn epoch_of(&mut self, symbols: &[Symbol]) -> SourcesEpoch {
-        if let Some(&id) = self.epochs.get(symbols) {
+    pub fn epoch_of(&self, symbols: &[Symbol]) -> SourcesEpoch {
+        if let Some(&id) = self.read().epochs.get(symbols) {
             return SourcesEpoch(id);
         }
-        let id = self.next_epoch;
-        self.next_epoch += 1;
-        self.epochs.insert(symbols.into(), id);
+        let mut state = self.write();
+        if let Some(&id) = state.epochs.get(symbols) {
+            return SourcesEpoch(id);
+        }
+        let id = state.next_epoch;
+        state.next_epoch += 1;
+        state.epochs.insert(symbols.into(), id);
         SourcesEpoch(id)
     }
 
     /// The DAG of all syntactic expressions producing `value` over the
     /// snapshot `epoch`, built by `build` on a miss. The returned handle is
-    /// shared: every hit aliases one allocation.
+    /// shared: every hit aliases one allocation, and racing builders for
+    /// one key converge on whichever insert landed first (`build` runs
+    /// outside any lock).
     pub fn dag_for(
-        &mut self,
+        &self,
         epoch: SourcesEpoch,
         value: Symbol,
         build: impl FnOnce() -> Dag<NodeId>,
     ) -> Arc<Dag<NodeId>> {
-        if let Some(dag) = self.dags.get(&(epoch.0, value)) {
-            self.stats.dag_hits += 1;
+        if let Some(dag) = self.read().dags.get(&(epoch.0, value)) {
+            self.stats.dag_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(dag);
         }
-        self.stats.dag_misses += 1;
-        if self.dags.len() >= MAX_DAG_ENTRIES {
+        self.stats.dag_misses.fetch_add(1, Ordering::Relaxed);
+        let dag = Arc::new(build());
+        let mut state = self.write();
+        if let Some(hit) = state.dags.get(&(epoch.0, value)) {
+            return Arc::clone(hit); // raced: keep the first insert canonical
+        }
+        if state.dags.len() >= MAX_DAG_ENTRIES {
             // Epochs key into `dags`, so both flush together; the next
             // sync re-interns the live snapshot.
-            self.dags.clear();
-            self.epochs.clear();
+            state.dags.clear();
+            state.epochs.clear();
         }
-        let dag = Arc::new(build());
-        self.dags.insert((epoch.0, value), Arc::clone(&dag));
+        state.dags.insert((epoch.0, value), Arc::clone(&dag));
         dag
     }
 
-    /// A previously generated per-example structure, if any.
-    pub(crate) fn example(&mut self, inputs: &[Symbol], output: Symbol) -> Option<SemDStruct> {
+    /// A previously generated per-example structure and its uid, if any.
+    ///
+    /// `db_epoch` is the database epoch the caller validated against;
+    /// probes and stores are epoch-checked under the lock, so a cache
+    /// (mis)shared by sessions over *different* databases can never serve
+    /// one session an entry another session's database produced — their
+    /// traffic simply always misses. (Example keys carry no epoch, unlike
+    /// per-value DAG keys, so the check cannot be skipped here.)
+    pub(crate) fn example(
+        &self,
+        db_epoch: u64,
+        inputs: &[Symbol],
+        output: Symbol,
+    ) -> Option<(u64, SemDStruct)> {
         let key = ExampleKey {
             inputs: inputs.into(),
             output,
         };
-        match self.examples.get(&key) {
-            Some(d) => {
-                self.stats.example_hits += 1;
-                Some(d.clone())
+        let state = self.read();
+        match state.examples.get(&key) {
+            Some((uid, d)) if state.db_epoch == db_epoch => {
+                self.stats.example_hits.fetch_add(1, Ordering::Relaxed);
+                Some((*uid, d.clone()))
             }
-            None => {
-                self.stats.example_misses += 1;
+            _ => {
+                self.stats.example_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a freshly generated per-example structure.
-    pub(crate) fn store_example(&mut self, inputs: &[Symbol], output: Symbol, d: &SemDStruct) {
-        if self.examples.len() >= MAX_EXAMPLE_ENTRIES {
-            self.examples.clear();
-        }
+    /// Stores a freshly generated per-example structure, returning its
+    /// uid. If a racing learn stored the key first, that (value-identical)
+    /// entry's uid wins; if the cache was concurrently rebound to a
+    /// different database epoch, the structure is *not* stored (it would
+    /// poison the new epoch's entries) and a fresh uid is returned — a
+    /// never-stored uid can only ever miss downstream.
+    pub(crate) fn store_example(
+        &self,
+        db_epoch: u64,
+        inputs: &[Symbol],
+        output: Symbol,
+        d: &SemDStruct,
+    ) -> u64 {
         let key = ExampleKey {
             inputs: inputs.into(),
             output,
         };
-        self.examples.insert(key, d.clone());
+        let mut state = self.write();
+        if state.db_epoch != db_epoch {
+            return self.next_uid.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some((uid, _)) = state.examples.get(&key) {
+            return *uid;
+        }
+        if state.examples.len() >= MAX_EXAMPLE_ENTRIES {
+            state.examples.clear();
+        }
+        let uid = self.next_uid.fetch_add(1, Ordering::Relaxed);
+        state.examples.insert(key, (uid, d.clone()));
+        uid
+    }
+
+    /// A previously intersected example pair (by operand uids) and the
+    /// result's own uid, if cached. Epoch-checked like
+    /// [`DagCache::example`].
+    pub(crate) fn intersection(&self, db_epoch: u64, a: u64, b: u64) -> Option<(u64, SemDStruct)> {
+        let state = self.read();
+        match state.intersections.get(&(a, b)) {
+            Some((uid, d)) if state.db_epoch == db_epoch => {
+                self.stats.intersect_hits.fetch_add(1, Ordering::Relaxed);
+                Some((*uid, d.clone()))
+            }
+            _ => {
+                self.stats.intersect_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores one intersection result under its operand uids, returning
+    /// the result's uid (first insert wins on a race; a stale epoch skips
+    /// the insert, like [`DagCache::store_example`]).
+    pub(crate) fn store_intersection(&self, db_epoch: u64, a: u64, b: u64, d: &SemDStruct) -> u64 {
+        let mut state = self.write();
+        if state.db_epoch != db_epoch {
+            return self.next_uid.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some((uid, _)) = state.intersections.get(&(a, b)) {
+            return *uid;
+        }
+        if state.intersections.len() >= MAX_INTERSECTION_ENTRIES {
+            state.intersections.clear();
+        }
+        let uid = self.next_uid.fetch_add(1, Ordering::Relaxed);
+        state.intersections.insert((a, b), (uid, d.clone()));
+        uid
     }
 }
 
@@ -237,7 +406,7 @@ mod tests {
 
     #[test]
     fn epochs_intern_by_content() {
-        let mut c = DagCache::new();
+        let c = DagCache::new();
         let (a, b) = (Symbol::intern("ep-a"), Symbol::intern("ep-b"));
         let e1 = c.epoch_of(&[a, b]);
         let e2 = c.epoch_of(&[a, b]);
@@ -249,7 +418,7 @@ mod tests {
 
     #[test]
     fn dag_for_builds_once_and_shares() {
-        let mut c = DagCache::new();
+        let c = DagCache::new();
         let e = c.epoch_of(&[Symbol::intern("s")]);
         let v = Symbol::intern("val");
         let mut builds = 0;
@@ -269,7 +438,7 @@ mod tests {
 
     #[test]
     fn validate_clears_on_epoch_move_only() {
-        let mut c = DagCache::new();
+        let c = DagCache::new();
         c.validate(7);
         let e = c.epoch_of(&[Symbol::intern("s")]);
         c.dag_for(e, Symbol::intern("v"), || dag(2));
@@ -278,5 +447,75 @@ mod tests {
         c.validate(8);
         assert_eq!(c.dag_entries(), 0, "moved epoch clears everything");
         assert_eq!(c.db_epoch(), 8);
+    }
+
+    #[test]
+    fn intersection_memo_keys_by_uid_pair() {
+        let c = DagCache::new();
+        let d = SemDStruct::default();
+        let ua = c.store_example(0, &[Symbol::intern("ia")], Symbol::intern("oa"), &d);
+        let ub = c.store_example(0, &[Symbol::intern("ib")], Symbol::intern("ob"), &d);
+        assert_ne!(ua, ub, "distinct entries, distinct uids");
+        assert!(c.intersection(0, ua, ub).is_none());
+        let uid = c.store_intersection(0, ua, ub, &d);
+        let (hit_uid, _) = c.intersection(0, ua, ub).expect("stored");
+        assert_eq!(hit_uid, uid);
+        assert!(
+            c.intersection(0, ub, ua).is_none(),
+            "order is part of the key"
+        );
+        assert_eq!(c.intersection_entries(), 1);
+        // A probe validated against a different db epoch must miss even
+        // though the key is present (cross-database cache sharing).
+        assert!(c.intersection(42, ua, ub).is_none());
+        // Validation to a new db state clears the memo but not uid
+        // monotonicity; stores against the *old* epoch are dropped.
+        c.validate(99);
+        assert!(c.intersection(99, ua, ub).is_none());
+        let stale_uid = c.store_intersection(0, ua, ub, &d);
+        assert!(stale_uid > uid, "uids never restart");
+        assert_eq!(c.intersection_entries(), 0, "stale-epoch store dropped");
+        let uid2 = c.store_intersection(99, ua, ub, &d);
+        assert!(uid2 > stale_uid, "uids never restart");
+        assert_eq!(c.intersection_entries(), 1);
+    }
+
+    #[test]
+    fn store_example_is_first_insert_wins() {
+        let c = DagCache::new();
+        let d = SemDStruct::default();
+        let ins = [Symbol::intern("fi")];
+        let out = Symbol::intern("fo");
+        let u1 = c.store_example(0, &ins, out, &d);
+        let u2 = c.store_example(0, &ins, out, &d);
+        assert_eq!(u1, u2, "re-store returns the canonical uid");
+        let (hit, _) = c.example(0, &ins, out).expect("stored");
+        assert_eq!(hit, u1);
+        assert!(
+            c.example(7, &ins, out).is_none(),
+            "epoch-mismatched probe misses"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_plane() {
+        let c = Arc::new(DagCache::new());
+        let e = c.epoch_of(&[Symbol::intern("cc-s")]);
+        let v = Symbol::intern("cc-v");
+        let canonical = c.dag_for(e, v, || dag(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let canonical = Arc::clone(&canonical);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let hit = c.dag_for(e, v, || unreachable!("must be a hit"));
+                        assert!(Arc::ptr_eq(&hit, &canonical));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().dag_hits, 400);
+        assert_eq!(c.stats().dag_misses, 1);
     }
 }

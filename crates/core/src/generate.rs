@@ -104,8 +104,10 @@ struct RelaxedGate<'a> {
     /// re-deriving the identical predicate DAGs (insert-time dedup made
     /// the duplicates no-ops anyway; the memo skips building them).
     row_conds: IntMap<(TableId, RowId), Arc<Vec<GenCondU>>>,
-    /// The memoized DAG plane, when the caller runs with one.
-    cache: Option<&'a mut DagCache>,
+    /// The memoized DAG plane, when the caller runs with one. Shared (the
+    /// cache is interior-mutable): concurrent generations over synthesizer
+    /// clones read-probe the same plane without serializing.
+    cache: Option<&'a DagCache>,
     /// The current snapshot's interned epoch; `None` while no cache is
     /// attached (or before the first sync).
     epoch: Option<SourcesEpoch>,
@@ -128,7 +130,7 @@ impl RelaxedGate<'_> {
                 .extend(state.symbols().skip(self.source_syms.len()));
             prepared.extend(&fresh);
         }
-        if let Some(cache) = self.cache.as_deref_mut() {
+        if let Some(cache) = self.cache {
             self.epoch = Some(cache.epoch_of(&self.source_syms));
         }
     }
@@ -139,7 +141,7 @@ impl RelaxedGate<'_> {
     /// allocation), built fresh otherwise.
     fn dag_for_value(&mut self, value: Symbol) -> Arc<Dag<NodeId>> {
         let prepared = self.prepared.as_ref().expect("sync_sources ran this step");
-        match (self.cache.as_deref_mut(), self.epoch) {
+        match (self.cache, self.epoch) {
             (Some(cache), Some(epoch)) => cache.dag_for(epoch, value, || {
                 generate_dag_prepared(prepared, value.as_str())
             }),
@@ -297,9 +299,35 @@ pub fn generate_str_u_cached(
     inputs: &[&str],
     output: &str,
     opts: &LuOptions,
-    cache: &mut DagCache,
+    cache: &DagCache,
 ) -> SemDStruct {
-    generate_str_u_impl(db, inputs, output, opts, Some(cache))
+    generate_str_u_keyed(db, inputs, output, opts, cache).0
+}
+
+/// [`generate_str_u_cached`] that also reports the structure's cache uid,
+/// the key half of the example-pair intersection memo (`Synthesizer::learn`
+/// keys `d₁ ∩ d₂` on the operands' uids).
+pub(crate) fn generate_str_u_keyed(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+    cache: &DagCache,
+) -> (SemDStruct, u64) {
+    // Whole-example memo: `Synthesize` on a growing example prefix (the
+    // §3.2 loop) replays generation for every earlier example; generation
+    // is deterministic in (db, inputs, output, opts), so an unmutated
+    // database can serve the previous structure outright.
+    let db_epoch = db.epoch();
+    cache.validate(db_epoch);
+    let ins: Vec<Symbol> = inputs.iter().map(|s| Symbol::intern(s)).collect();
+    let out = Symbol::intern(output);
+    if let Some((uid, hit)) = cache.example(db_epoch, &ins, out) {
+        return (hit, uid);
+    }
+    let d = generate_str_u_impl(db, inputs, output, opts, Some(cache));
+    let uid = cache.store_example(db_epoch, &ins, out, &d);
+    (d, uid)
 }
 
 fn generate_str_u_impl(
@@ -307,31 +335,14 @@ fn generate_str_u_impl(
     inputs: &[&str],
     output: &str,
     opts: &LuOptions,
-    mut cache: Option<&mut DagCache>,
+    cache: Option<&DagCache>,
 ) -> SemDStruct {
-    // Whole-example memo: `Synthesize` on a growing example prefix (the
-    // §3.2 loop) replays generation for every earlier example; generation
-    // is deterministic in (db, inputs, output, opts), so an unmutated
-    // database can serve the previous structure outright.
-    let example_key: Option<(Vec<Symbol>, Symbol)> = cache.as_deref_mut().map(|c| {
-        c.validate_db(db);
-        (
-            inputs.iter().map(|s| Symbol::intern(s)).collect(),
-            Symbol::intern(output),
-        )
-    });
-    if let (Some(cache), Some((ins, out))) = (cache.as_deref_mut(), &example_key) {
-        if let Some(hit) = cache.example(ins, *out) {
-            return hit;
-        }
-    }
-
     let mut gate = RelaxedGate {
         opts,
         prepared: None,
         source_syms: Vec::new(),
         row_conds: IntMap::default(),
-        cache: cache.as_deref_mut(),
+        cache,
         epoch: None,
     };
     let state = reach(db, inputs, opts.depth_for(db), &mut gate);
@@ -343,7 +354,7 @@ fn generate_str_u_impl(
     gate.sync_sources(&state);
     let top: Arc<Dag<NodeId>> = gate.dag_for_value(Symbol::intern(output));
 
-    let d = SemDStruct {
+    SemDStruct {
         nodes: state
             .into_nodes()
             .into_iter()
@@ -353,11 +364,7 @@ fn generate_str_u_impl(
             })
             .collect(),
         top: Some(top),
-    };
-    if let (Some(cache), Some((ins, out))) = (cache, example_key) {
-        cache.store_example(&ins, out, &d);
     }
-    d
 }
 
 #[cfg(test)]

@@ -5,17 +5,18 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use sst_counting::BigUint;
+use sst_par::Pool;
 use sst_syntactic::TokenSet;
 use sst_tables::{Database, Table, TableError, TableId};
 
 use crate::cache::DagCache;
 use crate::dstruct::SemDStruct;
 use crate::eval::eval_sem;
-use crate::generate::{generate_str_u, generate_str_u_cached, LuOptions};
-use crate::intersect::intersect_du;
+use crate::generate::{generate_str_u, generate_str_u_keyed, LuOptions};
+use crate::intersect::intersect_du_with;
 use crate::language::{display_sem, SemExpr};
 use crate::paraphrase::paraphrase_sem;
 use crate::rank::LuRankWeights;
@@ -91,12 +92,20 @@ pub struct SynthesisOptions {
     /// Ranking weights.
     pub weights: LuRankWeights,
     /// Whether learning runs on the memoized DAG plane ([`DagCache`]):
-    /// per-value predicate/top DAGs shared by `(sources_epoch, value)` and
-    /// whole repeated examples served from the session memo. Results are
-    /// bit-identical either way (pinned by `tests/dag_memo_equivalence.rs`);
-    /// the toggle exists for that differential harness and for perf
-    /// comparisons. Default: enabled.
+    /// per-value predicate/top DAGs shared by `(sources_epoch, value)`,
+    /// whole repeated examples served from the session memo, and repeated
+    /// example-pair intersections served from the uid-keyed intersection
+    /// memo. Results are bit-identical either way (pinned by
+    /// `tests/dag_memo_equivalence.rs`); the toggle exists for that
+    /// differential harness and for perf comparisons. Default: enabled.
     pub dag_cache: bool,
+    /// Worker threads for the parallel `Intersect_u` plane. `1` reproduces
+    /// the serial execution exactly; any other width produces bit-identical
+    /// counts, sizes and ranking (pinned by `tests/parallel_equivalence.rs`
+    /// — the parallel plane's merge order is fixed before any worker
+    /// runs). Default: [`sst_par::default_threads`] (the machine's
+    /// available parallelism).
+    pub threads: usize,
 }
 
 impl Default for SynthesisOptions {
@@ -105,6 +114,7 @@ impl Default for SynthesisOptions {
             lu: LuOptions::default(),
             weights: LuRankWeights::default(),
             dag_cache: true,
+            threads: sst_par::default_threads(),
         }
     }
 }
@@ -114,15 +124,17 @@ impl Default for SynthesisOptions {
 ///
 /// Holds the session's memoized DAG plane: a [`DagCache`] shared by every
 /// `learn` call (and by clones of this synthesizer), so the §3.2
-/// interaction loop's repeated generations are served from memory. The
-/// cache self-validates against the database epoch, so
-/// [`Synthesizer::add_table`] between learning steps can never leak stale
-/// structures.
+/// interaction loop's repeated generations and example-pair intersections
+/// are served from memory. The cache is interior-mutable with a read-path
+/// that takes no exclusive lock, so concurrent learns over clones share
+/// the warm plane instead of serializing. It self-validates against the
+/// database epoch, so [`Synthesizer::add_table`] between learning steps
+/// can never leak stale structures.
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     db: Arc<Database>,
     options: SynthesisOptions,
-    cache: Arc<Mutex<DagCache>>,
+    cache: Arc<DagCache>,
 }
 
 impl Synthesizer {
@@ -136,7 +148,7 @@ impl Synthesizer {
         Synthesizer {
             db: Arc::new(db),
             options,
-            cache: Arc::new(Mutex::new(DagCache::new())),
+            cache: Arc::new(DagCache::new()),
         }
     }
 
@@ -162,32 +174,24 @@ impl Synthesizer {
     /// (which would silently disable caching for both).
     pub fn add_table(&mut self, table: Table) -> Result<TableId, TableError> {
         let id = Arc::make_mut(&mut self.db).add_table(table)?;
-        self.cache = Arc::new(Mutex::new(DagCache::new()));
+        self.cache = Arc::new(DagCache::new());
         Ok(id)
-    }
-
-    /// The session cache, recovered if a previous holder panicked (the
-    /// cache self-validates, so a partially filled state is still sound —
-    /// at worst some entries are recomputed).
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, DagCache> {
-        self.cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Snapshot of the DAG-cache hit/miss counters (benchmark
     /// introspection).
     pub fn cache_stats(&self) -> crate::cache::DagCacheStats {
-        self.lock_cache().stats()
+        self.cache.stats()
     }
 
     /// Learns the set of all programs consistent with the examples.
     ///
-    /// Holds the session cache's lock for the whole call (generation *and*
-    /// intersection): learning is the unit of cache consistency, and
-    /// per-call granularity keeps the fast path to one lock acquisition.
-    /// Concurrent learns over clones therefore serialize; give each thread
-    /// its own synthesizer (separate caches) for parallel learning.
+    /// The session cache is probed lock-free-ish (read locks only) on the
+    /// warm path, so concurrent learns over clones share one warm plane
+    /// without serializing. Intersections run through the parallel
+    /// `Intersect_u` plane sized by [`SynthesisOptions::threads`]; repeated
+    /// example-pair intersections (the §3.2 loop's replays) are served
+    /// from the uid-keyed intersection memo.
     pub fn learn(&self, examples: &[Example]) -> Result<LearnedPrograms, SynthesisError> {
         let first = examples.first().ok_or(SynthesisError::NoExamples)?;
         let arity = first.inputs.len();
@@ -200,17 +204,31 @@ impl Synthesizer {
                 });
             }
         }
-        let mut cache = self.options.dag_cache.then(|| self.lock_cache());
-        let mut generate = |e: &Example| match cache.as_deref_mut() {
-            Some(c) => {
-                generate_str_u_cached(&self.db, &e.input_refs(), &e.output, &self.options.lu, c)
+        let pool = Pool::new(self.options.threads);
+        let db_epoch = self.db.epoch();
+        let cache: Option<&DagCache> = self.options.dag_cache.then_some(&*self.cache);
+        let generate = |e: &Example| -> (SemDStruct, Option<u64>) {
+            match cache {
+                Some(c) => {
+                    let (d, uid) = generate_str_u_keyed(
+                        &self.db,
+                        &e.input_refs(),
+                        &e.output,
+                        &self.options.lu,
+                        c,
+                    );
+                    (d, Some(uid))
+                }
+                None => (
+                    generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu),
+                    None,
+                ),
             }
-            None => generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu),
         };
-        let mut d = generate(first);
+        let (mut d, mut d_uid) = generate(first);
         for e in &examples[1..] {
-            let next = generate(e);
-            d = intersect_du(&d, &next);
+            let (next, next_uid) = generate(e);
+            (d, d_uid) = intersect_step(cache, db_epoch, d, d_uid, &next, next_uid, &pool);
             if !d.has_programs() {
                 return Err(SynthesisError::NoConsistentProgram);
             }
@@ -224,6 +242,33 @@ impl Synthesizer {
             db: Arc::clone(&self.db),
             options: self.options.clone(),
         })
+    }
+}
+
+/// One `d ∩ next` step of the learn loop: served from the example-pair
+/// intersection memo when both operands carry cache uids (their values are
+/// then exactly the memo key's), computed through the parallel plane and
+/// stored otherwise. Chained steps stay memoized because the stored
+/// result's own uid keys the next step.
+fn intersect_step(
+    cache: Option<&DagCache>,
+    db_epoch: u64,
+    a: SemDStruct,
+    a_uid: Option<u64>,
+    b: &SemDStruct,
+    b_uid: Option<u64>,
+    pool: &Pool,
+) -> (SemDStruct, Option<u64>) {
+    match (cache, a_uid, b_uid) {
+        (Some(c), Some(ia), Some(ib)) => {
+            if let Some((uid, hit)) = c.intersection(db_epoch, ia, ib) {
+                return (hit, Some(uid));
+            }
+            let r = intersect_du_with(&a, b, pool);
+            let uid = c.store_intersection(db_epoch, ia, ib, &r);
+            (r, Some(uid))
+        }
+        _ => (intersect_du_with(&a, b, pool), None),
     }
 }
 

@@ -21,8 +21,8 @@
 use proptest::prelude::*;
 
 use sst_core::{
-    eval_sem, generate_str_u, generate_str_u_cached, intersect_du, intersect_du_unpruned, DagCache,
-    LuOptions, LuRankWeights, SemDStruct,
+    eval_sem, generate_str_u, generate_str_u_cached, intersect_du, intersect_du_parallel,
+    intersect_du_unpruned, DagCache, LuOptions, LuRankWeights, Pool, SemDStruct,
 };
 use sst_tables::{Database, Table};
 
@@ -154,6 +154,35 @@ proptest! {
         assert_observably_equal(&pruned, &oracle, &db, &[&in1, &in2], &ctx)?;
     }
 
+    /// The discovery-scheduled parallel plane agrees with the serial
+    /// intersection on every observable, at every pool width, on
+    /// randomized tables and outputs (including the conflicting-output
+    /// cases that intersect to empty).
+    #[test]
+    fn parallel_plane_matches_serial_on_random_cases(
+        n in 3usize..7,
+        seed in 0u8..20,
+        pick1 in 0usize..8,
+        pick2 in 0usize..8,
+        repeat in 0u8..2,
+        extra in "[a-z]{0,3}",
+        threads in 2usize..5,
+    ) {
+        let table = code_table(n, seed, repeat == 1);
+        let (p1, p2) = (pick1 % n, pick2 % n);
+        let in1 = table.cell(0, p1 as u32).to_string();
+        let out1 = format!("{}{extra}", table.cell(1, p1 as u32));
+        let in2 = table.cell(0, p2 as u32).to_string();
+        let out2 = format!("{}{extra}", table.cell(1, p2 as u32));
+        let db = Database::from_tables(vec![table]).unwrap();
+        let d1 = gen(&db, &in1, &out1);
+        let d2 = gen(&db, &in2, &out2);
+        let serial = intersect_du(&d1, &d2);
+        let par = intersect_du_parallel(&d1, &d2, &Pool::new(threads));
+        let ctx = format!("{in1:?}->{out1:?} x {in2:?}->{out2:?} @ {threads} threads");
+        assert_observably_equal(&par, &serial, &db, &[&in1, &in2], &ctx)?;
+    }
+
     /// A randomized multi-step session through one `DagCache` produces
     /// bit-identical structures to fresh uncached generations — including
     /// the repeated-example (memo hit) and repeated-key-value cases.
@@ -167,12 +196,12 @@ proptest! {
         let db = Database::from_tables(vec![table.clone()]).unwrap();
         let opts = LuOptions::default();
         let depth = opts.depth_for(&db);
-        let mut cache = DagCache::new();
+        let cache = DagCache::new();
         for &pick in &steps {
             let pick = pick % n;
             let input = table.cell(0, pick as u32).to_string();
             let output = table.cell(1, pick as u32).to_string();
-            let cached = generate_str_u_cached(&db, &[&input], &output, &opts, &mut cache);
+            let cached = generate_str_u_cached(&db, &[&input], &output, &opts, &cache);
             let fresh = generate_str_u(&db, &[&input], &output, &opts);
             prop_assert_eq!(cached.len(), fresh.len());
             prop_assert_eq!(cached.count(depth), fresh.count(depth));
@@ -205,14 +234,8 @@ fn dag_cache_shares_repeated_key_value_dags() {
     .unwrap();
     let db = Database::from_tables(vec![table]).unwrap();
     let opts = LuOptions::default();
-    let mut cache = DagCache::new();
-    let d = generate_str_u_cached(
-        &db,
-        &["Ducati 125 vs Ducati 250"],
-        "12,500",
-        &opts,
-        &mut cache,
-    );
+    let cache = DagCache::new();
+    let d = generate_str_u_cached(&db, &["Ducati 125 vs Ducati 250"], "12,500", &opts, &cache);
     assert!(d.has_programs());
     let stats = cache.stats();
     assert!(

@@ -10,36 +10,147 @@
 //! bounded by the database contents plus the example strings, which is
 //! exactly the working set the synthesizer touches anyway.
 //!
+//! # Sharding and the lock-free resolve path
+//!
+//! The interner is **sharded**: a string's bytes hash (FNV-1a, independent
+//! of any map hasher) picks one of [`SHARDS`] shards, and a symbol id
+//! encodes its shard in the low [`SHARD_BITS`] bits with the slab index
+//! above them. Concurrent `intern`/`get` calls for different values
+//! therefore take different locks with probability `1 - 1/SHARDS`, and the
+//! multi-threaded `Intersect_u` plane never funnels through one global
+//! `RwLock` (the pre-shard design).
+//!
+//! Resolution ([`Symbol::as_str`]) takes **no lock at all**: each shard
+//! stores its strings in an append-only slab of doubling buckets. A bucket
+//! pointer is published with `Release` once allocated, and the shard's
+//! entry count is bumped with `Release` only *after* the new entry is
+//! written, so a reader that `Acquire`-loads the count and then reads an
+//! entry below it observes a fully written `&'static str`. Entries are
+//! never moved or freed, which is what makes the unsynchronized entry read
+//! sound.
+//!
 //! `Symbol(0)` is always the empty string, so emptiness tests need no
-//! resolution.
+//! resolution. Symbol ids are **not** ordered by interning time (the shard
+//! lives in the low bits); `Ord` exists for use in ordered containers and
+//! is stable within a process, nothing more — sort resolved strings when
+//! presentation order matters.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 use std::sync::{OnceLock, RwLock};
 
-/// An interned string: a dense `u32` id into the process-global interner.
+/// Number of low bits of a symbol id that name its shard.
+const SHARD_BITS: u32 = 4;
+
+/// Number of interner shards.
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// Buckets per shard slab: bucket `b` holds `BUCKET0 << b` entries, so 26
+/// buckets cover far more strings than a `u32` id space can name.
+const SLAB_BUCKETS: usize = 26;
+
+/// Capacity of the first slab bucket.
+const BUCKET0: u32 = 64;
+
+/// An interned string: a `u32` id into the process-global sharded interner
+/// (shard in the low bits, per-shard slab index above).
 ///
-/// Equal symbols ⇔ equal strings. Ordering follows interning order (first
-/// intern wins the smaller id), which is stable within a process but *not*
-/// lexicographic — sort resolved strings when presentation order matters.
+/// Equal symbols ⇔ equal strings. `Ord` is arbitrary but fixed within a
+/// process (shard interleaving breaks interning order) — sort resolved
+/// strings when presentation order matters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(u32);
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+/// One interner shard: the insert-side map plus the lock-free resolve slab.
+struct Shard {
+    /// String → full symbol id. Read-locked on probe, write-locked only on
+    /// first-time inserts.
+    map: RwLock<HashMap<&'static str, u32>>,
+    /// Append-only bucket pointers; each is a leaked `[&'static str]` of
+    /// `BUCKET0 << b` entries, published once with `Release`.
+    buckets: [AtomicPtr<&'static str>; SLAB_BUCKETS],
+    /// Number of published entries. Bumped with `Release` after the entry
+    /// write; `Acquire` loads make those writes visible to readers.
+    len: AtomicU32,
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+impl Shard {
+    fn empty() -> Shard {
+        Shard {
+            map: RwLock::new(HashMap::with_capacity(64)),
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Bucket index and in-bucket offset of slab index `i`.
+    fn locate(i: u32) -> (usize, usize) {
+        let b = (i / BUCKET0 + 1).ilog2() as usize;
+        let start = BUCKET0 * ((1u32 << b) - 1);
+        (b, (i - start) as usize)
+    }
+
+    /// Appends `s`, returning its slab index. Caller must hold the shard's
+    /// map write lock (single writer per shard).
+    fn push(&self, s: &'static str) -> u32 {
+        let i = self.len.load(Ordering::Relaxed);
+        let (b, off) = Shard::locate(i);
+        let mut ptr = self.buckets[b].load(Ordering::Acquire);
+        if ptr.is_null() {
+            // Allocate the bucket, placeholder-filled so every slot is a
+            // valid (if meaningless) `&str` before publication.
+            let cap = (BUCKET0 << b) as usize;
+            let slab: Box<[&'static str]> = vec![""; cap].into_boxed_slice();
+            ptr = Box::leak(slab).as_mut_ptr();
+            self.buckets[b].store(ptr, Ordering::Release);
+        }
+        // SAFETY: `off < BUCKET0 << b` by construction; this slot is above
+        // the published `len`, so no reader accesses it until the `Release`
+        // store below, and the map write lock serializes writers.
+        unsafe { ptr.add(off).write(s) };
+        self.len.store(i + 1, Ordering::Release);
+        i
+    }
+
+    /// Resolves slab index `i`, lock-free.
+    fn resolve(&self, i: u32) -> &'static str {
+        assert!(
+            i < self.len.load(Ordering::Acquire),
+            "symbol index {i} was never interned"
+        );
+        let (b, off) = Shard::locate(i);
+        let ptr = self.buckets[b].load(Ordering::Acquire);
+        // SAFETY: `i < len` implies the bucket was published and the entry
+        // written before the `Release` bump the `Acquire` above observed;
+        // entries are immutable and never freed.
+        unsafe { *ptr.add(off) }
+    }
+}
+
+fn shards() -> &'static [Shard; SHARDS] {
+    static INTERNER: OnceLock<[Shard; SHARDS]> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        let mut map = HashMap::with_capacity(1024);
-        map.insert("", 0);
-        RwLock::new(Interner {
-            map,
-            strings: vec![""],
-        })
+        let shards: [Shard; SHARDS] = std::array::from_fn(|_| Shard::empty());
+        // Pre-seed shard 0's slab so `Symbol(0)` resolves to "". The empty
+        // string is special-cased before hashing in `intern`/`get`, so no
+        // map entry is needed.
+        shards[0].push("");
+        shards
     })
+}
+
+/// FNV-1a over the string bytes: the shard selector. Deliberately distinct
+/// from the map hasher so a pathological value set cannot align shard and
+/// bucket collisions.
+fn shard_of(s: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Fold the high half in: FNV's low bits are weak for short keys.
+    ((h ^ (h >> 32)) as usize) & (SHARDS - 1)
 }
 
 impl Symbol {
@@ -48,37 +159,47 @@ impl Symbol {
 
     /// Interns `s`, returning its symbol (idempotent).
     pub fn intern(s: &str) -> Symbol {
+        if s.is_empty() {
+            return Symbol::EMPTY;
+        }
+        let shard_idx = shard_of(s);
+        let shard = &shards()[shard_idx];
         {
-            let guard = interner().read().expect("interner poisoned");
-            if let Some(&id) = guard.map.get(s) {
+            let map = shard.map.read().expect("interner poisoned");
+            if let Some(&id) = map.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = interner().write().expect("interner poisoned");
-        if let Some(&id) = guard.map.get(s) {
+        let mut map = shard.map.write().expect("interner poisoned");
+        if let Some(&id) = map.get(s) {
             return Symbol(id); // raced: someone interned between locks
         }
         let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
-        let id = guard.strings.len() as u32;
-        guard.strings.push(leaked);
-        guard.map.insert(leaked, id);
+        let slab_idx = shard.push(leaked);
+        let id = (slab_idx << SHARD_BITS) | shard_idx as u32;
+        map.insert(leaked, id);
         Symbol(id)
     }
 
     /// Looks `s` up without interning; `None` when never interned. Use for
-    /// probe values that should not grow the intern table.
+    /// probe values that should not grow the intern table. Takes only the
+    /// owning shard's read lock.
     pub fn get(s: &str) -> Option<Symbol> {
-        interner()
+        if s.is_empty() {
+            return Some(Symbol::EMPTY);
+        }
+        shards()[shard_of(s)]
+            .map
             .read()
             .expect("interner poisoned")
-            .map
             .get(s)
             .map(|&id| Symbol(id))
     }
 
-    /// The interned string.
+    /// The interned string. Lock-free: one `Acquire` load of the shard
+    /// length, one of the bucket pointer, then a plain read.
     pub fn as_str(self) -> &'static str {
-        interner().read().expect("interner poisoned").strings[self.0 as usize]
+        shards()[(self.0 as usize) & (SHARDS - 1)].resolve(self.0 >> SHARD_BITS)
     }
 
     /// The raw id.
@@ -171,6 +292,7 @@ mod tests {
         assert!(Symbol::EMPTY.is_empty());
         assert!(!Symbol::intern("x").is_empty());
         assert_eq!(Symbol::EMPTY.as_str(), "");
+        assert_eq!(Symbol::get(""), Some(Symbol::EMPTY));
     }
 
     #[test]
@@ -200,6 +322,34 @@ mod tests {
     }
 
     #[test]
+    fn slab_locate_covers_bucket_boundaries() {
+        assert_eq!(Shard::locate(0), (0, 0));
+        assert_eq!(Shard::locate(BUCKET0 - 1), (0, (BUCKET0 - 1) as usize));
+        assert_eq!(Shard::locate(BUCKET0), (1, 0));
+        assert_eq!(
+            Shard::locate(3 * BUCKET0 - 1),
+            (1, (2 * BUCKET0 - 1) as usize)
+        );
+        assert_eq!(Shard::locate(3 * BUCKET0), (2, 0));
+    }
+
+    #[test]
+    fn deep_slab_growth_round_trips() {
+        // Cross several bucket boundaries in one shard-agnostic sweep.
+        let symbols: Vec<Symbol> = (0..3000)
+            .map(|i| Symbol::intern(&format!("growth-{i}")))
+            .collect();
+        for (i, s) in symbols.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("growth-{i}"));
+        }
+        // Distinct strings, distinct symbols — across shard boundaries too.
+        let mut ids: Vec<u32> = symbols.iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), symbols.len());
+    }
+
+    #[test]
     fn concurrent_interning_agrees() {
         let handles: Vec<_> = (0..8)
             .map(|_| {
@@ -213,6 +363,35 @@ mod tests {
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {
             assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn concurrent_intern_and_resolve() {
+        // Writers keep interning fresh values while readers resolve
+        // already-published ones: the lock-free resolve path must always
+        // observe fully written entries.
+        let seed: Vec<Symbol> = (0..256)
+            .map(|i| Symbol::intern(&format!("seeded-{i}")))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let seed = seed.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let s = Symbol::intern(&format!("mixed-{t}-{i}"));
+                        assert_eq!(s.as_str(), format!("mixed-{t}-{i}"));
+                        let probe = &seed[(i * 7 + t) % seed.len()];
+                        assert_eq!(
+                            probe.as_str(),
+                            format!("seeded-{}", (i * 7 + t) % seed.len())
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the sharded interner.
+//!
+//! The shard rework changed *where* a symbol lives (shard in the low id
+//! bits, per-shard append-only slab above) without changing what a symbol
+//! *means*: equal strings ⇔ equal symbols, every symbol resolves to the
+//! exact bytes it was interned from, and concurrent intern/resolve traffic
+//! observes the same assignments as serial traffic. These properties pin
+//! that contract over randomized value sets — including empty strings,
+//! multi-byte UTF-8 and near-collisions that land many values in one
+//! shard.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use sst_tables::Symbol;
+
+/// Values exercising shard edge cases: repeats, short strings (one hash
+/// step), multi-byte UTF-8, and the empty string (the reserved symbol).
+const VALUE: &str = "[abcψλ0-9]{0,8}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symbol stability: re-interning any value returns the same id, and
+    /// the id round-trips to the original bytes.
+    #[test]
+    fn intern_is_stable_and_round_trips(values in prop::collection::vec(VALUE, 1..40)) {
+        let first: Vec<Symbol> = values.iter().map(|v| Symbol::intern(v)).collect();
+        let second: Vec<Symbol> = values.iter().map(|v| Symbol::intern(v)).collect();
+        prop_assert_eq!(&first, &second);
+        for (v, s) in values.iter().zip(&first) {
+            prop_assert_eq!(s.as_str(), v.as_str());
+            prop_assert_eq!(Symbol::get(v), Some(*s));
+            prop_assert_eq!(s.is_empty(), v.is_empty());
+        }
+    }
+
+    /// Cross-shard uniqueness: distinct strings get distinct symbols no
+    /// matter which shards their hashes select, and equal strings collapse
+    /// to one symbol.
+    #[test]
+    fn symbols_biject_with_strings(values in prop::collection::vec(VALUE, 1..60)) {
+        let mut by_string: HashMap<String, Symbol> = HashMap::new();
+        let mut by_id: HashMap<u32, String> = HashMap::new();
+        for v in &values {
+            let s = Symbol::intern(v);
+            if let Some(prev) = by_string.insert(v.clone(), s) {
+                prop_assert_eq!(prev, s, "same string, two symbols");
+            }
+            if let Some(prev) = by_id.insert(s.id(), v.clone()) {
+                prop_assert_eq!(&prev, v, "two strings share id {}", s.id());
+            }
+        }
+    }
+
+    /// Concurrent intern/resolve: racing threads interning overlapping
+    /// value sets agree on every assignment, and lock-free resolution of
+    /// freshly published symbols always sees fully written strings.
+    #[test]
+    fn concurrent_intern_resolve_agree(
+        values in prop::collection::vec(VALUE, 8..32),
+        salt in 0u64..1_000_000,
+    ) {
+        let assignments: Vec<HashMap<String, Symbol>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let values = &values;
+                    scope.spawn(move || {
+                        let mut out: HashMap<String, Symbol> = HashMap::new();
+                        // Each thread walks the set at a different stride,
+                        // mixing first-time interns with re-interns, plus
+                        // thread-unique values to force slab appends.
+                        for round in 0..3usize {
+                            for (i, v) in values.iter().enumerate() {
+                                let idx = (i * (t + 1) + round) % values.len();
+                                let v2 = &values[idx];
+                                let s = Symbol::intern(v2);
+                                assert_eq!(s.as_str(), v2.as_str());
+                                out.insert(v2.clone(), s);
+                                let fresh = format!("c-{salt}-{t}-{i}-{v}");
+                                assert_eq!(Symbol::intern(&fresh).as_str(), fresh);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let reference = &assignments[0];
+        for other in &assignments[1..] {
+            for (v, s) in other {
+                prop_assert_eq!(reference.get(v), Some(s), "threads disagree on {:?}", v);
+            }
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`benchmarks`] — the reconstructed 50-task evaluation suite (§7) and
 //!   synthetic worst-case workload generators.
 //! * [`counting`] — arbitrary-precision counters for program-set sizes.
+//! * [`par`] — vendored scoped work-stealing pool powering the parallel
+//!   `Intersect_u` plane (deterministic-order `par_map_indexed`).
 //!
 //! # Quickstart
 //!
@@ -53,6 +55,7 @@ pub use sst_core as core;
 pub use sst_counting as counting;
 pub use sst_datatypes as datatypes;
 pub use sst_lookup as lookup;
+pub use sst_par as par;
 pub use sst_syntactic as syntactic;
 pub use sst_tables as tables;
 
