@@ -69,7 +69,7 @@ fn bench_learn_end_to_end(c: &mut Criterion) {
     configure(&mut group);
     for id in representative_ids() {
         let task = &tasks[id - 1];
-        let synthesizer = Synthesizer::new(task.db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let examples = task.examples(2).to_vec();
         group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
             b.iter(|| black_box(synthesizer.learn(black_box(&examples)).unwrap()))
@@ -84,7 +84,7 @@ fn bench_rank_extraction(c: &mut Criterion) {
     configure(&mut group);
     for id in representative_ids() {
         let task = &tasks[id - 1];
-        let synthesizer = Synthesizer::new(task.db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let learned = synthesizer.learn(task.examples(2)).unwrap();
         group.bench_function(BenchmarkId::from_parameter(task.name), |b| {
             b.iter(|| black_box(learned.top()))

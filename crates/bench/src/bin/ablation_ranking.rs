@@ -73,11 +73,11 @@ fn main() {
         let mut failures = 0usize;
         let mut total_examples = 0usize;
         for task in &tasks {
-            let options = SynthesisOptions {
-                weights: variant.weights.clone(),
-                ..Default::default()
-            };
-            let synthesizer = Synthesizer::with_options(task.db.clone(), options);
+            let options = SynthesisOptions::builder()
+                .weights(variant.weights.clone())
+                .build();
+            let synthesizer =
+                Synthesizer::with_options(std::sync::Arc::new(task.db.clone()), options);
             match converge(&synthesizer, &task.rows, MAX_EXAMPLES) {
                 Ok(report) if report.converged => {
                     histogram[report.examples_used] += 1;

@@ -13,6 +13,8 @@
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --smoke`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --no-dag-cache`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --threads 4`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --serve`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --edge-product-min 512`
 //!
 //! `--smoke` evaluates only the first [`SMOKE_PER_CATEGORY`] tasks of
 //! *each* category (`Lt` and `Lu`), so CI exercises both learn paths —
@@ -20,13 +22,21 @@
 //! snapshot stays generatable without replaying the suite. `--no-dag-cache`
 //! runs the per-task reports with the `DagCache` disabled; `--threads N`
 //! sizes the `Intersect_u` worker pool (default: machine parallelism; `1`
-//! is the serial execution). CI runs the smoke snapshot across cache modes
-//! and thread counts and checks that everything but the timings agrees.
+//! is the serial execution); `--edge-product-min N` sets the parallel
+//! dispatch threshold (`SynthesisOptions::parallel_edge_product_min`);
+//! `--serve` replays the per-task protocol through the service plane
+//! (`Engine` sessions + `learn_batch`) instead of direct `Synthesizer`
+//! calls. CI runs the smoke snapshot across cache modes, thread counts and
+//! both serving paths, and checks that everything but the timings agrees.
 
 use std::time::Duration;
 
-use sst_bench::{dag_cache_times, evaluate_tasks_opts, generate_u_time, intersect_micro_times};
+use sst_bench::{
+    dag_cache_times, evaluate_tasks_served_with_options, evaluate_tasks_with_options,
+    generate_u_time, intersect_micro_times,
+};
 use sst_benchmarks::Category;
+use sst_core::SynthesisOptions;
 
 /// Tasks evaluated per category under `--smoke`.
 const SMOKE_PER_CATEGORY: usize = 3;
@@ -38,6 +48,7 @@ fn json_escape(s: &str) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let serve = args.iter().any(|a| a == "--serve");
     let dag_cache = !args.iter().any(|a| a == "--no-dag-cache");
     let threads: usize = args
         .iter()
@@ -45,11 +56,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes a positive integer"))
         .unwrap_or(0);
-    let effective_threads = if threads == 0 {
-        sst_core::default_threads()
-    } else {
-        threads
-    };
+    let edge_product_min: Option<usize> = args
+        .iter()
+        .position(|a| a == "--edge-product-min")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .expect("--edge-product-min takes a non-negative integer")
+        });
+    let mut builder = SynthesisOptions::builder()
+        .dag_cache(dag_cache)
+        .threads(threads);
+    if let Some(min_product) = edge_product_min {
+        builder = builder.parallel_edge_product_min(min_product);
+    }
+    let options = builder.build();
+    let effective_threads = options.threads;
     let mut tasks = sst_benchmarks::all_tasks();
     if smoke {
         let (mut lookup, mut semantic) = (0usize, 0usize);
@@ -62,7 +84,11 @@ fn main() {
             *kept <= SMOKE_PER_CATEGORY
         });
     }
-    let reports = evaluate_tasks_opts(&tasks, dag_cache, threads);
+    let reports = if serve {
+        evaluate_tasks_served_with_options(&tasks, &options)
+    } else {
+        evaluate_tasks_with_options(&tasks, &options)
+    };
     let total_learn: Duration = reports.iter().map(|r| r.learn_time).sum();
     let converged = reports.iter().filter(|r| r.converged).count();
     let total_size_final: usize = reports.iter().map(|r| r.size_final).sum();
@@ -100,6 +126,11 @@ fn main() {
     );
     println!("  \"dag_cache\": {dag_cache},");
     println!("  \"threads\": {effective_threads},");
+    println!("  \"serve\": {serve},");
+    println!(
+        "  \"parallel_edge_product_min\": {},",
+        options.parallel_edge_product_min
+    );
     println!("  \"tasks\": [");
     for (i, r) in reports.iter().enumerate() {
         let comma = if i + 1 < reports.len() { "," } else { "" };

@@ -8,6 +8,7 @@
 //! size (Fig. 12b). The `src/bin/fig*` binaries print one paper artifact
 //! each from these reports.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sst_benchmarks::{BenchmarkTask, Category};
@@ -16,6 +17,7 @@ use sst_core::{
     Synthesizer,
 };
 use sst_counting::BigUint;
+use sst_service::{Engine, LearnRequest};
 
 /// Maximum examples the simulated user provides (the paper's tasks all
 /// converge within 3).
@@ -65,18 +67,19 @@ pub fn evaluate_task_with(task: &BenchmarkTask, dag_cache: bool) -> TaskReport {
 /// [`evaluate_task_with`] at an explicit `Intersect_u` pool width
 /// (`0` = the machine default), the `--threads` axis of `perf_snapshot`.
 pub fn evaluate_task_opts(task: &BenchmarkTask, dag_cache: bool, threads: usize) -> TaskReport {
-    let synthesizer = Synthesizer::with_options(
-        task.db.clone(),
-        SynthesisOptions {
-            dag_cache,
-            threads: if threads == 0 {
-                sst_core::default_threads()
-            } else {
-                threads
-            },
-            ..Default::default()
-        },
-    );
+    evaluate_task_with_options(
+        task,
+        SynthesisOptions::builder()
+            .dag_cache(dag_cache)
+            .threads(threads)
+            .build(),
+    )
+}
+
+/// The fully general per-task protocol: any [`SynthesisOptions`] (built
+/// with the builder — e.g. an explicit `parallel_edge_product_min`).
+pub fn evaluate_task_with_options(task: &BenchmarkTask, options: SynthesisOptions) -> TaskReport {
+    let synthesizer = Synthesizer::with_options(Arc::new(task.db.clone()), options);
     let report = converge(&synthesizer, &task.rows, MAX_EXAMPLES)
         .unwrap_or_else(|e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name));
     let learned = report
@@ -135,6 +138,102 @@ pub fn evaluate_tasks_opts(
         .collect()
 }
 
+/// [`evaluate_task_opts`] replayed through the **service plane**: the
+/// interaction loop runs on an [`Engine`] session
+/// (`Session::converge_with`, no caller-side re-learn loop) and the
+/// metric learns go through [`Engine::learn_batch`] — one batch carrying
+/// the first-example prefix and the converged set, timed as a whole. CI
+/// diffs the non-timing fields of this report against the direct
+/// [`Synthesizer`] protocol's (`perf_snapshot --serve`): the two paths
+/// must be bit-identical.
+pub fn evaluate_task_served(task: &BenchmarkTask, dag_cache: bool, threads: usize) -> TaskReport {
+    evaluate_task_served_options(
+        task,
+        SynthesisOptions::builder()
+            .dag_cache(dag_cache)
+            .threads(threads)
+            .build(),
+    )
+}
+
+/// [`evaluate_task_served`] with fully general options.
+pub fn evaluate_task_served_options(task: &BenchmarkTask, options: SynthesisOptions) -> TaskReport {
+    let engine = Engine::with_options(Arc::new(task.db.clone()), options);
+    let mut session = engine.session();
+    let outcome = session
+        .converge_with(&task.rows, MAX_EXAMPLES)
+        .unwrap_or_else(|e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name));
+    let count = session.count().expect("converged session has programs");
+
+    let requests = [
+        LearnRequest::new(session.examples()[..1].to_vec()),
+        LearnRequest::new(session.examples().to_vec()),
+    ];
+    let start = Instant::now();
+    let responses = engine.learn_batch(&requests);
+    let learn_time = start.elapsed();
+    let fail = |r: &sst_service::LearnResponse| {
+        panic!(
+            "task {} ({}) batch request {} failed: {:?}",
+            task.id, task.name, r.request, r.result
+        )
+    };
+    let size_first = responses[0]
+        .programs()
+        .unwrap_or_else(|| fail(&responses[0]))
+        .size();
+    let size_final = responses[1]
+        .programs()
+        .unwrap_or_else(|| fail(&responses[1]))
+        .size();
+
+    TaskReport {
+        id: task.id,
+        name: task.name,
+        category: task.category,
+        examples_used: outcome.examples_used,
+        converged: outcome.converged,
+        count,
+        size_first,
+        size_final,
+        learn_time,
+    }
+}
+
+/// [`evaluate_task_served`] over a task slice, in order.
+pub fn evaluate_tasks_served(
+    tasks: &[BenchmarkTask],
+    dag_cache: bool,
+    threads: usize,
+) -> Vec<TaskReport> {
+    tasks
+        .iter()
+        .map(|t| evaluate_task_served(t, dag_cache, threads))
+        .collect()
+}
+
+/// [`evaluate_task_with_options`] over a task slice, in order.
+pub fn evaluate_tasks_with_options(
+    tasks: &[BenchmarkTask],
+    options: &SynthesisOptions,
+) -> Vec<TaskReport> {
+    tasks
+        .iter()
+        .map(|t| evaluate_task_with_options(t, options.clone()))
+        .collect()
+}
+
+/// [`evaluate_task_served_options`] over a task slice, in order.
+pub fn evaluate_tasks_served_with_options(
+    tasks: &[BenchmarkTask],
+    options: &SynthesisOptions,
+) -> Vec<TaskReport> {
+    tasks
+        .iter()
+        .map(|t| evaluate_task_served_options(t, options.clone()))
+        .collect()
+}
+
 /// Cold/warm learn times of one task through the memoized DAG plane: one
 /// synthesizer, the converged example protocol (2 examples), learned
 /// twice. With `dag_cache` on, the first call fills the
@@ -145,11 +244,8 @@ pub fn evaluate_tasks_opts(
 /// really is cache-free.
 pub fn dag_cache_times(task: &BenchmarkTask, dag_cache: bool) -> (Duration, Duration) {
     let synthesizer = Synthesizer::with_options(
-        task.db.clone(),
-        SynthesisOptions {
-            dag_cache,
-            ..Default::default()
-        },
+        Arc::new(task.db.clone()),
+        SynthesisOptions::builder().dag_cache(dag_cache).build(),
     );
     let examples = task.examples(2);
     let fail = |e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name);

@@ -107,6 +107,8 @@ pub fn converge(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
     use sst_tables::{Database, Table};
 
     fn comp_db() -> Database {
@@ -135,7 +137,7 @@ mod tests {
 
     #[test]
     fn converges_with_one_example() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let report = converge(&s, &rows(), 3).unwrap();
         assert!(report.converged);
         assert_eq!(report.examples_used, 1);
@@ -143,7 +145,7 @@ mod tests {
 
     #[test]
     fn converge_handles_unlearnable_rows() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let bad = vec![
             Example::new(vec!["c1"], "Microsoft"),
             Example::new(vec!["c1"], "Banana"),
@@ -155,7 +157,7 @@ mod tests {
 
     #[test]
     fn converge_respects_budget() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         // Outputs chosen so no single program fits all rows, but each row
         // individually is learnable: budget stops the loop.
         let tricky = vec![
@@ -169,7 +171,7 @@ mod tests {
 
     #[test]
     fn ambiguity_highlighting_flags_disagreeing_rows() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         let inputs: Vec<Vec<String>> = vec![
             vec!["c2".to_string()], // training row: all programs agree
@@ -182,7 +184,7 @@ mod tests {
 
     #[test]
     fn distinguishing_input_found() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         let inputs: Vec<Vec<String>> = vec![vec!["c2".into()], vec!["c4".into()]];
         // The top programs agree on the training row; the constant program

@@ -56,15 +56,20 @@ pub fn intersect_du_unpruned(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
     intersect_du_impl(a, b, Tuning::ORACLE)
 }
 
-/// Estimated top-level edge-pair product below which the parallel plane is
-/// not worth its setup (discovery pass + two `thread::scope` spawns):
-/// small intersections run the serial path, which is observably identical.
-const PARALLEL_EDGE_PRODUCT_MIN: usize = 256;
+/// Default estimated top-level edge-pair product below which the parallel
+/// plane is not worth its setup (discovery pass + two `thread::scope`
+/// spawns): small intersections run the serial path, which is observably
+/// identical. Tunable per synthesizer via
+/// `SynthesisOptions::builder().parallel_edge_product_min(..)` — the
+/// constant is untuned on real multi-core hardware (ROADMAP follow-on).
+pub const DEFAULT_PARALLEL_EDGE_PRODUCT_MIN: usize = 256;
 
 /// [`intersect_du`] dispatched through a worker pool: node-pair
 /// intersections fan out across `pool`'s threads when the pool is parallel
 /// and the product is big enough to amortize the setup, and fall back to
-/// the serial path otherwise.
+/// the serial path otherwise. Dispatches at the default threshold
+/// [`DEFAULT_PARALLEL_EDGE_PRODUCT_MIN`]; [`intersect_du_tuned`] takes an
+/// explicit one.
 ///
 /// Every observable of the result — program counts, structure size,
 /// ranking, evaluation — is **bit-identical at every pool width** (pinned
@@ -76,8 +81,23 @@ const PARALLEL_EDGE_PRODUCT_MIN: usize = 256;
 /// depends on it (counts and sizes are order-free sums; ranked programs
 /// carry no node ids).
 pub fn intersect_du_with(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> SemDStruct {
+    intersect_du_tuned(a, b, pool, DEFAULT_PARALLEL_EDGE_PRODUCT_MIN)
+}
+
+/// [`intersect_du_with`] at an explicit parallel-dispatch threshold: the
+/// parallel plane runs only when the top-level edge-pair product reaches
+/// `parallel_edge_product_min`. The threshold trades scheduling overhead
+/// against fan-out and **cannot change any observable** — both paths are
+/// pinned bit-identical — so it is exposed as a perf knob
+/// (`SynthesisOptions::parallel_edge_product_min`).
+pub fn intersect_du_tuned(
+    a: &SemDStruct,
+    b: &SemDStruct,
+    pool: &Pool,
+    parallel_edge_product_min: usize,
+) -> SemDStruct {
     let worthwhile = match (&a.top, &b.top) {
-        (Some(ta), Some(tb)) => ta.edges.len() * tb.edges.len() >= PARALLEL_EDGE_PRODUCT_MIN,
+        (Some(ta), Some(tb)) => ta.edges.len() * tb.edges.len() >= parallel_edge_product_min,
         _ => false,
     };
     if pool.is_parallel() && worthwhile {

@@ -21,6 +21,8 @@
 //! # Example: paper Example 6 (company-code expansion)
 //!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use sst_core::{Example, Synthesizer};
 //! use sst_tables::{Database, Table};
 //!
@@ -39,7 +41,7 @@
 //! .unwrap();
 //! let db = Database::from_tables(vec![comp]).unwrap();
 //!
-//! let synthesizer = Synthesizer::new(db);
+//! let synthesizer = Synthesizer::new(Arc::new(db));
 //! let learned = synthesizer
 //!     .learn(&[Example::new(vec!["c4 c3 c1"], "Facebook Apple Microsoft")])
 //!     .unwrap();
@@ -67,7 +69,8 @@ pub use eval::{eval_lookup_u, eval_sem};
 pub use generate::{generate_str_u, generate_str_u_cached, LuOptions};
 pub use interaction::{converge, distinguishing_input, highlight_ambiguous, ConvergenceReport};
 pub use intersect::{
-    intersect_du, intersect_du_parallel, intersect_du_unpruned, intersect_du_with,
+    intersect_du, intersect_du_parallel, intersect_du_tuned, intersect_du_unpruned,
+    intersect_du_with, DEFAULT_PARALLEL_EDGE_PRODUCT_MIN,
 };
 pub use language::{
     display_sem, sem_depth, sem_select_count, LookupU, PredRhsU, PredicateU, SemAtom, SemExpr,
@@ -77,5 +80,6 @@ pub use paraphrase::paraphrase_sem;
 pub use rank::{best_lookup, LuRankWeights, RankedSem};
 pub use sst_par::{default_threads, Pool};
 pub use synthesizer::{
-    Example, LearnedPrograms, Program, SynthesisError, SynthesisOptions, Synthesizer,
+    Example, LearnedPrograms, Program, SynthesisError, SynthesisOptions, SynthesisOptionsBuilder,
+    Synthesizer,
 };

@@ -16,7 +16,7 @@ use crate::cache::DagCache;
 use crate::dstruct::SemDStruct;
 use crate::eval::eval_sem;
 use crate::generate::{generate_str_u, generate_str_u_keyed, LuOptions};
-use crate::intersect::intersect_du_with;
+use crate::intersect::intersect_du_tuned;
 use crate::language::{display_sem, SemExpr};
 use crate::paraphrase::paraphrase_sem;
 use crate::rank::LuRankWeights;
@@ -84,8 +84,24 @@ impl fmt::Display for SynthesisError {
 
 impl std::error::Error for SynthesisError {}
 
-/// Synthesis configuration: generation options plus ranking weights.
+/// Synthesis configuration: generation options, ranking weights and the
+/// perf knobs of the memoized/parallel planes.
+///
+/// The struct is `#[non_exhaustive]` — construct it through the builder
+/// ([`SynthesisOptions::builder`]), which stays source-compatible as knobs
+/// are added:
+///
+/// ```
+/// use sst_core::SynthesisOptions;
+/// let options = SynthesisOptions::builder()
+///     .threads(4)
+///     .dag_cache(true)
+///     .top_k(10)
+///     .build();
+/// assert_eq!(options.threads, 4);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SynthesisOptions {
     /// Generation options (depth bound, token set).
     pub lu: LuOptions,
@@ -106,6 +122,19 @@ pub struct SynthesisOptions {
     /// runs). Default: [`sst_par::default_threads`] (the machine's
     /// available parallelism).
     pub threads: usize,
+    /// How many top-ranked programs APIs that don't take an explicit `k`
+    /// consider: [`LearnedPrograms::top_ranked`], and upstream the service
+    /// plane's `Session::top_k` / ambiguity highlighting (§3.2 flags inputs
+    /// where the `top_k` best programs disagree). Default: 10.
+    pub top_k: usize,
+    /// Estimated top-level edge-pair product below which `Intersect_u`
+    /// runs the serial path even when [`SynthesisOptions::threads`] allows
+    /// fan-out (the parallel plane's setup — discovery pass plus two
+    /// `thread::scope` spawns — isn't worth amortizing on small products).
+    /// Purely a perf knob: both paths are pinned bit-identical. Default:
+    /// [`crate::DEFAULT_PARALLEL_EDGE_PRODUCT_MIN`]; untuned on real
+    /// multi-core hardware.
+    pub parallel_edge_product_min: usize,
 }
 
 impl Default for SynthesisOptions {
@@ -115,7 +144,95 @@ impl Default for SynthesisOptions {
             weights: LuRankWeights::default(),
             dag_cache: true,
             threads: sst_par::default_threads(),
+            top_k: 10,
+            parallel_edge_product_min: crate::intersect::DEFAULT_PARALLEL_EDGE_PRODUCT_MIN,
         }
+    }
+}
+
+impl SynthesisOptions {
+    /// A builder over the defaults — the only way to construct options
+    /// outside this crate (the struct is `#[non_exhaustive]`).
+    pub fn builder() -> SynthesisOptionsBuilder {
+        SynthesisOptionsBuilder {
+            options: SynthesisOptions::default(),
+        }
+    }
+
+    /// A builder seeded with *these* options — for deriving a variant
+    /// (e.g. the same configuration at a different thread width) without
+    /// enumerating every knob.
+    pub fn to_builder(&self) -> SynthesisOptionsBuilder {
+        SynthesisOptionsBuilder {
+            options: self.clone(),
+        }
+    }
+}
+
+/// Builder for [`SynthesisOptions`]; see [`SynthesisOptions::builder`].
+/// Every setter returns `self`, so knobs chain; unset knobs keep their
+/// defaults, and adding a knob in a future version cannot break callers.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptionsBuilder {
+    options: SynthesisOptions,
+}
+
+impl SynthesisOptionsBuilder {
+    /// Replaces the generation options (depth bound, token set, substring
+    /// gate) wholesale.
+    pub fn lu(mut self, lu: LuOptions) -> Self {
+        self.options.lu = lu;
+        self
+    }
+
+    /// Reachability depth bound (`LuOptions::max_depth`); the default
+    /// derives it from the database (§4.3: number of tables).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.options.lu.max_depth = Some(depth);
+        self
+    }
+
+    /// Replaces the ranking weights.
+    pub fn weights(mut self, weights: LuRankWeights) -> Self {
+        self.options.weights = weights;
+        self
+    }
+
+    /// Toggles the memoized DAG plane (see
+    /// [`SynthesisOptions::dag_cache`]).
+    pub fn dag_cache(mut self, enabled: bool) -> Self {
+        self.options.dag_cache = enabled;
+        self
+    }
+
+    /// Worker threads for the parallel `Intersect_u` plane; `0` means the
+    /// machine's available parallelism and `1` the exact serial execution.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = if threads == 0 {
+            sst_par::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// How many top-ranked programs implicit-`k` APIs consider (see
+    /// [`SynthesisOptions::top_k`]).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.options.top_k = k.max(1);
+        self
+    }
+
+    /// Parallel-dispatch threshold for `Intersect_u` (see
+    /// [`SynthesisOptions::parallel_edge_product_min`]).
+    pub fn parallel_edge_product_min(mut self, min_product: usize) -> Self {
+        self.options.parallel_edge_product_min = min_product;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SynthesisOptions {
+        self.options
     }
 }
 
@@ -138,22 +255,67 @@ pub struct Synthesizer {
 }
 
 impl Synthesizer {
-    /// Creates a synthesizer over a database with default options.
-    pub fn new(db: Database) -> Self {
+    /// Creates a synthesizer over a shared database with default options.
+    ///
+    /// The database is taken as an `Arc` natively: callers that serve many
+    /// sessions over one set of background tables (the `sst-service`
+    /// `Engine`) hand out clones of one allocation instead of deep-copying
+    /// tables and indexes per synthesizer. An owned [`Database`] converts
+    /// with `Arc::new` (or the deprecated [`Synthesizer::from_database`]
+    /// shim).
+    pub fn new(db: Arc<Database>) -> Self {
         Synthesizer::with_options(db, SynthesisOptions::default())
     }
 
     /// Creates a synthesizer with explicit options.
-    pub fn with_options(db: Database, options: SynthesisOptions) -> Self {
+    pub fn with_options(db: Arc<Database>, options: SynthesisOptions) -> Self {
         Synthesizer {
-            db: Arc::new(db),
+            db,
             options,
             cache: Arc::new(DagCache::new()),
         }
     }
 
+    /// Creates a synthesizer wired to an existing memoized DAG plane. This
+    /// is the service plane's seam: an `Engine` owns one warm [`DagCache`]
+    /// and builds a cheap synthesizer view per learn, so every session and
+    /// batch request shares the plane. The cache must only ever be shared
+    /// across synthesizers with equal generation options (entries are not
+    /// keyed on `LuOptions`); it self-validates against the database
+    /// epoch, so sharing across database *states* is safe.
+    pub fn with_shared_cache(
+        db: Arc<Database>,
+        options: SynthesisOptions,
+        cache: Arc<DagCache>,
+    ) -> Self {
+        Synthesizer { db, options, cache }
+    }
+
+    /// Creates a synthesizer from an owned database.
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the database in an Arc (`Synthesizer::new(Arc::new(db))`) or serve it through `sst_service::Engine`"
+    )]
+    pub fn from_database(db: Database) -> Self {
+        Synthesizer::new(Arc::new(db))
+    }
+
+    /// Creates a synthesizer from an owned database with explicit options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the database in an Arc (`Synthesizer::with_options(Arc::new(db), options)`) or serve it through `sst_service::Engine`"
+    )]
+    pub fn from_database_with_options(db: Database, options: SynthesisOptions) -> Self {
+        Synthesizer::with_options(Arc::new(db), options)
+    }
+
     /// The database (user tables + background knowledge).
     pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared handle to the database.
+    pub fn db_arc(&self) -> &Arc<Database> {
         &self.db
     }
 
@@ -228,7 +390,16 @@ impl Synthesizer {
         let (mut d, mut d_uid) = generate(first);
         for e in &examples[1..] {
             let (next, next_uid) = generate(e);
-            (d, d_uid) = intersect_step(cache, db_epoch, d, d_uid, &next, next_uid, &pool);
+            (d, d_uid) = intersect_step(
+                cache,
+                db_epoch,
+                d,
+                d_uid,
+                &next,
+                next_uid,
+                &pool,
+                self.options.parallel_edge_product_min,
+            );
             if !d.has_programs() {
                 return Err(SynthesisError::NoConsistentProgram);
             }
@@ -250,6 +421,7 @@ impl Synthesizer {
 /// then exactly the memo key's), computed through the parallel plane and
 /// stored otherwise. Chained steps stay memoized because the stored
 /// result's own uid keys the next step.
+#[allow(clippy::too_many_arguments)]
 fn intersect_step(
     cache: Option<&DagCache>,
     db_epoch: u64,
@@ -258,17 +430,21 @@ fn intersect_step(
     b: &SemDStruct,
     b_uid: Option<u64>,
     pool: &Pool,
+    parallel_edge_product_min: usize,
 ) -> (SemDStruct, Option<u64>) {
     match (cache, a_uid, b_uid) {
         (Some(c), Some(ia), Some(ib)) => {
             if let Some((uid, hit)) = c.intersection(db_epoch, ia, ib) {
                 return (hit, Some(uid));
             }
-            let r = intersect_du_with(&a, b, pool);
+            let r = intersect_du_tuned(&a, b, pool, parallel_edge_product_min);
             let uid = c.store_intersection(db_epoch, ia, ib, &r);
             (r, Some(uid))
         }
-        _ => (intersect_du_with(&a, b, pool), None),
+        _ => (
+            intersect_du_tuned(&a, b, pool, parallel_edge_product_min),
+            None,
+        ),
     }
 }
 
@@ -310,6 +486,14 @@ impl LearnedPrograms {
                 db: Arc::clone(&self.db),
                 tokens: self.options.lu.syntactic.token_set.clone(),
             })
+    }
+
+    /// The configured number of top-ranked programs
+    /// ([`SynthesisOptions::top_k`]), ascending cost — the implicit-`k`
+    /// variant of [`LearnedPrograms::top_k`] the §3.2 ambiguity model runs
+    /// on.
+    pub fn top_ranked(&self) -> Vec<Program> {
+        self.top_k(self.options.top_k)
     }
 
     /// Up to `k` top-ranked programs, ascending cost.
@@ -399,7 +583,7 @@ mod tests {
 
     #[test]
     fn learn_simple_lookup() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         let top = learned.top().unwrap();
         assert_eq!(top.run(&["c1"]).as_deref(), Some("Microsoft"));
@@ -408,7 +592,7 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         assert_eq!(s.learn(&[]).unwrap_err(), SynthesisError::NoExamples);
         let err = s
             .learn(&[
@@ -428,7 +612,7 @@ mod tests {
 
     #[test]
     fn outputs_reports_ambiguity() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         // On the training input every program agrees.
         let outs = learned.outputs(&["c2"], 5);
@@ -442,7 +626,7 @@ mod tests {
 
     #[test]
     fn count_and_size_metrics() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         assert!(learned.count() > BigUint::from(1u64));
         assert!(learned.size() > 0);
@@ -452,7 +636,7 @@ mod tests {
     fn add_table_invalidates_the_dag_cache() {
         // Warm the whole-example memo while the database cannot solve the
         // task semantically: the learned set is constants-only.
-        let mut s = Synthesizer::new(Database::new());
+        let mut s = Synthesizer::new(Arc::new(Database::new()));
         let example = Example::new(vec!["c2"], "Google");
         let constant_only = s.learn(std::slice::from_ref(&example)).unwrap();
         assert_eq!(
@@ -486,7 +670,7 @@ mod tests {
 
         // And the post-mutation session is bit-identical to a fresh
         // synthesizer over the same database.
-        let fresh = Synthesizer::new(s.db().clone());
+        let fresh = Synthesizer::new(Arc::new(s.db().clone()));
         let baseline = fresh.learn(std::slice::from_ref(&example)).unwrap();
         assert_eq!(relearned.count(), baseline.count());
         assert_eq!(relearned.size(), baseline.size());
@@ -494,7 +678,7 @@ mod tests {
 
     #[test]
     fn cloned_synthesizers_share_one_cache() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let clone = s.clone();
         s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         let warmed = clone.cache_stats();
@@ -509,7 +693,7 @@ mod tests {
 
     #[test]
     fn two_examples_converge() {
-        let s = Synthesizer::new(comp_db());
+        let s = Synthesizer::new(Arc::new(comp_db()));
         let learned = s
             .learn(&[
                 Example::new(vec!["c2"], "Google"),

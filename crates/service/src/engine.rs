@@ -1,0 +1,199 @@
+//! The [`Engine`]: shared warm state plus batch serving.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use sst_core::{DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisOptions, Synthesizer};
+use sst_par::Pool;
+use sst_tables::{Database, Table, TableId};
+
+use crate::session::Session;
+use crate::types::{LearnRequest, LearnResponse, ServiceError};
+
+/// The state every session and batch request shares (see [`Engine`]).
+#[derive(Debug)]
+pub(crate) struct EngineInner {
+    /// The current database state. Learns snapshot the `Arc` under a brief
+    /// read lock, so a concurrent [`Engine::add_table`] never tears a
+    /// learn in half — each learn sees exactly one database state, and
+    /// learned programs keep their snapshot alive after the engine moves
+    /// on.
+    db: RwLock<Arc<Database>>,
+    /// The one warm memoized DAG plane. Interior-mutable with a read-lock
+    /// warm path, so concurrent sessions share it without serializing; it
+    /// self-validates against the database epoch, so a table added through
+    /// [`Engine::add_table`] invalidates it for *every* session at once.
+    cache: Arc<DagCache>,
+    /// Engine-wide synthesis options (a session cannot diverge from them:
+    /// the shared cache is only sound across equal generation options).
+    options: SynthesisOptions,
+    /// The global worker pool: batch requests fan out across it, and its
+    /// width also sizes each learn's parallel `Intersect_u` plane.
+    pool: Pool,
+}
+
+/// The serving front-end: owns one `Arc<Database>` of background
+/// knowledge, one warm [`DagCache`] plane and one global `sst-par` pool,
+/// and hands out cheap handles — [`Session`]s for the §3.2 interactive
+/// protocol, [`Engine::learn_batch`] for independent bulk requests.
+///
+/// `Engine` is `Clone + Send + Sync`; clones share everything (they are
+/// the same engine). Dropping a clone never invalidates sessions or
+/// learned programs — all state is `Arc`-shared.
+///
+/// # Determinism
+///
+/// Batch responses are in request order by construction
+/// (`par_map_indexed` writes each result into its pre-assigned slot), and
+/// every learned observable — counts, sizes, ranking, evaluation — is
+/// bit-identical to a sequential [`Synthesizer::learn`] per request, at
+/// every pool width (pinned by `tests/service_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// An engine over a shared database with default options.
+    pub fn new(db: Arc<Database>) -> Self {
+        Engine::with_options(db, SynthesisOptions::default())
+    }
+
+    /// An engine with explicit options (build them with
+    /// [`SynthesisOptions::builder`]).
+    pub fn with_options(db: Arc<Database>, options: SynthesisOptions) -> Self {
+        let pool = Pool::new(options.threads);
+        Engine {
+            inner: Arc::new(EngineInner {
+                db: RwLock::new(db),
+                cache: Arc::new(DagCache::new()),
+                options,
+                pool,
+            }),
+        }
+    }
+
+    /// Convenience: an engine over freshly assembled tables.
+    pub fn from_tables(tables: Vec<Table>) -> Result<Self, ServiceError> {
+        Ok(Engine::new(Arc::new(Database::from_tables(tables)?)))
+    }
+
+    /// The engine-wide synthesis options.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.inner.options
+    }
+
+    /// A snapshot of the current database state. The handle stays valid
+    /// (and unchanged) across later [`Engine::add_table`] calls.
+    pub fn db(&self) -> Arc<Database> {
+        self.read_db()
+    }
+
+    /// The current database mutation epoch — the value the shared DAG
+    /// plane validates against. Moves exactly once per
+    /// [`Engine::add_table`], for every live session at once.
+    pub fn db_epoch(&self) -> u64 {
+        self.read_db().epoch()
+    }
+
+    /// Hit/miss counters of the shared memo plane.
+    pub fn cache_stats(&self) -> DagCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Opens a new interactive learning session. Sessions are cheap (an
+    /// `Arc` clone plus empty example state) and independent: each holds
+    /// its own example conversation while sharing the engine's database,
+    /// memo plane and pool.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone())
+    }
+
+    /// Adds a background-knowledge table for **all** sessions.
+    ///
+    /// The database epoch moves exactly once per call, no matter how many
+    /// sessions are live: the engine owns the one mutable handle, so —
+    /// unlike per-clone [`Synthesizer::add_table`] mutation, where every
+    /// clone re-adds the table and bumps its own epoch — there is a single
+    /// new database state, and the shared DAG plane invalidates once, for
+    /// everyone. Sessions notice on their next learn (lazily) and re-learn
+    /// against the grown database; programs learned earlier keep their own
+    /// database snapshot.
+    pub fn add_table(&self, table: Table) -> Result<TableId, ServiceError> {
+        let mut guard = self
+            .inner
+            .db
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        // `make_mut` clones the database only if sessions/programs still
+        // hold the old snapshot; `Database::add_table` bumps the epoch
+        // exactly once either way.
+        let id = Arc::make_mut(&mut guard).add_table(table)?;
+        Ok(id)
+    }
+
+    /// Learns one example set through the shared plane — the stateless
+    /// entry point ([`Session`] wraps it with conversation state).
+    pub fn learn(&self, examples: &[Example]) -> Result<LearnedPrograms, ServiceError> {
+        Ok(self.synthesizer().learn(examples)?)
+    }
+
+    /// Serves a batch of independent learning requests, fanned across the
+    /// engine pool.
+    ///
+    /// Each request learns over the same database snapshot (taken once for
+    /// the whole batch) through a synthesizer view sharing the warm memo
+    /// plane, so requests repeating an example or an example pair hit the
+    /// memos instead of recomputing. Responses are **in request order**
+    /// and bit-identical to sequential per-request [`Synthesizer::learn`]
+    /// calls at every pool width; a failed request yields an `Err`
+    /// response without disturbing its neighbors.
+    ///
+    /// When the batch actually fans out, each worker's inner `Intersect_u`
+    /// plane runs serial (`threads = 1`): batch-level parallelism already
+    /// saturates the pool width, and nesting the per-learn plane inside it
+    /// would spawn up to `threads²` OS threads. Per-learn results are
+    /// bit-identical at every inner width, so this is invisible; a
+    /// single-request or serial-pool batch keeps the full inner width.
+    pub fn learn_batch(&self, requests: &[LearnRequest]) -> Vec<LearnResponse> {
+        let fans_out = self.inner.pool.is_parallel() && requests.len() > 1;
+        let synthesizer = if fans_out {
+            Synthesizer::with_shared_cache(
+                self.db(),
+                self.inner.options.to_builder().threads(1).build(),
+                Arc::clone(&self.inner.cache),
+            )
+        } else {
+            self.synthesizer()
+        };
+        let default_k = self.inner.options.top_k;
+        self.inner.pool.par_map_indexed(requests, |i, request| {
+            let result = synthesizer
+                .learn(&request.examples)
+                .map_err(ServiceError::from);
+            let top = result
+                .as_ref()
+                .map(|learned| learned.top_k(request.top_k.unwrap_or(default_k).max(1)))
+                .unwrap_or_default();
+            LearnResponse {
+                request: i,
+                result,
+                top,
+            }
+        })
+    }
+
+    /// A synthesizer view over the current database snapshot, wired to the
+    /// shared memo plane — what sessions and batch workers learn through.
+    /// Constructing one is a couple of `Arc` clones.
+    pub fn synthesizer(&self) -> Synthesizer {
+        Synthesizer::with_shared_cache(
+            self.db(),
+            self.inner.options.clone(),
+            Arc::clone(&self.inner.cache),
+        )
+    }
+
+    fn read_db(&self) -> Arc<Database> {
+        Arc::clone(&self.inner.db.read().unwrap_or_else(PoisonError::into_inner))
+    }
+}

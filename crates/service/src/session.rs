@@ -1,0 +1,262 @@
+//! The [`Session`]: one §3.2 conversation as a stateful handle.
+
+use sst_core::{
+    distinguishing_input, highlight_ambiguous, Example, LearnedPrograms, Program, SynthesisError,
+};
+use sst_counting::BigUint;
+use sst_tables::{Table, TableId};
+
+use crate::engine::Engine;
+use crate::types::{ServiceError, SessionStatus};
+
+/// The cached result of the session's last learn, tagged with the state
+/// it was computed under so staleness is a cheap comparison.
+#[derive(Debug)]
+struct CachedLearn {
+    /// Database epoch at learn time.
+    db_epoch: u64,
+    /// How many examples the learn saw.
+    examples_len: usize,
+    learned: LearnedPrograms,
+}
+
+/// One interactive learning conversation (the §3.2 protocol), backed by a
+/// shared [`Engine`].
+///
+/// The session accumulates examples ([`Session::add_example`]) and watches
+/// the spreadsheet's input rows ([`Session::watch_inputs`]); every query —
+/// [`Session::status`], [`Session::top_k`], [`Session::run`],
+/// [`Session::paraphrase`] — learns lazily over the current examples and
+/// caches the result, so callers never hand-roll the re-learn loop. The
+/// learn itself runs through the engine's shared memo plane: re-learning
+/// on a grown example prefix replays earlier generations and intersections
+/// as memo hits, and a table added through [`Engine::add_table`] (or
+/// [`Session::add_table`]) invalidates every session's cached learn at
+/// once via the database epoch.
+///
+/// Sessions are independent: two sessions on one engine hold separate
+/// conversations over the same background knowledge.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    examples: Vec<Example>,
+    inputs: Vec<Vec<String>>,
+    learned: Option<CachedLearn>,
+}
+
+/// What [`Session::converge_with`] reached: how many examples the oracle
+/// had to supply, and whether the top program ended up correct on every
+/// row within the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConvergence {
+    /// Examples supplied when the loop stopped.
+    pub examples_used: usize,
+    /// Whether the top-ranked program was correct on every ground-truth
+    /// row within the example budget.
+    pub converged: bool,
+}
+
+impl Session {
+    pub(crate) fn new(engine: Engine) -> Self {
+        Session {
+            engine,
+            examples: Vec::new(),
+            inputs: Vec::new(),
+            learned: None,
+        }
+    }
+
+    /// The engine this session learns through.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The examples supplied so far, in order.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Supplies one more input-output example (a §3.2 user fix). The next
+    /// query re-learns over the grown prefix — through the shared memo
+    /// plane, so earlier examples and example-pair intersections replay
+    /// from memory.
+    pub fn add_example(&mut self, example: Example) {
+        self.examples.push(example);
+    }
+
+    /// Supplies several examples at once.
+    pub fn add_examples(&mut self, examples: impl IntoIterator<Item = Example>) {
+        self.examples.extend(examples);
+    }
+
+    /// Declares the spreadsheet's input rows — what [`Session::status`]
+    /// scans for ambiguity. Replaces any previously watched rows.
+    pub fn watch_inputs(&mut self, inputs: Vec<Vec<String>>) {
+        self.inputs = inputs;
+    }
+
+    /// Adds one watched input row.
+    pub fn watch_input(&mut self, input: Vec<String>) {
+        self.inputs.push(input);
+    }
+
+    /// The watched input rows.
+    pub fn inputs(&self) -> &[Vec<String>] {
+        &self.inputs
+    }
+
+    /// Adds a background table through the engine — visible to **all**
+    /// sessions, with exactly one epoch bump (see [`Engine::add_table`]).
+    pub fn add_table(&self, table: Table) -> Result<TableId, ServiceError> {
+        self.engine.add_table(table)
+    }
+
+    /// Where the conversation stands (§3.2): [`SessionStatus::Converged`]
+    /// when the engine's `top_k` best programs agree on every watched
+    /// input row, otherwise the ambiguous rows the user should check.
+    /// With no examples yet, every watched row needs one.
+    pub fn status(&mut self) -> Result<SessionStatus, ServiceError> {
+        if self.examples.is_empty() {
+            return Ok(SessionStatus::NeedsExamples {
+                ambiguous_inputs: self.inputs.clone(),
+            });
+        }
+        let k = self.engine.options().top_k;
+        self.ensure_learned()?;
+        let learned = &self.learned.as_ref().expect("just ensured").learned;
+        let flagged = highlight_ambiguous(learned, &self.inputs, k);
+        Ok(if flagged.is_empty() {
+            SessionStatus::Converged
+        } else {
+            SessionStatus::NeedsExamples {
+                ambiguous_inputs: flagged.iter().map(|&i| self.inputs[i].clone()).collect(),
+            }
+        })
+    }
+
+    /// The first watched row on which at least two of the `top_k` best
+    /// programs disagree — the cheapest question to ask the user (§3.2,
+    /// oracle-guided synthesis).
+    pub fn distinguishing_input(&mut self) -> Result<Option<Vec<String>>, ServiceError> {
+        let k = self.engine.options().top_k;
+        self.ensure_learned()?;
+        let learned = &self.learned.as_ref().expect("just ensured").learned;
+        let found = distinguishing_input(learned, &self.inputs, k);
+        Ok(found.map(|i| self.inputs[i].clone()))
+    }
+
+    /// The learned program set over the current examples, learning (or
+    /// re-learning) if the examples or the database moved since the last
+    /// query.
+    pub fn learned(&mut self) -> Result<&LearnedPrograms, ServiceError> {
+        self.ensure_learned()?;
+        Ok(&self.learned.as_ref().expect("just ensured").learned)
+    }
+
+    /// Fills (or refreshes) the cached learn. Split from
+    /// [`Session::learned`] so queries that also read other session fields
+    /// (`status`, `distinguishing_input`) can end the mutable borrow
+    /// before touching them — and so an `Err` never disturbs session
+    /// state.
+    fn ensure_learned(&mut self) -> Result<(), ServiceError> {
+        let synthesizer = self.engine.synthesizer();
+        let db_epoch = synthesizer.db().epoch();
+        let stale = match &self.learned {
+            Some(cached) => {
+                cached.db_epoch != db_epoch || cached.examples_len != self.examples.len()
+            }
+            None => true,
+        };
+        if stale {
+            let learned = synthesizer.learn(&self.examples)?;
+            self.learned = Some(CachedLearn {
+                db_epoch,
+                examples_len: self.examples.len(),
+                learned,
+            });
+        }
+        Ok(())
+    }
+
+    /// The top-ranked program.
+    pub fn top(&mut self) -> Result<Program, ServiceError> {
+        self.learned()?
+            .top()
+            .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))
+    }
+
+    /// The engine-configured number of top-ranked programs, ascending
+    /// cost.
+    pub fn top_k(&mut self) -> Result<Vec<Program>, ServiceError> {
+        Ok(self.learned()?.top_ranked())
+    }
+
+    /// Up to `k` top-ranked programs, ascending cost.
+    pub fn top_n(&mut self, k: usize) -> Result<Vec<Program>, ServiceError> {
+        Ok(self.learned()?.top_k(k))
+    }
+
+    /// Runs the top-ranked program on a fresh input row.
+    pub fn run(&mut self, inputs: &[&str]) -> Result<Option<String>, ServiceError> {
+        Ok(self.top()?.run(inputs))
+    }
+
+    /// An English description of the top-ranked program (§3.2's
+    /// paraphrasing, so the user can sanity-check the tool's guess).
+    pub fn paraphrase(&mut self) -> Result<String, ServiceError> {
+        Ok(self.top()?.paraphrase())
+    }
+
+    /// Exact number of consistent programs.
+    pub fn count(&mut self) -> Result<BigUint, ServiceError> {
+        Ok(self.learned()?.count())
+    }
+
+    /// Data-structure size in terminal symbols.
+    pub fn size(&mut self) -> Result<usize, ServiceError> {
+        Ok(self.learned()?.size())
+    }
+
+    /// Drives the conversation against a ground-truth oracle: starting
+    /// from the truth's first row, while the top-ranked program mislabels
+    /// some row, that row becomes the next example — the §3.2 loop with
+    /// the simulated user of the paper's §7 evaluation. Stops after
+    /// `max_examples` examples. All learning happens through the session
+    /// (no caller-side re-learn loop).
+    pub fn converge_with(
+        &mut self,
+        truth: &[Example],
+        max_examples: usize,
+    ) -> Result<SessionConvergence, ServiceError> {
+        let first = truth
+            .first()
+            .ok_or(ServiceError::Synthesis(SynthesisError::NoExamples))?;
+        if self.examples.is_empty() {
+            self.add_example(first.clone());
+        }
+        loop {
+            let top = self.top()?;
+            let failing = truth.iter().find(|row| {
+                let refs: Vec<&str> = row.inputs.iter().map(String::as_str).collect();
+                top.run(&refs).as_deref() != Some(row.output.as_str())
+            });
+            match failing {
+                None => {
+                    return Ok(SessionConvergence {
+                        examples_used: self.examples.len(),
+                        converged: true,
+                    })
+                }
+                Some(row) => {
+                    if self.examples.len() >= max_examples {
+                        return Ok(SessionConvergence {
+                            examples_used: self.examples.len(),
+                            converged: false,
+                        });
+                    }
+                    self.add_example(row.clone());
+                }
+            }
+        }
+    }
+}

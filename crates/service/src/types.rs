@@ -1,0 +1,137 @@
+//! The typed service boundary: request/response/error/status structs.
+//!
+//! These are deliberately plain owned data — no lifetimes, no handles into
+//! engine internals beyond the `Arc`-shared learned results — so a future
+//! wire boundary (HTTP/IPC serving) can serialize them without reshaping
+//! the API. Everything observable through them is bit-identical to direct
+//! `Synthesizer` calls (pinned by `tests/service_equivalence.rs`).
+
+use std::fmt;
+
+use sst_core::{Example, LearnedPrograms, Program, SynthesisError};
+use sst_tables::TableError;
+
+/// Failures of the service plane: synthesis failures (no examples, arity
+/// mismatch, no consistent program) and database mutations gone wrong
+/// (duplicate table names, ragged rows, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Learning failed.
+    Synthesis(SynthesisError),
+    /// A table mutation ([`crate::Engine::add_table`]) failed.
+    Table(TableError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            ServiceError::Table(e) => write!(f, "table mutation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Synthesis(e) => Some(e),
+            ServiceError::Table(e) => Some(e),
+        }
+    }
+}
+
+impl From<SynthesisError> for ServiceError {
+    fn from(e: SynthesisError) -> Self {
+        ServiceError::Synthesis(e)
+    }
+}
+
+impl From<TableError> for ServiceError {
+    fn from(e: TableError) -> Self {
+        ServiceError::Table(e)
+    }
+}
+
+/// One independent learning request for [`crate::Engine::learn_batch`]:
+/// a complete example set (the batch path is for tasks whose examples are
+/// already known — interactive refinement goes through
+/// [`crate::Session`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnRequest {
+    /// The input-output examples to learn from.
+    pub examples: Vec<Example>,
+    /// How many top-ranked programs the response materializes; `None`
+    /// falls back to the engine's configured
+    /// [`top_k`](sst_core::SynthesisOptions::top_k).
+    pub top_k: Option<usize>,
+}
+
+impl LearnRequest {
+    /// A request over `examples` with the engine-default `top_k`.
+    pub fn new(examples: Vec<Example>) -> Self {
+        LearnRequest {
+            examples,
+            top_k: None,
+        }
+    }
+
+    /// Overrides how many ranked programs the response carries (clamped
+    /// to at least 1, like the options builder — a successful learn always
+    /// materializes its best program).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k.max(1));
+        self
+    }
+}
+
+/// The answer to one [`LearnRequest`]. Responses come back in request
+/// order regardless of how the batch was scheduled (the pool writes each
+/// result into its pre-assigned slot); `request` names the slot explicitly
+/// so a wire boundary can stream responses out of order later.
+#[derive(Debug, Clone)]
+pub struct LearnResponse {
+    /// Index of the request this answers.
+    pub request: usize,
+    /// The full learned program set, or why learning failed.
+    pub result: Result<LearnedPrograms, ServiceError>,
+    /// The materialized top-ranked programs (the request's `top_k` or the
+    /// engine default), ascending cost; empty when learning failed.
+    pub top: Vec<Program>,
+}
+
+impl LearnResponse {
+    /// The learned set, if learning succeeded.
+    pub fn programs(&self) -> Option<&LearnedPrograms> {
+        self.result.as_ref().ok()
+    }
+
+    /// The single best program, if any.
+    pub fn best(&self) -> Option<&Program> {
+        self.top.first()
+    }
+}
+
+/// Where a [`crate::Session`] stands in the §3.2 protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Every watched input row gets one agreed output from the top-ranked
+    /// programs: the conversation has converged (§3.2 — nothing left to
+    /// highlight).
+    Converged,
+    /// The session needs more examples: these watched input rows are
+    /// *ambiguous* — the top-ranked consistent programs produce two or
+    /// more distinct outputs on them (§3.2's highlighting rule). Fixing
+    /// any one of them (usually the first) splits the hypothesis space
+    /// fastest. With no examples at all, every watched row is reported.
+    NeedsExamples {
+        /// The ambiguous input rows, in spreadsheet order.
+        ambiguous_inputs: Vec<Vec<String>>,
+    },
+}
+
+impl SessionStatus {
+    /// True iff the session has converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SessionStatus::Converged)
+    }
+}

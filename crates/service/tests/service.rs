@@ -1,0 +1,341 @@
+//! Unit/integration tests of the service plane: session conversations,
+//! batch serving, and the shared-database mutation contract.
+
+use std::sync::Arc;
+
+use sst_core::{Example, SynthesisError, SynthesisOptions, Synthesizer};
+use sst_service::{Engine, LearnRequest, ServiceError, SessionStatus};
+use sst_tables::{Database, Table};
+
+fn comp_table() -> Table {
+    Table::new(
+        "Comp",
+        vec!["Id", "Name"],
+        vec![
+            vec!["c1", "Microsoft"],
+            vec!["c2", "Google"],
+            vec!["c3", "Apple"],
+            vec!["c4", "Facebook"],
+        ],
+    )
+    .unwrap()
+}
+
+fn comp_engine() -> Engine {
+    Engine::from_tables(vec![comp_table()]).unwrap()
+}
+
+#[test]
+fn session_learns_lazily_and_serves_queries() {
+    let engine = comp_engine();
+    let mut session = engine.session();
+    session.add_example(Example::new(vec!["c2"], "Google"));
+    assert_eq!(session.run(&["c1"]).unwrap().as_deref(), Some("Microsoft"));
+    let paraphrase = session.paraphrase().unwrap();
+    assert!(
+        paraphrase.to_lowercase().contains("comp") || !paraphrase.is_empty(),
+        "paraphrase should describe the program: {paraphrase}"
+    );
+    assert!(session.count().unwrap() > sst_counting::BigUint::from(1u64));
+    assert!(session.size().unwrap() > 0);
+    assert!(!session.top_k().unwrap().is_empty());
+}
+
+#[test]
+fn session_status_follows_the_interaction_loop() {
+    let engine = comp_engine();
+    let mut session = engine.session();
+    session.watch_inputs(
+        ["c1", "c2", "c3", "c4"]
+            .iter()
+            .map(|s| vec![s.to_string()])
+            .collect(),
+    );
+
+    // No examples: everything needs one.
+    match session.status().unwrap() {
+        SessionStatus::NeedsExamples { ambiguous_inputs } => {
+            assert_eq!(ambiguous_inputs.len(), 4)
+        }
+        s => panic!("expected NeedsExamples, got {s:?}"),
+    }
+
+    // One example: the constant program still disagrees with the lookup
+    // on other rows, so some rows stay ambiguous — and §3.2 says the
+    // training row itself can never be flagged.
+    session.add_example(Example::new(vec!["c2"], "Google"));
+    match session.status().unwrap() {
+        SessionStatus::NeedsExamples { ambiguous_inputs } => {
+            assert!(!ambiguous_inputs.is_empty());
+            assert!(!ambiguous_inputs.contains(&vec!["c2".to_string()]));
+            // The distinguishing input is one of the flagged rows.
+            let d = session.distinguishing_input().unwrap();
+            assert!(d.is_some());
+        }
+        SessionStatus::Converged => panic!("one example should leave ambiguity"),
+    }
+
+    // Fixing a flagged row converges the conversation.
+    session.add_example(Example::new(vec!["c1"], "Microsoft"));
+    assert!(session.status().unwrap().is_converged());
+    assert_eq!(session.run(&["c3"]).unwrap().as_deref(), Some("Apple"));
+}
+
+#[test]
+fn session_converge_with_matches_core_protocol() {
+    let truth = vec![
+        Example::new(vec!["c1"], "Microsoft"),
+        Example::new(vec!["c2"], "Google"),
+        Example::new(vec!["c3"], "Apple"),
+        Example::new(vec!["c4"], "Facebook"),
+    ];
+    let engine = comp_engine();
+    let mut session = engine.session();
+    let outcome = session.converge_with(&truth, 3).unwrap();
+    assert!(outcome.converged);
+
+    let baseline = sst_core::converge(
+        &Synthesizer::new(Arc::new(Database::from_tables(vec![comp_table()]).unwrap())),
+        &truth,
+        3,
+    )
+    .unwrap();
+    assert_eq!(outcome.examples_used, baseline.examples_used);
+    assert_eq!(outcome.converged, baseline.converged);
+    assert_eq!(session.examples().len(), baseline.examples.len());
+}
+
+#[test]
+fn learn_batch_keeps_request_order_and_isolates_failures() {
+    let engine = comp_engine();
+    let requests = vec![
+        LearnRequest::new(vec![Example::new(vec!["c2"], "Google")]),
+        // Unlearnable: contradictory outputs for one input.
+        LearnRequest::new(vec![
+            Example::new(vec!["c2"], "Google"),
+            Example::new(vec!["c2"], "Apple"),
+        ]),
+        LearnRequest::new(vec![Example::new(vec!["c3"], "Apple")]).with_top_k(1),
+        // Empty example set is a per-request error, not a batch failure.
+        LearnRequest::new(vec![]),
+    ];
+    let responses = engine.learn_batch(&requests);
+    assert_eq!(responses.len(), 4);
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.request, i);
+    }
+    assert_eq!(
+        responses[0].best().unwrap().run(&["c1"]).as_deref(),
+        Some("Microsoft")
+    );
+    assert_eq!(
+        responses[1].result.as_ref().err(),
+        Some(&ServiceError::Synthesis(
+            SynthesisError::NoConsistentProgram
+        ))
+    );
+    assert!(responses[1].top.is_empty());
+    assert_eq!(responses[2].top.len(), 1, "per-request top_k override");
+    assert_eq!(
+        responses[3].result.as_ref().err(),
+        Some(&ServiceError::Synthesis(SynthesisError::NoExamples))
+    );
+}
+
+#[test]
+fn learn_batch_is_bit_identical_to_sequential_learns() {
+    let engine = comp_engine();
+    let examples = [
+        vec![Example::new(vec!["c2"], "Google")],
+        vec![
+            Example::new(vec!["c2"], "Google"),
+            Example::new(vec!["c1"], "Microsoft"),
+        ],
+        vec![Example::new(vec!["c4"], "Facebook")],
+    ];
+    let requests: Vec<LearnRequest> = examples
+        .iter()
+        .map(|e| LearnRequest::new(e.clone()))
+        .collect();
+    let responses = engine.learn_batch(&requests);
+
+    let baseline = Synthesizer::new(Arc::new(Database::from_tables(vec![comp_table()]).unwrap()));
+    for (req, resp) in examples.iter().zip(&responses) {
+        let expected = baseline.learn(req).unwrap();
+        let got = resp.programs().unwrap();
+        assert_eq!(got.count(), expected.count());
+        assert_eq!(got.size(), expected.size());
+        assert_eq!(
+            got.top().unwrap().to_string(),
+            expected.top().unwrap().to_string()
+        );
+    }
+}
+
+#[test]
+fn batch_requests_share_the_warm_plane() {
+    let engine = comp_engine();
+    let request = LearnRequest::new(vec![Example::new(vec!["c2"], "Google")]);
+    engine.learn_batch(std::slice::from_ref(&request));
+    let cold = engine.cache_stats();
+    assert!(cold.example_misses > 0);
+    engine.learn_batch(std::slice::from_ref(&request));
+    let warm = engine.cache_stats();
+    assert!(
+        warm.example_hits > cold.example_hits,
+        "second batch should be memo-served: {warm:?}"
+    );
+}
+
+/// The add-table satellite: one `Engine::add_table` moves the database
+/// epoch exactly once no matter how many sessions are live, and the shared
+/// DAG plane drops stale structures for *all* of them.
+#[test]
+fn add_table_bumps_epoch_once_and_invalidates_every_session() {
+    // Start with an empty database: the only consistent program is the
+    // constant, so both sessions' warm plane entries are "constants-only"
+    // structures that MUST be invalidated when the table arrives.
+    let engine = Engine::new(Arc::new(Database::new()));
+    let mut alice = engine.session();
+    let mut bob = engine.session();
+    let example = Example::new(vec!["c2"], "Google");
+    alice.add_example(example.clone());
+    bob.add_example(example.clone());
+
+    assert_eq!(
+        alice.run(&["c1"]).unwrap().as_deref(),
+        Some("Google"),
+        "without tables only the constant program exists"
+    );
+    assert_eq!(bob.run(&["c1"]).unwrap().as_deref(), Some("Google"));
+    // Bob's learn was served from the plane Alice warmed.
+    assert!(engine.cache_stats().example_hits > 0);
+
+    let before = engine.db_epoch();
+    engine.add_table(comp_table()).unwrap();
+    let after = engine.db_epoch();
+    assert_ne!(before, after, "add_table must move the epoch");
+
+    // Exactly once: every view of the engine agrees on the single new
+    // epoch (the old per-clone Synthesizer mutation pattern gave each
+    // clone its own diverging bump), and a second add from any handle
+    // moves it again — one bump per mutation, not per session.
+    assert_eq!(engine.db_epoch(), after);
+    assert_eq!(alice.engine().db_epoch(), after);
+    assert_eq!(bob.engine().db_epoch(), after);
+    assert_eq!(engine.db().epoch(), after);
+
+    // Both sessions re-learn against the new state: a stale plane would
+    // keep serving the constants-only structure.
+    assert_eq!(
+        alice.run(&["c1"]).unwrap().as_deref(),
+        Some("Microsoft"),
+        "alice saw a stale DAG plane after add_table"
+    );
+    assert_eq!(
+        bob.run(&["c1"]).unwrap().as_deref(),
+        Some("Microsoft"),
+        "bob saw a stale DAG plane after add_table"
+    );
+
+    // And the post-mutation learns are bit-identical to a fresh engine
+    // over the same database.
+    let fresh = Engine::new(engine.db());
+    let mut fresh_session = fresh.session();
+    fresh_session.add_example(example);
+    assert_eq!(
+        alice.count().unwrap(),
+        fresh_session.count().unwrap(),
+        "post-mutation session drifted from a fresh engine"
+    );
+    assert_eq!(alice.size().unwrap(), fresh_session.size().unwrap());
+
+    // Duplicate table names surface as typed errors.
+    let err = engine.add_table(comp_table()).unwrap_err();
+    assert!(matches!(err, ServiceError::Table(_)));
+}
+
+#[test]
+fn failed_learns_do_not_disturb_session_state() {
+    // Regression: status()/distinguishing_input() used to lose the
+    // watched inputs on an Err early-return (mem::take never restored).
+    let engine = Engine::new(Arc::new(Database::new()));
+    let mut session = engine.session();
+    session.watch_inputs(vec![
+        vec!["c1".into()],
+        vec!["c2".into()],
+        vec!["c3".into()],
+    ]);
+    // Contradictory examples: learning fails.
+    session.add_example(Example::new(vec!["c2"], "Google"));
+    session.add_example(Example::new(vec!["c2"], "Apple"));
+    assert!(session.status().is_err());
+    assert!(session.distinguishing_input().is_err());
+    assert_eq!(
+        session.inputs().len(),
+        3,
+        "watched inputs must survive a failed learn"
+    );
+    assert_eq!(session.examples().len(), 2);
+}
+
+#[test]
+fn zero_top_k_requests_still_materialize_the_best_program() {
+    let engine = comp_engine();
+    let responses =
+        engine.learn_batch(&[
+            LearnRequest::new(vec![Example::new(vec!["c2"], "Google")]).with_top_k(0)
+        ]);
+    assert!(
+        responses[0].best().is_some(),
+        "a successful learn must carry at least its best program"
+    );
+}
+
+#[test]
+fn sessions_are_independent_conversations() {
+    let engine = Engine::from_tables(vec![
+        comp_table(),
+        Table::new(
+            "Ceo",
+            vec!["Id", "Boss"],
+            vec![
+                vec!["c1", "Nadella"],
+                vec!["c2", "Pichai"],
+                vec!["c3", "Cook"],
+                vec!["c4", "Zuckerberg"],
+            ],
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+
+    let mut names = engine.session();
+    let mut bosses = engine.session();
+    names.add_example(Example::new(vec!["c2"], "Google"));
+    bosses.add_example(Example::new(vec!["c2"], "Pichai"));
+
+    assert_eq!(names.run(&["c3"]).unwrap().as_deref(), Some("Apple"));
+    assert_eq!(bosses.run(&["c3"]).unwrap().as_deref(), Some("Cook"));
+    assert_eq!(names.examples().len(), 1);
+    assert_eq!(bosses.examples().len(), 1);
+}
+
+#[test]
+fn engine_options_flow_into_sessions() {
+    let options = SynthesisOptions::builder()
+        .threads(1)
+        .dag_cache(true)
+        .top_k(2)
+        .parallel_edge_product_min(64)
+        .build();
+    let engine = Engine::with_options(
+        Arc::new(Database::from_tables(vec![comp_table()]).unwrap()),
+        options,
+    );
+    assert_eq!(engine.options().top_k, 2);
+    assert_eq!(engine.options().parallel_edge_product_min, 64);
+    let mut session = engine.session();
+    session.add_example(Example::new(vec!["c2"], "Google"));
+    assert!(session.top_k().unwrap().len() <= 2);
+}

@@ -22,7 +22,7 @@ fn main() {
     .expect("valid table");
     let db = Database::from_tables(vec![comp]).expect("valid database");
 
-    let synthesizer = Synthesizer::new(db);
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
     let learned = synthesizer
         .learn(&[Example::new(vec!["c4 c3 c1"], "Facebook Apple Microsoft")])
         .expect("a consistent transformation exists");

@@ -14,7 +14,7 @@ use semantic_strings::prelude::*;
 fn main() {
     // ---- Example 7: spot times -> h:mm AM/PM --------------------------
     let db = Database::from_tables(vec![time_table()]).expect("valid database");
-    let synthesizer = Synthesizer::new(db);
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
     let learned = synthesizer
         .learn(&[
             Example::new(vec!["815"], "8:15 AM"),
@@ -35,7 +35,7 @@ fn main() {
 
     // ---- Example 8: date reformatting ---------------------------------
     let db = Database::from_tables(vec![month_table(), date_ord_table()]).expect("valid database");
-    let synthesizer = Synthesizer::new(db);
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
     let learned = synthesizer
         .learn(&[
             Example::new(vec!["6-3-2008"], "Jun 3rd, 2008"),

@@ -1,13 +1,18 @@
-//! The §3.2 interaction model: ambiguity highlighting and convergence.
+//! The §3.2 interaction model, driven entirely through a `Session`.
 //!
-//! The synthesizer runs its top-ranked programs over the whole
-//! spreadsheet and highlights inputs where they disagree — the user only
-//! inspects those rows, fixes one, and the fix becomes a new example.
-//! This example simulates that loop against ground truth.
+//! The paper's Excel add-in loop: the user gives an example, the
+//! synthesizer fills the rest of the spreadsheet and *highlights* inputs
+//! whose consistent programs disagree, the user fixes one highlighted
+//! row, and the fix becomes a new example — until nothing is highlighted.
+//! The `Session` makes that conversation first-class: examples go in with
+//! `add_example`, `status()` says whether the watched rows still need
+//! attention, and learning happens implicitly (memo-served re-learns) —
+//! there is no caller-side re-learn loop anywhere in this file.
 //!
 //! Run with: `cargo run --release --example interactive_session`
 
-use semantic_strings::core::{converge, distinguishing_input, highlight_ambiguous, Synthesizer};
+use std::sync::Arc;
+
 use semantic_strings::prelude::*;
 
 fn main() {
@@ -25,40 +30,67 @@ fn main() {
     )
     .expect("valid table");
     let db = Database::from_tables(vec![orders]).expect("valid database");
-    let synthesizer = Synthesizer::new(db);
+
+    // Ground truth the simulated user answers from (the real user reads
+    // these off the spreadsheet in their head).
+    let truth = [
+        ("O42", "Shipped"),
+        ("O87", "Pending"),
+        ("O13", "Delivered"),
+        ("O55", "Shipped"),
+    ];
+
+    let engine = Engine::new(Arc::new(db));
+    let mut session = engine.session();
+    session.watch_inputs(truth.iter().map(|(id, _)| vec![id.to_string()]).collect());
 
     // The user provides one example...
-    let learned = synthesizer
-        .learn(&[Example::new(vec!["O42"], "Shipped")])
-        .expect("learnable");
-    println!("After 1 example, top program: {}", learned.top().unwrap());
-
-    // ...and the tool highlights the rows worth double-checking.
-    let rows: Vec<Vec<String>> = ["O42", "O87", "O13", "O55"]
-        .iter()
-        .map(|s| vec![s.to_string()])
-        .collect();
-    let flagged = highlight_ambiguous(&learned, &rows, 6);
+    session.add_example(Example::new(vec!["O42"], "Shipped"));
     println!(
-        "Rows flagged for inspection (>=2 distinct outputs among top programs): {:?}",
-        flagged.iter().map(|&i| &rows[i][0]).collect::<Vec<_>>()
+        "After 1 example, top program: {}",
+        session.top().expect("learnable")
     );
-    if let Some(idx) = distinguishing_input(&learned, &rows, 6) {
-        println!("Cheapest distinguishing input: {}", rows[idx][0]);
+    println!("In English: {}", session.paraphrase().unwrap());
+
+    // ...and the conversation continues until nothing is highlighted:
+    // each round, the tool flags the rows worth double-checking and the
+    // user fixes the first one.
+    let mut rounds = 0;
+    loop {
+        match session.status().expect("learnable") {
+            SessionStatus::Converged => break,
+            SessionStatus::NeedsExamples { ambiguous_inputs } => {
+                println!(
+                    "Rows flagged for inspection (>=2 distinct outputs among top programs): {:?}",
+                    ambiguous_inputs.iter().map(|r| &r[0]).collect::<Vec<_>>()
+                );
+                if let Some(row) = session.distinguishing_input().expect("learnable") {
+                    println!("Cheapest distinguishing input: {}", row[0]);
+                }
+                let fix = &ambiguous_inputs[0][0];
+                let output = truth
+                    .iter()
+                    .find(|(id, _)| id == fix)
+                    .expect("flagged row is on the spreadsheet")
+                    .1;
+                println!("User fixes {fix} -> {output}");
+                session.add_example(Example::new(vec![fix.clone()], output));
+            }
+        }
+        rounds += 1;
+        assert!(rounds <= truth.len(), "§3.2 loop failed to converge");
     }
 
-    // Full simulated loop against ground truth.
-    let truth = vec![
-        Example::new(vec!["O42"], "Shipped"),
-        Example::new(vec!["O87"], "Pending"),
-        Example::new(vec!["O13"], "Delivered"),
-        Example::new(vec!["O55"], "Shipped"),
-    ];
-    let report = converge(&synthesizer, &truth, 3).expect("converges");
     println!(
         "\nConverged after {} example(s); final program: {}",
-        report.examples_used,
-        report.learned.as_ref().unwrap().top().unwrap()
+        session.examples().len(),
+        session.top().unwrap()
     );
-    assert!(report.converged);
+
+    // The converged program fills the whole spreadsheet correctly.
+    for (id, expected) in &truth {
+        let got = session.run(&[id]).unwrap().expect("evaluates");
+        assert_eq!(&got, expected, "row {id}");
+    }
+    println!("All spreadsheet rows correct.");
 }

@@ -1,8 +1,9 @@
-//! Quickstart: learn a join transformation from ONE example.
+//! Quickstart: learn a join transformation through an `Engine` session.
 //!
 //! This is the paper's Example 2 — an Excel user wants to map customer
 //! names to sale prices, where the connection runs through two helper
-//! tables joined on (address, street).
+//! tables joined on (address, street). The `Engine`/`Session` front-end
+//! owns the learning loop; the user only supplies examples.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -32,24 +33,20 @@ fn main() {
         ],
     )
     .expect("valid table");
-    let db = Database::from_tables(vec![cust_data, sale]).expect("valid database");
+    // The serving front-end: an Engine owns the (shareable) database, the
+    // warm memo plane and the worker pool; a Session is one conversation.
+    let engine = Engine::from_tables(vec![cust_data, sale]).expect("valid database");
+    let mut session = engine.session();
+    session.add_example(Example::new(vec!["Peter Shaw"], "110"));
+    session.add_example(Example::new(vec!["Gary Lamb"], "225"));
 
-    // One example: "Peter Shaw" should produce "110".
-    let synthesizer = Synthesizer::new(db);
-    let learned = synthesizer
-        .learn(&[
-            Example::new(vec!["Peter Shaw"], "110"),
-            Example::new(vec!["Gary Lamb"], "225"),
-        ])
-        .expect("a consistent transformation exists");
-
-    let program = learned.top().expect("ranked transformation");
+    let program = session.top().expect("a consistent transformation exists");
     println!("Learned transformation:\n  {program}\n");
     println!("In English:\n  {}\n", program.paraphrase());
     println!(
         "The structure represents {} consistent programs in {} terminals.\n",
-        learned.count().to_scientific(),
-        learned.size()
+        session.count().unwrap().to_scientific(),
+        session.size().unwrap()
     );
 
     // Fill the remaining spreadsheet rows.

@@ -39,7 +39,7 @@ fn main() {
     let db = Database::from_tables(vec![markup_rec, cost_rec]).expect("valid database");
 
     // The user fills in the first two rows by hand (as in Figure 1).
-    let synthesizer = Synthesizer::new(db);
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
     let learned = synthesizer
         .learn(&[
             Example::new(vec!["Stroller", "10/12/2010"], "$145.67+0.30*145.67"),

@@ -6,25 +6,38 @@
 //! This facade crate re-exports the workspace so downstream users can depend
 //! on a single crate:
 //!
+//! * [`service`] — the serving front-end: an [`Engine`](service::Engine)
+//!   owning shared background knowledge, one warm memo plane and a global
+//!   worker pool, handing out [`Session`](service::Session) handles for
+//!   the §3.2 interactive protocol and `learn_batch` for bulk requests.
 //! * [`tables`] — the relational table substrate (schemas, candidate keys,
 //!   value indexes, CSV ingest).
 //! * [`syntactic`] — the syntactic transformation language `Ls`
 //!   (FlashFill-style substrings/concatenation) and its synthesis algorithm.
 //! * [`lookup`] — the lookup transformation language `Lt` (`Select`
 //!   expressions over candidate keys) and its synthesis algorithm.
-//! * [`core`] — the combined semantic language `Lu`, the `Synthesizer`
-//!   front-end, ranking, and the §3.2 interaction model.
+//! * [`core`] — the combined semantic language `Lu`, the low-level
+//!   `Synthesizer`, ranking, and the §3.2 interaction primitives.
 //! * [`datatypes`] — background-knowledge tables for standard data types
 //!   (§6): time, months, ordinals, currencies, phone codes, US states.
 //! * [`benchmarks`] — the reconstructed 50-task evaluation suite (§7) and
 //!   synthetic worst-case workload generators.
 //! * [`counting`] — arbitrary-precision counters for program-set sizes.
 //! * [`par`] — vendored scoped work-stealing pool powering the parallel
-//!   `Intersect_u` plane (deterministic-order `par_map_indexed`).
+//!   `Intersect_u` plane and batch serving (deterministic-order
+//!   `par_map_indexed`).
 //!
-//! # Quickstart
+//! # Quickstart: an interactive session
+//!
+//! The paper's §3.2 model is a *conversation*: the user gives an example,
+//! the tool fills the spreadsheet and highlights rows its candidate
+//! programs disagree on, and each fix becomes a new example. The
+//! [`Engine`](service::Engine)/[`Session`](service::Session) front-end
+//! makes that loop first-class:
 //!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use semantic_strings::prelude::*;
 //!
 //! // Background table mapping company codes to names (paper Example 6).
@@ -38,17 +51,67 @@
 //!     ],
 //! )
 //! .unwrap();
-//! let db = Database::from_tables(vec![comp]).unwrap();
+//! let engine = Engine::new(Arc::new(Database::from_tables(vec![comp]).unwrap()));
 //!
-//! // One input-output example: expand a code to a name.
-//! let synthesizer = Synthesizer::new(db);
+//! // One conversation: supply examples until the watched rows stop being
+//! // ambiguous. Learning is implicit — no manual re-learn loop.
+//! let mut session = engine.session();
+//! session.watch_inputs(vec![vec!["c1".into()], vec!["c2".into()], vec!["c3".into()]]);
+//! session.add_example(Example::new(vec!["c2"], "Google"));
+//! while let SessionStatus::NeedsExamples { ambiguous_inputs } = session.status().unwrap() {
+//!     // The simulated user fixes the first highlighted row.
+//!     let row = &ambiguous_inputs[0];
+//!     let truth = match row[0].as_str() {
+//!         "c1" => "Microsoft",
+//!         "c3" => "Apple",
+//!         other => other,
+//!     };
+//!     session.add_example(Example::new(vec![row[0].clone()], truth));
+//! }
+//!
+//! // The converged program generalizes to unseen inputs.
+//! assert_eq!(session.run(&["c3"]).unwrap().unwrap(), "Apple");
+//! ```
+//!
+//! Batch serving fans independent requests across the engine's pool with
+//! deterministic, request-ordered responses:
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use semantic_strings::prelude::*;
+//!
+//! # let comp = Table::new("Comp", vec!["Id", "Name"],
+//! #     vec![vec!["c1", "Microsoft"], vec!["c2", "Google"], vec!["c3", "Apple"]]).unwrap();
+//! let engine = Engine::new(Arc::new(Database::from_tables(vec![comp]).unwrap()));
+//! let responses = engine.learn_batch(&[
+//!     LearnRequest::new(vec![Example::new(vec!["c2"], "Google")]),
+//!     LearnRequest::new(vec![Example::new(vec!["c1"], "Microsoft")]),
+//! ]);
+//! assert_eq!(responses[0].best().unwrap().run(&["c3"]).unwrap(), "Apple");
+//! ```
+//!
+//! # Low-level API
+//!
+//! The stateless [`Synthesizer`](core::Synthesizer) underneath the service
+//! plane remains public for callers that manage their own state — one
+//! `learn` call over an explicit example slice, options built with
+//! [`SynthesisOptions::builder`](core::SynthesisOptions::builder):
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use semantic_strings::prelude::*;
+//!
+//! # let comp = Table::new("Comp", vec!["Id", "Name"],
+//! #     vec![vec!["c1", "Microsoft"], vec!["c2", "Google"], vec!["c3", "Apple"]]).unwrap();
+//! let db = Arc::new(Database::from_tables(vec![comp]).unwrap());
+//! let options = SynthesisOptions::builder().threads(1).dag_cache(true).build();
+//! let synthesizer = Synthesizer::with_options(db, options);
 //! let learned = synthesizer
 //!     .learn(&[Example::new(vec!["c2"], "Google")])
 //!     .unwrap();
-//!
-//! // The top-ranked program generalizes to unseen inputs.
-//! let program = learned.top().unwrap();
-//! assert_eq!(program.run(&["c3"]).unwrap(), "Apple");
+//! assert_eq!(learned.top().unwrap().run(&["c3"]).unwrap(), "Apple");
 //! ```
 
 pub use sst_core as core;
@@ -56,6 +119,7 @@ pub use sst_counting as counting;
 pub use sst_datatypes as datatypes;
 pub use sst_lookup as lookup;
 pub use sst_par as par;
+pub use sst_service as service;
 pub use sst_syntactic as syntactic;
 pub use sst_tables as tables;
 
@@ -63,6 +127,11 @@ pub use sst_benchmarks as benchmarks;
 
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
-    pub use sst_core::{Example, LearnedPrograms, SynthesisOptions, Synthesizer};
+    pub use sst_core::{
+        Example, LearnedPrograms, SynthesisOptions, SynthesisOptionsBuilder, Synthesizer,
+    };
+    pub use sst_service::{
+        Engine, LearnRequest, LearnResponse, ServiceError, Session, SessionStatus,
+    };
     pub use sst_tables::{Database, Table};
 }

@@ -19,11 +19,8 @@ const TOP_K: usize = 3;
 
 fn synthesizer(db: &Database, dag_cache: bool) -> Synthesizer {
     Synthesizer::with_options(
-        db.clone(),
-        SynthesisOptions {
-            dag_cache,
-            ..Default::default()
-        },
+        std::sync::Arc::new(db.clone()),
+        SynthesisOptions::builder().dag_cache(dag_cache).build(),
     )
 }
 

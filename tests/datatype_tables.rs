@@ -2,7 +2,7 @@
 //! synthesizer: the `standard_database` must let date/time/currency/state
 //! tasks learn without any user-provided table.
 
-use semantic_strings::core::{LuOptions, SynthesisOptions};
+use semantic_strings::core::SynthesisOptions;
 use semantic_strings::datatypes::standard_database;
 use semantic_strings::prelude::*;
 
@@ -10,18 +10,12 @@ use semantic_strings::prelude::*;
 /// `k = #tables` explores far deeper than these single-hop tasks need;
 /// bound it like the Excel add-in would for responsiveness.
 fn options(depth: usize) -> SynthesisOptions {
-    SynthesisOptions {
-        lu: LuOptions {
-            max_depth: Some(depth),
-            ..Default::default()
-        },
-        ..Default::default()
-    }
+    SynthesisOptions::builder().max_depth(depth).build()
 }
 
 fn standard_synth() -> Synthesizer {
     Synthesizer::with_options(
-        standard_database(Vec::new()).expect("standard database"),
+        std::sync::Arc::new(standard_database(Vec::new()).expect("standard database")),
         options(1),
     )
 }
@@ -91,7 +85,7 @@ fn user_tables_compose_with_background_tables() {
     )
     .unwrap();
     let db = standard_database(vec![orders]).unwrap();
-    let s = Synthesizer::with_options(db, options(2));
+    let s = Synthesizer::with_options(std::sync::Arc::new(db), options(2));
     let learned = s
         .learn(&[
             Example::new(vec!["A-1"], "January"),

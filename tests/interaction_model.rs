@@ -13,7 +13,7 @@ fn ambiguous_rows_are_flagged_until_examples_fix_them() {
         .into_iter()
         .find(|t| t.name == "student_grade")
         .unwrap();
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer.learn(task.examples(1)).unwrap();
     let rows = task.input_rows();
     let flagged = highlight_ambiguous(&learned, &rows, 8);
@@ -28,7 +28,7 @@ fn distinguishing_input_matches_first_ambiguous_row() {
         .into_iter()
         .find(|t| t.name == "company_code_to_name")
         .unwrap();
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer.learn(task.examples(1)).unwrap();
     let rows = task.input_rows();
     let flagged = highlight_ambiguous(&learned, &rows, 8);
@@ -48,7 +48,7 @@ fn outputs_on_training_row_is_singleton() {
         "ex4_name_initial",
     ] {
         let task = all_tasks().into_iter().find(|t| t.name == name).unwrap();
-        let synthesizer = Synthesizer::new(task.db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let learned = synthesizer.learn(task.examples(1)).unwrap();
         let refs: Vec<&str> = task.rows[0].inputs.iter().map(String::as_str).collect();
         let outs = learned.outputs(&refs, 8);
@@ -67,7 +67,7 @@ fn top_k_is_behaviorally_diverse_on_new_inputs() {
         .into_iter()
         .find(|t| t.name == "company_code_to_name")
         .unwrap();
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer.learn(task.examples(1)).unwrap();
     let programs = learned.top_k(8);
     assert!(programs.len() >= 2, "expected several surviving programs");

@@ -103,7 +103,7 @@ const SEED_EXACT_COUNTS: &[(usize, &str)] = &[
 fn learn_task(id: usize) -> (String, semantic_strings::core::LearnedPrograms) {
     let tasks = all_tasks();
     let task = &tasks[id - 1];
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer
         .learn(task.examples(2))
         .unwrap_or_else(|e| panic!("task {id} ({}) failed to learn: {e}", task.name));

@@ -16,7 +16,7 @@ fn counts_and_sizes_are_positive_and_consistent() {
     let tasks = all_tasks();
     for id in sample_ids() {
         let task = &tasks[id - 1];
-        let s = Synthesizer::new(task.db.clone());
+        let s = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let learned = s.learn(task.examples(1)).unwrap();
         let count = learned.count();
         let size = learned.size();
@@ -61,7 +61,7 @@ fn intersection_never_grows_count() {
         if task.rows.len() < 2 {
             continue;
         }
-        let s = Synthesizer::new(task.db.clone());
+        let s = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let Ok(two) = s.learn(task.examples(2)) else {
             continue;
         };
@@ -81,9 +81,11 @@ fn size_metric_counts_every_crate_layer() {
     // output learned with no tables (the lookup nodes add terminals).
     let tasks = all_tasks();
     let with_tables = &tasks[1]; // company_code_to_name
-    let s = Synthesizer::new(with_tables.db.clone());
+    let s = Synthesizer::new(std::sync::Arc::new(with_tables.db.clone()));
     let learned = s.learn(with_tables.examples(1)).unwrap();
-    let s_empty = Synthesizer::new(semantic_strings::tables::Database::new());
+    let s_empty = Synthesizer::new(std::sync::Arc::new(
+        semantic_strings::tables::Database::new(),
+    ));
     let learned_empty = s_empty.learn(with_tables.examples(1)).unwrap();
     assert!(learned.size() > learned_empty.size());
 }

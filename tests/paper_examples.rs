@@ -15,7 +15,7 @@ fn task_by_name(name: &str) -> BenchmarkTask {
 /// Learns with the first `n` examples and checks every row of the task.
 fn learn_and_check(name: &str, n: usize) {
     let task = task_by_name(name);
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer
         .learn(task.examples(n))
         .unwrap_or_else(|e| panic!("{name}: learning failed: {e}"));
@@ -77,7 +77,7 @@ fn paper_examples_converge_within_three() {
         "ex8_date_format",
     ] {
         let task = task_by_name(name);
-        let synthesizer = Synthesizer::new(task.db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let report =
             converge(&synthesizer, &task.rows, 3).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(report.converged, "{name} did not converge within 3");
@@ -92,7 +92,7 @@ fn paper_examples_converge_within_three() {
 #[test]
 fn learned_programs_have_readable_surface_syntax() {
     let task = task_by_name("ex2_customer_price_join");
-    let synthesizer = Synthesizer::new(task.db.clone());
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
     let learned = synthesizer.learn(task.examples(2)).unwrap();
     let program = learned.top().unwrap();
     let shown = program.to_string();

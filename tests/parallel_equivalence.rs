@@ -21,11 +21,8 @@ const TOP_K: usize = 3;
 
 fn synthesizer(db: &Database, threads: usize) -> Synthesizer {
     Synthesizer::with_options(
-        db.clone(),
-        SynthesisOptions {
-            threads,
-            ..Default::default()
-        },
+        std::sync::Arc::new(db.clone()),
+        SynthesisOptions::builder().threads(threads).build(),
     )
 }
 

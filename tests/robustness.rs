@@ -2,12 +2,12 @@
 //! panic, and degraded situations must degrade predictably (empty program
 //! sets, constant fallbacks) rather than silently mislearn.
 
-use semantic_strings::core::{converge, LuOptions, Synthesizer};
+use semantic_strings::core::{converge, Synthesizer};
 use semantic_strings::prelude::*;
 use semantic_strings::tables::Table;
 
 fn synth(tables: Vec<Table>) -> Synthesizer {
-    Synthesizer::new(Database::from_tables(tables).unwrap())
+    Synthesizer::new(std::sync::Arc::new(Database::from_tables(tables).unwrap()))
 }
 
 #[test]
@@ -124,14 +124,10 @@ fn deep_depth_bound_is_safe_on_cyclic_tables() {
     let t1 = Table::new("A", vec!["X", "Y"], vec![vec!["p", "q"], vec!["r", "s"]]).unwrap();
     let t2 = Table::new("B", vec!["Y", "X"], vec![vec!["q", "p"], vec!["s", "r"]]).unwrap();
     let db = Database::from_tables(vec![t1, t2]).unwrap();
-    let options = semantic_strings::core::SynthesisOptions {
-        lu: LuOptions {
-            max_depth: Some(40),
-            ..Default::default()
-        },
-        ..Default::default()
-    };
-    let s = Synthesizer::with_options(db, options);
+    let options = semantic_strings::core::SynthesisOptions::builder()
+        .max_depth(40)
+        .build();
+    let s = Synthesizer::with_options(std::sync::Arc::new(db), options);
     let learned = s.learn(&[Example::new(vec!["p"], "q")]).unwrap();
     let top = learned.top().unwrap();
     assert_eq!(top.run(&["r"]).as_deref(), Some("s"));

@@ -46,7 +46,7 @@ proptest! {
         let input = table.cell(0, pick as u32).to_string();
         let output = table.cell(1, pick as u32).to_string();
         let db = Database::from_tables(vec![table.clone()]).unwrap();
-        let synthesizer = Synthesizer::new(db);
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
         let learned = synthesizer
             .learn(&[Example::new(vec![input], output)])
             .expect("learnable");
@@ -126,7 +126,7 @@ proptest! {
         let input = format!("{word1}{sep}{word2}");
         let output = format!("{word2} {word1}");
         let db = Database::new();
-        let synthesizer = Synthesizer::new(db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(db.clone()));
         let learned = synthesizer
             .learn(&[Example::new(vec![input.clone()], output.clone())])
             .expect("always learnable (constants at worst)");
@@ -157,7 +157,7 @@ fn token_set_is_shared_between_learning_and_evaluation() {
     // Regression guard: a program learned with the default token set must
     // evaluate with the same set (different sets change pos() semantics).
     let db = Database::new();
-    let synthesizer = Synthesizer::new(db);
+    let synthesizer = Synthesizer::new(std::sync::Arc::new(db));
     let learned = synthesizer
         .learn(&[Example::new(vec!["ab 12"], "12")])
         .unwrap();

@@ -13,7 +13,7 @@ use semantic_strings::core::{converge, Synthesizer};
 fn every_task_converges_within_three_examples() {
     let mut histogram = [0usize; 4];
     for task in all_tasks() {
-        let synthesizer = Synthesizer::new(task.db.clone());
+        let synthesizer = Synthesizer::new(std::sync::Arc::new(task.db.clone()));
         let report = converge(&synthesizer, &task.rows, 3)
             .unwrap_or_else(|e| panic!("task {} ({}): {e}", task.id, task.name));
         assert!(
