@@ -3,10 +3,14 @@
 //! `relaxed_reachability` micro-section timing one `GenerateStr_u` call per
 //! task (the §5.3 hot loop the `SubstringIndex` postings serve), a
 //! `dag_cache` micro-section timing cold vs warm learns through the
-//! memoized DAG plane, and a `parallel_micro` section timing one warm
+//! memoized DAG plane, a `parallel_micro` section timing one warm
 //! `Intersect_u` per task at 1, 2 and N worker threads (the parallel
-//! intersection plane). Future PRs diff their snapshot against the
-//! committed `BENCH_PR<n>.json` to track the performance trajectory.
+//! intersection plane), and an `apply` section measuring the compiled
+//! bytecode plane — interpreted vs compiled single-row nanoseconds and
+//! `run_column` rows/sec at each pool width over a synthesized
+//! `--apply-rows`-row column, with an `outputs_match` bit CI asserts.
+//! Future PRs diff their snapshot against the committed
+//! `BENCH_PR<n>.json` to track the performance trajectory.
 //!
 //! Usage:
 //!   `cargo run --release -p sst-bench --bin perf_snapshot > BENCH.json`
@@ -15,6 +19,7 @@
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --threads 4`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --serve`
 //!   `cargo run --release -p sst-bench --bin perf_snapshot -- --edge-product-min 512`
+//!   `cargo run --release -p sst-bench --bin perf_snapshot -- --apply-rows 1000000`
 //!
 //! `--smoke` evaluates only the first [`SMOKE_PER_CATEGORY`] tasks of
 //! *each* category (`Lt` and `Lu`), so CI exercises both learn paths —
@@ -32,14 +37,21 @@
 use std::time::Duration;
 
 use sst_bench::{
-    dag_cache_times, evaluate_tasks_served_with_options, evaluate_tasks_with_options,
-    generate_u_time, intersect_micro_times,
+    apply_micro, dag_cache_times, evaluate_tasks_served_with_options, evaluate_tasks_with_options,
+    generate_u_time, intersect_micro_times, ApplyReport,
 };
 use sst_benchmarks::Category;
 use sst_core::SynthesisOptions;
 
 /// Tasks evaluated per category under `--smoke`.
 const SMOKE_PER_CATEGORY: usize = 3;
+
+/// Default synthesized apply-column length (`--apply-rows`).
+const APPLY_ROWS_DEFAULT: usize = 100_000;
+
+/// Default apply-column length under `--smoke` (still large enough to
+/// cross the parallel chunking threshold).
+const APPLY_ROWS_SMOKE: usize = 20_000;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -63,6 +75,16 @@ fn main() {
         .map(|v| {
             v.parse()
                 .expect("--edge-product-min takes a non-negative integer")
+        });
+    let apply_rows: usize = args
+        .iter()
+        .position(|a| a == "--apply-rows")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--apply-rows takes a positive integer"))
+        .unwrap_or(if smoke {
+            APPLY_ROWS_SMOKE
+        } else {
+            APPLY_ROWS_DEFAULT
         });
     let mut builder = SynthesisOptions::builder()
         .dag_cache(dag_cache)
@@ -113,6 +135,28 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, _)| par_micro.iter().map(|row| row[i]).sum())
+        .collect();
+    let apply: Vec<ApplyReport> = tasks
+        .iter()
+        .map(|t| apply_micro(t, apply_rows, &widths))
+        .collect();
+    let total_interp_ns: f64 = apply.iter().map(|a| a.interp_row_ns * a.rows as f64).sum();
+    let total_compiled_ns: f64 = apply
+        .iter()
+        .map(|a| a.compiled_row_ns * a.rows as f64)
+        .sum();
+    // Suite-level column throughput per width: total rows over total time.
+    let apply_totals: Vec<(usize, f64)> = widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let total_secs: f64 = apply
+                .iter()
+                .map(|a| a.rows as f64 / a.column_rows_per_sec[i].1)
+                .sum();
+            let total_rows: usize = apply.iter().map(|a| a.rows).sum();
+            (w, total_rows as f64 / total_secs)
+        })
         .collect();
 
     println!("{{");
@@ -194,6 +238,30 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"apply_rows\": {apply_rows},");
+    println!("  \"apply\": [");
+    for (i, a) in apply.iter().enumerate() {
+        let comma = if i + 1 < apply.len() { "," } else { "" };
+        let cols: Vec<String> = a
+            .column_rows_per_sec
+            .iter()
+            .map(|(w, rps)| format!("\"apply_t{w}_rows_per_sec\": {rps:.0}"))
+            .collect();
+        println!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{:?}\", \
+             \"interp_row_ns\": {:.1}, \"compiled_row_ns\": {:.1}, \
+             \"speedup\": {:.2}, {}, \"outputs_match\": {}}}{comma}",
+            a.id,
+            json_escape(a.name),
+            a.category,
+            a.interp_row_ns,
+            a.compiled_row_ns,
+            a.speedup(),
+            cols.join(", "),
+            a.outputs_match,
+        );
+    }
+    println!("  ],");
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");
@@ -217,6 +285,25 @@ fn main() {
             t.as_secs_f64() * 1e3
         );
     }
+    println!(
+        "    \"apply_interp_row_ns\": {:.1},",
+        total_interp_ns / apply.iter().map(|a| a.rows as f64).sum::<f64>()
+    );
+    println!(
+        "    \"apply_compiled_row_ns\": {:.1},",
+        total_compiled_ns / apply.iter().map(|a| a.rows as f64).sum::<f64>()
+    );
+    println!(
+        "    \"apply_speedup\": {:.2},",
+        total_interp_ns / total_compiled_ns
+    );
+    for (w, rps) in &apply_totals {
+        println!("    \"apply_t{w}_rows_per_sec\": {rps:.0},");
+    }
+    println!(
+        "    \"apply_outputs_match\": {},",
+        apply.iter().all(|a| a.outputs_match)
+    );
     println!(
         "    \"total_learn_ms\": {:.3}",
         total_learn.as_secs_f64() * 1e3

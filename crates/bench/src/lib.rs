@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sst_benchmarks::{BenchmarkTask, Category};
+use sst_benchmarks::{apply_column, BenchmarkTask, Category};
 use sst_core::{
     converge, generate_str_u, intersect_du_with, LuOptions, Pool, SemDStruct, SynthesisOptions,
     Synthesizer,
@@ -311,6 +311,119 @@ pub fn generate_u_time(task: &BenchmarkTask) -> Duration {
     let elapsed = start.elapsed();
     drop(d);
     elapsed
+}
+
+/// Apply-plane metrics for one task — the `apply` section of the perf
+/// snapshot, measuring the compiled bytecode plane against the tree
+/// interpreter it replaces.
+#[derive(Debug)]
+pub struct ApplyReport {
+    /// Task id (1..=50).
+    pub id: usize,
+    /// Task name.
+    pub name: &'static str,
+    /// `Lt` or `Lu`.
+    pub category: Category,
+    /// Rows in the synthesized apply column.
+    pub rows: usize,
+    /// Mean per-row nanoseconds interpreting the top program's tree
+    /// (`Program::run`) over the whole column.
+    pub interp_row_ns: f64,
+    /// Mean per-row nanoseconds through the compiled bytecode
+    /// (`CompiledProgram::run_row_with`, one reused scratch).
+    pub compiled_row_ns: f64,
+    /// `(pool width, rows/sec)` of `run_column` over the whole column,
+    /// one entry per measured width (best of
+    /// [`APPLY_COLUMN_ITERS`] runs).
+    pub column_rows_per_sec: Vec<(usize, f64)>,
+    /// Whether every compiled output — per-row and per-column at every
+    /// width — was bit-identical to the interpreter. Any drift here is a
+    /// compiler bug; CI asserts it never goes false.
+    pub outputs_match: bool,
+}
+
+impl ApplyReport {
+    /// Single-row speedup of the compiled plane over the interpreter.
+    pub fn speedup(&self) -> f64 {
+        self.interp_row_ns / self.compiled_row_ns
+    }
+}
+
+/// `run_column` timing iterations per width; the best run is reported
+/// (columns are re-applied in steady state, so the min is the signal).
+pub const APPLY_COLUMN_ITERS: usize = 3;
+
+/// Measures the apply plane on one task: converge through the §3.2
+/// protocol, compile the top-ranked program once, then time the
+/// interpreter and the bytecode over a [`apply_column`]-synthesized input
+/// column (`rows` rows drawn from the task's own distribution, ~1/8
+/// mutated into lookup-miss/undefined rows) and `run_column` at each pool
+/// width. Every compiled output is differenced against the interpreter's
+/// on the way (`outputs_match`).
+pub fn apply_micro(task: &BenchmarkTask, rows: usize, widths: &[usize]) -> ApplyReport {
+    let synthesizer = Synthesizer::new(Arc::new(task.db.clone()));
+    let report = converge(&synthesizer, &task.rows, MAX_EXAMPLES)
+        .unwrap_or_else(|e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name));
+    let top = report
+        .learned
+        .as_ref()
+        .and_then(|l| l.top())
+        .unwrap_or_else(|| panic!("task {} ({}) has no top program", task.id, task.name));
+    let column = apply_column(task, rows);
+
+    let interp_start = Instant::now();
+    let expected: Vec<Option<String>> = column
+        .iter()
+        .map(|row| {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            top.run(&refs)
+        })
+        .collect();
+    let interp_time = interp_start.elapsed();
+
+    let compiled = top.compile();
+    let mut scratch = compiled.new_scratch();
+    let compiled_start = Instant::now();
+    for row in &column {
+        std::hint::black_box(compiled.run_row_with(row, &mut scratch));
+    }
+    let compiled_time = compiled_start.elapsed();
+    // Differencing pass, outside the timed loop (the interpreted loop
+    // above carries no comparison either).
+    let mut outputs_match = column
+        .iter()
+        .zip(&expected)
+        .all(|(row, want)| compiled.run_row_with(row, &mut scratch) == want.as_deref());
+
+    let per_row = |d: Duration| d.as_secs_f64() * 1e9 / rows as f64;
+    let column_rows_per_sec = widths
+        .iter()
+        .map(|&w| {
+            let pool = Pool::new(w);
+            let best = (0..APPLY_COLUMN_ITERS)
+                .map(|_| {
+                    let start = Instant::now();
+                    let out = compiled.run_column(&column, &pool);
+                    let elapsed = start.elapsed();
+                    outputs_match &= out == expected;
+                    elapsed
+                })
+                .min()
+                .expect("at least one iteration");
+            (w, rows as f64 / best.as_secs_f64())
+        })
+        .collect();
+
+    ApplyReport {
+        id: task.id,
+        name: task.name,
+        category: task.category,
+        rows,
+        interp_row_ns: per_row(interp_time),
+        compiled_row_ns: per_row(compiled_time),
+        column_rows_per_sec,
+        outputs_match,
+    }
 }
 
 /// Formats a duration in seconds with millisecond resolution.

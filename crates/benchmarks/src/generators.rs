@@ -1,4 +1,5 @@
-//! Synthetic worst-case workload generators for the Theorem 1 analyses.
+//! Synthetic workload generators: the Theorem 1 worst cases plus large
+//! apply columns for the compiled bytecode plane.
 //!
 //! Two families from §4.2:
 //!
@@ -11,7 +12,12 @@
 //!   equal to the key value `s`; there are `(m+1)^n` consistent programs
 //!   (each key column independently matched by the constant or any
 //!   variable) represented in `O(n + m)` space.
+//!
+//! And one serving-side family: [`apply_column`] synthesizes a large input
+//! column (10⁵–10⁶ rows) from a suite task's own input distribution, for
+//! benchmarking `run_column` throughput at spreadsheet scale.
 
+use crate::task::BenchmarkTask;
 use sst_core::Example;
 use sst_tables::{Database, Table};
 
@@ -56,6 +62,62 @@ pub fn wide_key_database(n: usize, m: usize) -> (Database, Example) {
     let db = Database::from_tables(vec![table]).expect("wide database");
     let example = Example::new(vec!["s"; m], "t");
     (db, example)
+}
+
+/// A deterministic xorshift64* stream — no RNG dependency, same column on
+/// every run and platform for a given seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        XorShift(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform in `0..n` (n > 0); the modulo bias is irrelevant here.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Synthesizes a large apply column (`rows` input rows) from a suite
+/// task's own input distribution: the spreadsheet's input rows are cycled
+/// in shuffled order, and roughly one row in eight is mutated — a cell
+/// value perturbed into a string the background tables have never seen, or
+/// an input cleared to the empty string — so a learned program's
+/// lookup-miss and undefined paths stay exercised at scale. Deterministic:
+/// seeded by `task.id`, so benchmarks and differential tests replay the
+/// exact same column.
+pub fn apply_column(task: &BenchmarkTask, rows: usize) -> Vec<Vec<String>> {
+    let base: Vec<&[String]> = task.rows.iter().map(|e| e.inputs.as_slice()).collect();
+    assert!(!base.is_empty(), "task {} has no rows", task.id);
+    let mut rng = XorShift::new(task.id as u64);
+    (0..rows)
+        .map(|i| {
+            let mut row: Vec<String> = base[rng.below(base.len())].to_vec();
+            // ~1/8 of rows exercise miss/undefined paths.
+            if rng.below(8) == 0 && !row.is_empty() {
+                let cell = rng.below(row.len());
+                if rng.below(4) == 0 {
+                    row[cell].clear();
+                } else {
+                    // A value no table cell contains: unique per row and
+                    // outside every suite alphabet.
+                    row[cell] = format!("\u{2047}miss{i}\u{2047}");
+                }
+            }
+            row
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,5 +240,31 @@ mod tests {
         let s4 = size(4, 3);
         let s8 = size(8, 3);
         assert!(s8 <= s4 * 3, "s4={s4}, s8={s8}");
+    }
+
+    #[test]
+    fn apply_column_is_deterministic_and_task_shaped() {
+        let tasks = crate::all_tasks();
+        let task = &tasks[0];
+        let width = task.rows[0].inputs.len();
+        let a = apply_column(task, 2000);
+        let b = apply_column(task, 2000);
+        assert_eq!(a, b, "same seed must give the same column");
+        assert_eq!(a.len(), 2000);
+        assert!(a.iter().all(|r| r.len() == width), "row arity preserved");
+        // Mutations happen, but most rows come straight from the suite.
+        let suite: std::collections::BTreeSet<&[String]> =
+            task.rows.iter().map(|e| e.inputs.as_slice()).collect();
+        let unseen = a.iter().filter(|r| !suite.contains(r.as_slice())).count();
+        assert!(unseen > 0, "some rows must exercise miss paths");
+        assert!(unseen < a.len() / 4, "most rows follow the distribution");
+    }
+
+    #[test]
+    fn apply_column_differs_across_tasks() {
+        let tasks = crate::all_tasks();
+        let a = apply_column(&tasks[0], 100);
+        let b = apply_column(&tasks[1], 100);
+        assert_ne!(a, b, "different tasks draw different columns");
     }
 }

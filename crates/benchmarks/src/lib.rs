@@ -12,6 +12,6 @@ mod generators;
 mod suite;
 mod task;
 
-pub use generators::{chain_database, wide_key_database};
+pub use generators::{apply_column, chain_database, wide_key_database};
 pub use suite::all_tasks;
 pub use task::{ex, BenchmarkTask, Category};

@@ -7,7 +7,23 @@
 //! ground truth, which is also how the evaluation counts "number of
 //! examples required" (§7, Effectiveness of ranking).
 
+use crate::compiled::{ApplyScratch, CompiledProgram};
 use crate::synthesizer::{Example, LearnedPrograms, SynthesisError, Synthesizer};
+
+/// The `k` best programs, ranked once and lowered to bytecode once, so a
+/// whole-spreadsheet ambiguity scan doesn't re-run the ranking DP (or
+/// re-interpret the trees) per candidate row.
+fn ranked_compiled(learned: &LearnedPrograms, k: usize) -> Vec<(CompiledProgram, ApplyScratch)> {
+    learned
+        .top_k(k)
+        .iter()
+        .map(|p| {
+            let compiled = p.compile();
+            let scratch = compiled.new_scratch();
+            (compiled, scratch)
+        })
+        .collect()
+}
 
 /// Rows whose top-`k` programs produce two or more distinct outputs —
 /// the §3.2 highlighting rule.
@@ -16,11 +32,20 @@ pub fn highlight_ambiguous(
     rows: &[Vec<String>],
     k: usize,
 ) -> Vec<usize> {
+    let mut programs = ranked_compiled(learned, k);
+    if programs.len() < 2 {
+        // One program (or none) cannot disagree with itself.
+        return Vec::new();
+    }
     rows.iter()
         .enumerate()
         .filter(|(_, row)| {
-            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
-            learned.outputs(&refs, k).len() >= 2
+            // Distinct *defined* outputs, as `LearnedPrograms::outputs`.
+            let outputs: std::collections::BTreeSet<String> = programs
+                .iter_mut()
+                .filter_map(|(p, scratch)| p.run_row_with(row, scratch).map(str::to_string))
+                .collect();
+            outputs.len() >= 2
         })
         .map(|(i, _)| i)
         .collect()
@@ -36,14 +61,16 @@ pub fn distinguishing_input(
     rows: &[Vec<String>],
     k: usize,
 ) -> Option<usize> {
-    let programs = learned.top_k(k);
+    let mut programs = ranked_compiled(learned, k);
     if programs.len() < 2 {
         return None;
     }
     rows.iter().position(|row| {
-        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
-        let outputs: std::collections::BTreeSet<Option<String>> =
-            programs.iter().map(|p| p.run(&refs)).collect();
+        // Undefined counts as a behavior here (unlike highlighting).
+        let outputs: std::collections::BTreeSet<Option<String>> = programs
+            .iter_mut()
+            .map(|(p, scratch)| p.run_row_with(row, scratch).map(str::to_string))
+            .collect();
         outputs.len() >= 2
     })
 }

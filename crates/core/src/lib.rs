@@ -53,6 +53,7 @@
 //! ```
 
 mod cache;
+mod compiled;
 mod dstruct;
 mod eval;
 mod generate;
@@ -64,6 +65,7 @@ mod rank;
 mod synthesizer;
 
 pub use cache::{DagCache, DagCacheStats, SourcesEpoch};
+pub use compiled::{ApplyScratch, CompiledProgram};
 pub use dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 pub use eval::{eval_lookup_u, eval_sem};
 pub use generate::{generate_str_u, generate_str_u_cached, LuOptions};

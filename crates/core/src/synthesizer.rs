@@ -261,8 +261,7 @@ impl Synthesizer {
     /// sessions over one set of background tables (the `sst-service`
     /// `Engine`) hand out clones of one allocation instead of deep-copying
     /// tables and indexes per synthesizer. An owned [`Database`] converts
-    /// with `Arc::new` (or the deprecated [`Synthesizer::from_database`]
-    /// shim).
+    /// with `Arc::new`.
     pub fn new(db: Arc<Database>) -> Self {
         Synthesizer::with_options(db, SynthesisOptions::default())
     }
@@ -289,24 +288,6 @@ impl Synthesizer {
         cache: Arc<DagCache>,
     ) -> Self {
         Synthesizer { db, options, cache }
-    }
-
-    /// Creates a synthesizer from an owned database.
-    #[deprecated(
-        since = "0.2.0",
-        note = "wrap the database in an Arc (`Synthesizer::new(Arc::new(db))`) or serve it through `sst_service::Engine`"
-    )]
-    pub fn from_database(db: Database) -> Self {
-        Synthesizer::new(Arc::new(db))
-    }
-
-    /// Creates a synthesizer from an owned database with explicit options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "wrap the database in an Arc (`Synthesizer::with_options(Arc::new(db), options)`) or serve it through `sst_service::Engine`"
-    )]
-    pub fn from_database_with_options(db: Database, options: SynthesisOptions) -> Self {
-        Synthesizer::with_options(Arc::new(db), options)
     }
 
     /// The database (user tables + background knowledge).
@@ -548,6 +529,14 @@ impl Program {
     /// Applies the program to an input row.
     pub fn run(&self, inputs: &[&str]) -> Option<String> {
         eval_sem(&self.expr, &self.db, inputs, &self.tokens)
+    }
+
+    /// Lowers the program to linear bytecode for batch application
+    /// ([`crate::CompiledProgram`]): pre-resolved token plans, compile-time
+    /// interned constant probe values, reusable buffers. Output is
+    /// bit-identical to [`Program::run`] on every row.
+    pub fn compile(&self) -> crate::CompiledProgram {
+        crate::CompiledProgram::lower(&self.expr, Arc::clone(&self.db), &self.tokens)
     }
 
     /// An English description of the program (§3.2's paraphrasing).

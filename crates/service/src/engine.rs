@@ -2,12 +2,15 @@
 
 use std::sync::{Arc, PoisonError, RwLock};
 
-use sst_core::{DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisOptions, Synthesizer};
+use sst_core::{
+    DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisError, SynthesisOptions,
+    Synthesizer,
+};
 use sst_par::Pool;
 use sst_tables::{Database, Table, TableId};
 
 use crate::session::Session;
-use crate::types::{LearnRequest, LearnResponse, ServiceError};
+use crate::types::{ApplyRequest, ApplyResponse, LearnRequest, LearnResponse, ServiceError};
 
 /// The state every session and batch request shares (see [`Engine`]).
 #[derive(Debug)]
@@ -180,6 +183,62 @@ impl Engine {
                 top,
             }
         })
+    }
+
+    /// Learns from `examples`, compiles the top-ranked program and applies
+    /// it to every input row, fanning row ranges across the engine pool —
+    /// the stateless batch-apply entry point ([`Session::run_column`] is
+    /// the conversation-stateful variant). Outputs are in row order and
+    /// bit-identical to interpreting the top program per row.
+    pub fn apply(
+        &self,
+        examples: &[Example],
+        rows: &[Vec<String>],
+    ) -> Result<Vec<Option<String>>, ServiceError> {
+        let learned = self.learn(examples)?;
+        let top = learned
+            .top()
+            .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))?;
+        Ok(top.compile().run_column(rows, &self.inner.pool))
+    }
+
+    /// Serves a batch of independent [`ApplyRequest`]s, fanned across the
+    /// engine pool with the same discipline as [`Engine::learn_batch`]:
+    /// request-ordered responses, one shared database snapshot and warm
+    /// memo plane, and — when the batch actually fans out — serial inner
+    /// planes (both the per-learn `Intersect_u` plane and each request's
+    /// `run_column`), since batch-level parallelism already saturates the
+    /// pool. Results are bit-identical at every width.
+    pub fn apply_batch(&self, requests: &[ApplyRequest]) -> Vec<ApplyResponse> {
+        let fans_out = self.inner.pool.is_parallel() && requests.len() > 1;
+        let synthesizer = if fans_out {
+            Synthesizer::with_shared_cache(
+                self.db(),
+                self.inner.options.to_builder().threads(1).build(),
+                Arc::clone(&self.inner.cache),
+            )
+        } else {
+            self.synthesizer()
+        };
+        let serial = Pool::new(1);
+        let row_pool: &Pool = if fans_out { &serial } else { &self.inner.pool };
+        self.inner.pool.par_map_indexed(requests, |i, request| {
+            let result = synthesizer
+                .learn(&request.examples)
+                .map_err(ServiceError::from)
+                .and_then(|learned| {
+                    learned
+                        .top()
+                        .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))
+                })
+                .map(|top| top.compile().run_column(&request.rows, row_pool));
+            ApplyResponse { request: i, result }
+        })
+    }
+
+    /// The engine's worker pool (sessions fan `run_column` across it).
+    pub(crate) fn pool(&self) -> &Pool {
+        &self.inner.pool
     }
 
     /// A synthesizer view over the current database snapshot, wired to the

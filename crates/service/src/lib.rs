@@ -20,16 +20,19 @@
 //! * [`Engine`] — owns one `Arc<Database>`, one warm
 //!   [`DagCache`](sst_core::DagCache) plane and one global [`Pool`];
 //!   hands out cheap [`Session`] handles, serves one-shot
-//!   [`Engine::learn`] calls, fans [`Engine::learn_batch`] requests
-//!   across the pool (deterministic output order), and owns the
+//!   [`Engine::learn`] calls, fans [`Engine::learn_batch`] /
+//!   [`Engine::apply_batch`] requests across the pool (deterministic
+//!   output order), applies learned programs to whole columns through
+//!   the compiled bytecode plane ([`Engine::apply`]), and owns the
 //!   database mutations ([`Engine::add_table`] bumps the epoch exactly
 //!   once for every live session).
 //! * [`Session`] — one §3.2 conversation: [`Session::add_example`],
 //!   [`Session::status`] (converged, or which watched inputs are still
 //!   ambiguous), [`Session::top_k`], [`Session::paraphrase`],
-//!   [`Session::run`]. Learning is implicit and lazy; repeated learns on
-//!   a grown example prefix are served from the engine's shared memo
-//!   plane.
+//!   [`Session::run`], [`Session::run_column`]. Learning is implicit and
+//!   lazy; repeated learns on a grown example prefix are served from the
+//!   engine's shared memo plane, and applies run through the compiled top
+//!   program, cached per `(db_epoch, examples_len)`.
 //!
 //! The typed boundary ([`LearnRequest`], [`LearnResponse`],
 //! [`ServiceError`]) is deliberately plain data, ready to be lifted onto a
@@ -77,4 +80,6 @@ mod types;
 
 pub use engine::Engine;
 pub use session::{Session, SessionConvergence};
-pub use types::{LearnRequest, LearnResponse, ServiceError, SessionStatus};
+pub use types::{
+    ApplyRequest, ApplyResponse, LearnRequest, LearnResponse, ServiceError, SessionStatus,
+};

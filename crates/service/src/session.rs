@@ -1,7 +1,10 @@
 //! The [`Session`]: one §3.2 conversation as a stateful handle.
 
+use std::sync::Arc;
+
 use sst_core::{
-    distinguishing_input, highlight_ambiguous, Example, LearnedPrograms, Program, SynthesisError,
+    distinguishing_input, highlight_ambiguous, CompiledProgram, Example, LearnedPrograms, Program,
+    SynthesisError,
 };
 use sst_counting::BigUint;
 use sst_tables::{Table, TableId};
@@ -18,6 +21,11 @@ struct CachedLearn {
     /// How many examples the learn saw.
     examples_len: usize,
     learned: LearnedPrograms,
+    /// The top-ranked program lowered to bytecode, filled on first apply —
+    /// cached per `(db_epoch, examples_len)` by construction (this struct
+    /// is replaced whenever either moves), so repeated [`Session::run`] /
+    /// [`Session::run_column`] calls neither re-rank nor re-interpret.
+    compiled_top: Option<Arc<CompiledProgram>>,
 }
 
 /// One interactive learning conversation (the §3.2 protocol), backed by a
@@ -173,9 +181,28 @@ impl Session {
                 db_epoch,
                 examples_len: self.examples.len(),
                 learned,
+                compiled_top: None,
             });
         }
         Ok(())
+    }
+
+    /// The compiled top-ranked program, lowering it on first use and
+    /// serving it from the learn cache afterwards (invalidated with it
+    /// when the examples or the database move).
+    pub fn compiled_top(&mut self) -> Result<Arc<CompiledProgram>, ServiceError> {
+        self.ensure_learned()?;
+        let cached = self.learned.as_mut().expect("just ensured");
+        if cached.compiled_top.is_none() {
+            let top = cached
+                .learned
+                .top()
+                .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))?;
+            cached.compiled_top = Some(Arc::new(top.compile()));
+        }
+        Ok(Arc::clone(
+            cached.compiled_top.as_ref().expect("just filled"),
+        ))
     }
 
     /// The top-ranked program.
@@ -196,9 +223,23 @@ impl Session {
         Ok(self.learned()?.top_k(k))
     }
 
-    /// Runs the top-ranked program on a fresh input row.
+    /// Runs the top-ranked program on a fresh input row — through the
+    /// cached compiled form, so repeated calls stop re-ranking and
+    /// re-interpreting (bit-identical to `self.top()?.run(inputs)`).
     pub fn run(&mut self, inputs: &[&str]) -> Result<Option<String>, ServiceError> {
-        Ok(self.top()?.run(inputs))
+        Ok(self.compiled_top()?.run_row(inputs))
+    }
+
+    /// Applies the top-ranked program to a whole input column, fanning row
+    /// ranges across the engine pool (deterministic row order at every
+    /// width). The compiled program is cached with the learn, so replaying
+    /// columns — or mixing `run` and `run_column` — compiles once.
+    pub fn run_column(
+        &mut self,
+        rows: &[Vec<String>],
+    ) -> Result<Vec<Option<String>>, ServiceError> {
+        let compiled = self.compiled_top()?;
+        Ok(compiled.run_column(rows, self.engine.pool()))
     }
 
     /// An English description of the top-ranked program (§3.2's

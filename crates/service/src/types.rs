@@ -111,6 +111,43 @@ impl LearnResponse {
     }
 }
 
+/// One independent batch-apply request for [`crate::Engine::apply_batch`]:
+/// learn from `examples`, compile the top-ranked program, run it over every
+/// row of `rows` (the paper's deployment shape — a learned transformation
+/// filling an entire spreadsheet column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyRequest {
+    /// The input-output examples defining the transformation.
+    pub examples: Vec<Example>,
+    /// The input rows to transform.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ApplyRequest {
+    /// A request applying the program learned from `examples` to `rows`.
+    pub fn new(examples: Vec<Example>, rows: Vec<Vec<String>>) -> Self {
+        ApplyRequest { examples, rows }
+    }
+}
+
+/// The answer to one [`ApplyRequest`]: per-row outputs in input order
+/// (`None` where the program is undefined on a row), or why learning
+/// failed. Like [`LearnResponse`], `request` names the slot explicitly.
+#[derive(Debug, Clone)]
+pub struct ApplyResponse {
+    /// Index of the request this answers.
+    pub request: usize,
+    /// One output per input row, or the learning failure.
+    pub result: Result<Vec<Option<String>>, ServiceError>,
+}
+
+impl ApplyResponse {
+    /// The per-row outputs, if learning succeeded.
+    pub fn outputs(&self) -> Option<&[Option<String>]> {
+        self.result.as_deref().ok()
+    }
+}
+
 /// Where a [`crate::Session`] stands in the §3.2 protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionStatus {

@@ -1,0 +1,533 @@
+//! Compiled position evaluation: token plans and reusable run buffers.
+//!
+//! The interpreter (`eval_pos_with_runs`) computes [`StringRuns`] for the
+//! *entire* token set on every subject string and materializes the full
+//! `T(r1, r2)` position list before indexing it by `c`. A fixed program
+//! only ever consults the handful of tokens that occur in its position
+//! expressions, so the compiled plane lowers positions once:
+//!
+//! - a [`TokenPlan`] collects the distinct tokens a program uses, so a
+//!   [`RunsBuf`] computes maximal runs for those tokens only (one pass over
+//!   the characters, all tokens at once) into reusable buffers;
+//! - [`CompiledPos`] pre-resolves token-set membership (`Never` when a
+//!   token is outside the program's `TokenSet`, or `c == 0`) and stores
+//!   plan-relative token indices;
+//! - evaluation enumerates candidate positions from the runs of the
+//!   sequence's boundary token instead of scanning `0..=len`, with early
+//!   exit at the `|c|`-th match.
+//!
+//! Semantics are bit-identical to the interpreter — this module is pinned
+//! by differential tests against `eval_pos` below and by the cross-crate
+//! `compiled_equivalence` harness.
+
+use crate::language::{PosExpr, RegexSeq};
+use crate::tokens::{Token, TokenSet};
+
+/// The distinct tokens one compiled program consults, in first-use order.
+///
+/// Indices handed out by [`TokenPlan::lower_pos`] are positions in this
+/// plan, and [`RunsBuf`] computes runs per plan token.
+#[derive(Debug, Clone, Default)]
+pub struct TokenPlan {
+    tokens: Vec<Token>,
+    /// Per-ASCII-char bitmasks of matching plan tokens (bit `i` ⇔ token
+    /// `i` matches): 128 entries once [`TokenPlan::seal`] runs, empty
+    /// before (and when the plan exceeds 32 tokens). Turns the per-char
+    /// per-token `matches_char` calls of the run scan into one table load
+    /// plus bit tests.
+    ascii_masks: Vec<u32>,
+}
+
+impl TokenPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        TokenPlan::default()
+    }
+
+    /// Tokens in the plan.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of planned tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True iff no position expression consults any token.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    fn index_of(&mut self, token: Token) -> u16 {
+        match self.tokens.iter().position(|&t| t == token) {
+            Some(i) => i as u16,
+            None => {
+                self.tokens.push(token);
+                (self.tokens.len() - 1) as u16
+            }
+        }
+    }
+
+    /// Freezes the plan for execution: precomputes the ASCII match-mask
+    /// table. Idempotent; call after the last `lower_pos`. Unsealed plans
+    /// still evaluate correctly through the per-token fallback scan.
+    pub fn seal(&mut self) {
+        if self.tokens.len() > 32 {
+            self.ascii_masks.clear();
+            return;
+        }
+        self.ascii_masks = (0u8..128).map(|b| self.char_mask(b as char)).collect();
+    }
+
+    /// Bitmask of plan tokens matching `ch` (anchors never match).
+    fn char_mask(&self, ch: char) -> u32 {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_anchor() && t.matches_char(ch))
+            .map(|(i, _)| 1u32 << i)
+            .sum()
+    }
+
+    /// Lowers a position expression against the program's token set.
+    ///
+    /// `c == 0` and sequences mentioning a token outside `set` can never
+    /// match (the interpreter's position list is empty for them), so they
+    /// lower to [`CompiledPos::Never`].
+    pub fn lower_pos(&mut self, pos: &PosExpr, set: &TokenSet) -> CompiledPos {
+        match pos {
+            PosExpr::CPos(k) => CompiledPos::CPos(*k),
+            PosExpr::Pos { r1, r2, c } => {
+                if *c == 0 {
+                    return CompiledPos::Never;
+                }
+                let (Some(r1), Some(r2)) = (self.lower_seq(r1, set), self.lower_seq(r2, set))
+                else {
+                    return CompiledPos::Never;
+                };
+                CompiledPos::Pos { r1, r2, c: *c }
+            }
+        }
+    }
+
+    fn lower_seq(&mut self, r: &RegexSeq, set: &TokenSet) -> Option<Box<[u16]>> {
+        let mut chain = Vec::with_capacity(r.0.len());
+        for &token in &r.0 {
+            set.position(token)?;
+            chain.push(self.index_of(token));
+        }
+        Some(chain.into_boxed_slice())
+    }
+}
+
+/// A lowered position expression. Token indices are plan-relative.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CompiledPos {
+    /// Constant position, same semantics as [`PosExpr::CPos`].
+    CPos(i32),
+    /// `pos(r1, r2, c)` with plan-resolved token chains.
+    Pos {
+        /// Chain matching immediately before the position.
+        r1: Box<[u16]>,
+        /// Chain matching immediately after the position.
+        r2: Box<[u16]>,
+        /// 1-based occurrence index; negative counts from the right.
+        c: i32,
+    },
+    /// Statically undefined: `c == 0` or a token outside the program's set.
+    Never,
+}
+
+/// Reusable per-row run buffers for one [`TokenPlan`].
+///
+/// One `compute` pass fills, for every plan token, the maximal `(start,
+/// end)` character runs (ascending, exactly as [`StringRuns`] would) plus a
+/// char→byte offset table so substring extraction is a single byte-range
+/// copy. Buffers are reused across rows: applying a compiled program
+/// allocates nothing per row once the scratch has warmed up.
+///
+/// [`StringRuns`]: crate::tokens::StringRuns
+#[derive(Debug, Clone, Default)]
+pub struct RunsBuf {
+    len: u32,
+    byte_off: Vec<u32>,
+    run_start: Vec<u32>,
+    runs: Vec<Vec<(u32, u32)>>,
+}
+
+/// Sentinel for "not currently inside a run" in the single-pass scan.
+const NO_RUN: u32 = u32::MAX;
+
+impl RunsBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        RunsBuf::default()
+    }
+
+    /// Computes runs of every plan token over `s`, reusing buffers.
+    pub fn compute(&mut self, s: &str, plan: &TokenPlan) {
+        let tokens = plan.tokens();
+        if self.runs.len() < tokens.len() {
+            self.runs.resize_with(tokens.len(), Vec::new);
+        }
+        for runs in &mut self.runs[..tokens.len()] {
+            runs.clear();
+        }
+        self.run_start.clear();
+        self.run_start.resize(tokens.len(), NO_RUN);
+        self.byte_off.clear();
+
+        let mut i = 0u32;
+        if !plan.ascii_masks.is_empty() {
+            // Sealed plan: one mask load (or one slow-path mask for
+            // non-ASCII) and a bit test per token, same transitions.
+            for (byte, ch) in s.char_indices() {
+                self.byte_off.push(byte as u32);
+                let mask = match plan.ascii_masks.get(ch as usize) {
+                    Some(&m) => m,
+                    None => plan.char_mask(ch),
+                };
+                for ti in 0..tokens.len() {
+                    let inside = self.run_start[ti];
+                    if mask & (1 << ti) != 0 {
+                        if inside == NO_RUN {
+                            self.run_start[ti] = i;
+                        }
+                    } else if inside != NO_RUN {
+                        self.runs[ti].push((inside, i));
+                        self.run_start[ti] = NO_RUN;
+                    }
+                }
+                i += 1;
+            }
+        } else {
+            for (byte, ch) in s.char_indices() {
+                self.byte_off.push(byte as u32);
+                for (ti, &token) in tokens.iter().enumerate() {
+                    let inside = self.run_start[ti];
+                    if !token.is_anchor() && token.matches_char(ch) {
+                        if inside == NO_RUN {
+                            self.run_start[ti] = i;
+                        }
+                    } else if inside != NO_RUN {
+                        self.runs[ti].push((inside, i));
+                        self.run_start[ti] = NO_RUN;
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.byte_off.push(s.len() as u32);
+        self.len = i;
+        for (ti, &token) in tokens.iter().enumerate() {
+            if self.run_start[ti] != NO_RUN {
+                self.runs[ti].push((self.run_start[ti], i));
+            }
+            match token {
+                Token::Start => self.runs[ti].push((0, 0)),
+                Token::End => self.runs[ti].push((i, i)),
+                _ => {}
+            }
+        }
+    }
+
+    /// Length of the last computed subject, in characters.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True iff the last computed subject was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte range of character positions `a..b` in the subject.
+    pub fn byte_range(&self, a: u32, b: u32) -> (usize, usize) {
+        (
+            self.byte_off[a as usize] as usize,
+            self.byte_off[b as usize] as usize,
+        )
+    }
+
+    /// Maximal runs of plan token `idx`, ascending.
+    pub fn runs_of(&self, idx: u16) -> &[(u32, u32)] {
+        &self.runs[idx as usize]
+    }
+
+    fn run_ending_at(&self, idx: u16, pos: u32) -> Option<(u32, u32)> {
+        let runs = &self.runs[idx as usize];
+        runs.binary_search_by_key(&pos, |&(_, e)| e)
+            .ok()
+            .map(|i| runs[i])
+    }
+
+    fn run_starting_at(&self, idx: u16, pos: u32) -> Option<(u32, u32)> {
+        let runs = &self.runs[idx as usize];
+        runs.binary_search_by_key(&pos, |&(s, _)| s)
+            .ok()
+            .map(|i| runs[i])
+    }
+}
+
+fn chain_ends_at(runs: &RunsBuf, chain: &[u16], pos: u32) -> bool {
+    let mut end = pos;
+    for &ti in chain.iter().rev() {
+        match runs.run_ending_at(ti, end) {
+            Some((start, _)) => end = start,
+            None => return false,
+        }
+    }
+    true
+}
+
+fn chain_starts_at(runs: &RunsBuf, chain: &[u16], pos: u32) -> bool {
+    let mut start = pos;
+    for &ti in chain {
+        match runs.run_starting_at(ti, start) {
+            Some((_, end)) => start = end,
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Evaluates a compiled position against precomputed runs; `None` if
+/// undefined. Bit-identical to `eval_pos_with_runs` on the original
+/// expression.
+pub fn eval_compiled_pos(pos: &CompiledPos, runs: &RunsBuf) -> Option<u32> {
+    let len = runs.len();
+    match pos {
+        CompiledPos::CPos(k) => {
+            let len = len as i64;
+            let t = if *k >= 0 {
+                *k as i64
+            } else {
+                len + 1 + *k as i64
+            };
+            (0..=len).contains(&t).then_some(t as u32)
+        }
+        CompiledPos::Never => None,
+        CompiledPos::Pos { r1, r2, c } => {
+            if r1.is_empty() && r2.is_empty() {
+                // ε/ε matches at every position: T = 0..=len directly.
+                let count = len as i64 + 1;
+                let t = if *c > 0 {
+                    *c as i64 - 1
+                } else {
+                    count + *c as i64
+                };
+                return (0..count).contains(&t).then_some(t as u32);
+            }
+            // Any match position is the end of a run of r1's last token
+            // (mirrored: the start of a run of r2's first token), so the
+            // boundary token's runs enumerate all candidates in ascending
+            // order — no 0..=len scan.
+            let verify = |t: u32| chain_ends_at(runs, r1, t) && chain_starts_at(runs, r2, t);
+            let mut remaining = c.unsigned_abs();
+            if *c > 0 {
+                if let Some(&last) = r1.last() {
+                    for &(_, end) in runs.runs_of(last) {
+                        if verify(end) {
+                            remaining -= 1;
+                            if remaining == 0 {
+                                return Some(end);
+                            }
+                        }
+                    }
+                } else {
+                    for &(start, _) in runs.runs_of(r2[0]) {
+                        if verify(start) {
+                            remaining -= 1;
+                            if remaining == 0 {
+                                return Some(start);
+                            }
+                        }
+                    }
+                }
+            } else if let Some(&last) = r1.last() {
+                for &(_, end) in runs.runs_of(last).iter().rev() {
+                    if verify(end) {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            return Some(end);
+                        }
+                    }
+                }
+            } else {
+                for &(start, _) in runs.runs_of(r2[0]).iter().rev() {
+                    if verify(start) {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            return Some(start);
+                        }
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_pos;
+    use crate::tokens::StringRuns;
+
+    /// Differential check: compiled evaluation must equal the interpreter
+    /// on every position expression and subject.
+    fn assert_equiv(pos: &PosExpr, subject: &str, set: &TokenSet) {
+        let mut plan = TokenPlan::new();
+        let compiled = plan.lower_pos(pos, set);
+        let mut buf = RunsBuf::new();
+        buf.compute(subject, &plan);
+        assert_eq!(
+            eval_compiled_pos(&compiled, &buf),
+            eval_pos(pos, subject, set),
+            "pos {pos} on {subject:?}"
+        );
+    }
+
+    fn subjects() -> Vec<&'static str> {
+        vec![
+            "",
+            "a",
+            "10/12/2010",
+            "ab12 cd",
+            "Alan Turing",
+            "$145.67",
+            "a--b-c",
+            "héllo wörld 42",
+            "   ",
+            "c4 c3 c1",
+            "Ducati125",
+        ]
+    }
+
+    fn position_exprs() -> Vec<PosExpr> {
+        let mut exprs = vec![
+            PosExpr::CPos(0),
+            PosExpr::CPos(3),
+            PosExpr::CPos(-1),
+            PosExpr::CPos(-4),
+            PosExpr::CPos(25),
+            PosExpr::CPos(-25),
+        ];
+        let seqs = vec![
+            RegexSeq::epsilon(),
+            RegexSeq::token(Token::Num),
+            RegexSeq::token(Token::Alpha),
+            RegexSeq::token(Token::AlphNum),
+            RegexSeq::token(Token::Upper),
+            RegexSeq::token(Token::Whitespace),
+            RegexSeq::token(Token::Special('/')),
+            RegexSeq::token(Token::Start),
+            RegexSeq::token(Token::End),
+            RegexSeq(vec![Token::Alpha, Token::Num]),
+            RegexSeq(vec![Token::Start, Token::Alpha]),
+            RegexSeq(vec![Token::Num, Token::Special('/'), Token::Num]),
+        ];
+        for r1 in &seqs {
+            for r2 in &seqs {
+                for c in [-3, -2, -1, 0, 1, 2, 3] {
+                    exprs.push(PosExpr::Pos {
+                        r1: r1.clone(),
+                        r2: r2.clone(),
+                        c,
+                    });
+                }
+            }
+        }
+        exprs
+    }
+
+    #[test]
+    fn compiled_pos_matches_interpreter_standard_set() {
+        let set = TokenSet::standard();
+        for subject in subjects() {
+            for pos in position_exprs() {
+                assert_equiv(&pos, subject, &set);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_pos_matches_interpreter_custom_set() {
+        // Tokens outside the set lower to Never; the interpreter's chains
+        // simply never match. Both must agree.
+        let set = TokenSet::custom(vec![Token::Num, Token::Special('/')]);
+        for subject in subjects() {
+            for pos in position_exprs() {
+                assert_equiv(&pos, subject, &set);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_buf_matches_string_runs() {
+        let set = TokenSet::standard();
+        for subject in subjects() {
+            let reference = StringRuns::compute(subject, &set);
+            let mut plan = TokenPlan::new();
+            for &token in set.tokens() {
+                plan.index_of(token);
+            }
+            let mut buf = RunsBuf::new();
+            buf.compute(subject, &plan);
+            assert_eq!(buf.len(), reference.len());
+            for (i, &token) in set.tokens().iter().enumerate() {
+                let idx = plan.tokens().iter().position(|&t| t == token).unwrap();
+                assert_eq!(
+                    buf.runs_of(idx as u16),
+                    reference.runs_of(i),
+                    "token {token} on {subject:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_range_maps_chars_to_bytes() {
+        let plan = TokenPlan::new();
+        let mut buf = RunsBuf::new();
+        buf.compute("héllo", &plan);
+        assert_eq!(buf.len(), 5);
+        let (a, b) = buf.byte_range(1, 3);
+        assert_eq!(&"héllo"[a..b], "él");
+        let (a, b) = buf.byte_range(0, 5);
+        assert_eq!(&"héllo"[a..b], "héllo");
+    }
+
+    #[test]
+    fn plan_dedups_tokens() {
+        let set = TokenSet::standard();
+        let mut plan = TokenPlan::new();
+        let p = PosExpr::Pos {
+            r1: RegexSeq::token(Token::Num),
+            r2: RegexSeq::token(Token::Num),
+            c: 1,
+        };
+        plan.lower_pos(&p, &set);
+        plan.lower_pos(&p, &set);
+        assert_eq!(plan.tokens(), &[Token::Num]);
+    }
+
+    #[test]
+    fn zero_count_and_unknown_token_lower_to_never() {
+        let set = TokenSet::custom(vec![Token::Num]);
+        let mut plan = TokenPlan::new();
+        let zero = PosExpr::Pos {
+            r1: RegexSeq::epsilon(),
+            r2: RegexSeq::epsilon(),
+            c: 0,
+        };
+        assert_eq!(plan.lower_pos(&zero, &set), CompiledPos::Never);
+        let unknown = PosExpr::Pos {
+            r1: RegexSeq::token(Token::Alpha),
+            r2: RegexSeq::epsilon(),
+            c: 1,
+        };
+        assert_eq!(plan.lower_pos(&unknown, &set), CompiledPos::Never);
+    }
+}

@@ -31,6 +31,7 @@
 //! );
 //! ```
 
+mod compiled;
 mod dag;
 mod eval;
 mod generate;
@@ -41,6 +42,7 @@ mod positions;
 mod rank;
 mod tokens;
 
+pub use compiled::{eval_compiled_pos, CompiledPos, RunsBuf, TokenPlan};
 pub use dag::{AtomSet, Dag, PosSet};
 pub use eval::{eval_atom, eval_expr, eval_on_state, eval_pos, eval_pos_with_runs};
 pub use generate::{generate_dag, generate_dag_prepared, GenOptions, PreparedSources};

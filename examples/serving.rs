@@ -6,7 +6,9 @@
 //! `Engine` owns that shared state — the database, the warm memo plane
 //! and the worker pool — and `learn_batch` fans independent requests
 //! across it with deterministic, request-ordered responses (bit-identical
-//! to learning each request sequentially, at every pool width).
+//! to learning each request sequentially, at every pool width). Once a
+//! task converges, `Engine::apply` (or `Session::run_column`) compiles the
+//! top-ranked program to bytecode and fills a whole column in one call.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -84,4 +86,34 @@ fn main() {
     );
     assert!(after.example_hits > before.example_hits);
     println!("All batch responses correct and memo-served on replay.");
+
+    // Applying at scale: the converged transformation fills an entire
+    // generated column through the compiled bytecode plane. The engine
+    // learns once, lowers the top-ranked program once, and `run_column`
+    // fans row ranges across the pool — outputs in row order, `Some("")`
+    // on lookup misses per the paper's semantics, `None` where the
+    // program is undefined.
+    let codes = ["c1", "c2", "c3", "c4", "c9"];
+    let column: Vec<Vec<String>> = (0..50_000)
+        .map(|i| vec![codes[i % codes.len()].to_string()])
+        .collect();
+    let outputs = engine
+        .apply(
+            &[
+                Example::new(vec!["c1"], "Microsoft (Redmond)"),
+                Example::new(vec!["c2"], "Google (Mountain View)"),
+            ],
+            &column,
+        )
+        .expect("task learned above");
+    assert_eq!(outputs.len(), column.len());
+    assert_eq!(outputs[2].as_deref(), Some("Apple (Cupertino)"));
+    // `c9` is in no table: both lookups miss and yield the empty string,
+    // leaving just the constant separators.
+    assert_eq!(outputs[4].as_deref(), Some(" ()"));
+    println!(
+        "batch apply: filled {} rows (row 2 = {:?})",
+        outputs.len(),
+        outputs[2].as_deref().unwrap()
+    );
 }

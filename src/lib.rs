@@ -91,6 +91,46 @@
 //! assert_eq!(responses[0].best().unwrap().run(&["c3"]).unwrap(), "Apple");
 //! ```
 //!
+//! # Applying at scale
+//!
+//! Learning is interactive; *applying* is bulk. Once a task converges,
+//! [`Program::compile`](core::Program::compile) lowers the top-ranked
+//! program to compact linear bytecode — token automata pre-resolved,
+//! single-condition lookups baked into value→cell probe maps, constant
+//! lookups folded away — so filling a row is a flat op walk with zero
+//! tree recursion and zero per-row allocation. The service plane wraps
+//! this: [`Engine::apply`](service::Engine::apply) (or
+//! [`ApplyRequest`](service::ApplyRequest)s via
+//! [`Engine::apply_batch`](service::Engine::apply_batch)) learns, compiles
+//! once, and fans the column across the worker pool;
+//! [`Session::run_column`](service::Session::run_column) does the same
+//! inside a conversation, caching the compiled program until the examples
+//! or the database change.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use semantic_strings::prelude::*;
+//!
+//! # let comp = Table::new("Comp", vec!["Id", "Name"],
+//! #     vec![vec!["c1", "Microsoft"], vec!["c2", "Google"], vec!["c3", "Apple"]]).unwrap();
+//! let engine = Engine::new(Arc::new(Database::from_tables(vec![comp]).unwrap()));
+//! let column: Vec<Vec<String>> = ["c1", "c3", "c9"]
+//!     .iter()
+//!     .map(|c| vec![c.to_string()])
+//!     .collect();
+//! let outputs = engine
+//!     .apply(&[Example::new(vec!["c2"], "Google")], &column)
+//!     .unwrap();
+//! assert_eq!(outputs[1].as_deref(), Some("Apple"));
+//! // Lookup misses yield the empty string per the paper's semantics.
+//! assert_eq!(outputs[2].as_deref(), Some(""));
+//! ```
+//!
+//! Outputs are deterministic and bit-identical at every pool width — the
+//! `tests/compiled_equivalence.rs` harness replays the full 50-task suite
+//! through both the interpreter and the bytecode plane to pin this.
+//!
 //! # Low-level API
 //!
 //! The stateless [`Synthesizer`](core::Synthesizer) underneath the service
@@ -131,7 +171,8 @@ pub mod prelude {
         Example, LearnedPrograms, SynthesisOptions, SynthesisOptionsBuilder, Synthesizer,
     };
     pub use sst_service::{
-        Engine, LearnRequest, LearnResponse, ServiceError, Session, SessionStatus,
+        ApplyRequest, ApplyResponse, Engine, LearnRequest, LearnResponse, ServiceError, Session,
+        SessionStatus,
     };
     pub use sst_tables::{Database, Table};
 }
