@@ -9,6 +9,11 @@
 //! bytecode plane — interpreted vs compiled single-row nanoseconds and
 //! `run_column` rows/sec at each pool width over a synthesized
 //! `--apply-rows`-row column, with an `outputs_match` bit CI asserts.
+//! Two sections probe the incremental database plane over a
+//! `--scale-rows`-row lookup table: `mutate` (index rebuild ms vs
+//! per-row incremental insert/update/delete µs, and warm-`DagCache`
+//! preservation across an unrelated-table mutation) and `reach_at_scale`
+//! (index build plus cold/warm learn wall-clock at 10⁵–10⁶ rows).
 //! Future PRs diff their snapshot against the committed
 //! `BENCH_PR<n>.json` to track the performance trajectory.
 //!
@@ -31,14 +36,19 @@
 //! dispatch threshold (`SynthesisOptions::parallel_edge_product_min`);
 //! `--serve` replays the per-task protocol through the service plane
 //! (`Engine` sessions + `learn_batch`) instead of direct `Synthesizer`
-//! calls. CI runs the smoke snapshot across cache modes, thread counts and
-//! both serving paths, and checks that everything but the timings agrees.
+//! calls; `--scale-rows N` sizes the scaled lookup table of the `mutate`
+//! and `reach_at_scale` sections; `--mutate-roundtrip` runs a benign
+//! insert-then-delete through every task database before evaluation —
+//! the incremental index paths must leave every observable bit-identical
+//! to a run without the flag. CI runs the smoke snapshot across cache
+//! modes, thread counts, both serving paths and the mutation round-trip,
+//! and checks that everything but the timings agrees.
 
 use std::time::Duration;
 
 use sst_bench::{
     apply_micro, dag_cache_times, evaluate_tasks_served_with_options, evaluate_tasks_with_options,
-    generate_u_time, intersect_micro_times, ApplyReport,
+    generate_u_time, intersect_micro_times, mutate_micro, reach_at_scale, ApplyReport,
 };
 use sst_benchmarks::Category;
 use sst_core::SynthesisOptions;
@@ -52,6 +62,14 @@ const APPLY_ROWS_DEFAULT: usize = 100_000;
 /// Default apply-column length under `--smoke` (still large enough to
 /// cross the parallel chunking threshold).
 const APPLY_ROWS_SMOKE: usize = 20_000;
+
+/// Default scaled-lookup table size for the `mutate` and
+/// `reach_at_scale` sections (`--scale-rows`; push to 1 000 000 for the
+/// full memory-bandwidth probe).
+const SCALE_ROWS_DEFAULT: usize = 100_000;
+
+/// Default scaled-lookup size under `--smoke`.
+const SCALE_ROWS_SMOKE: usize = 20_000;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -86,6 +104,17 @@ fn main() {
         } else {
             APPLY_ROWS_DEFAULT
         });
+    let scale_rows: usize = args
+        .iter()
+        .position(|a| a == "--scale-rows")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--scale-rows takes a positive integer"))
+        .unwrap_or(if smoke {
+            SCALE_ROWS_SMOKE
+        } else {
+            SCALE_ROWS_DEFAULT
+        });
+    let mutate_roundtrip = args.iter().any(|a| a == "--mutate-roundtrip");
     let mut builder = SynthesisOptions::builder()
         .dag_cache(dag_cache)
         .threads(threads);
@@ -105,6 +134,22 @@ fn main() {
             *kept += 1;
             *kept <= SMOKE_PER_CATEGORY
         });
+    }
+    if mutate_roundtrip {
+        // A no-op mutation round-trip on every task database: insert one
+        // benign row into its first table, then delete it. The lone
+        // tombstone stays far below the compaction threshold, so the
+        // incremental index paths (not the rebuild fallback) carry the
+        // whole trip — and every observable downstream must be
+        // bit-identical to a run without the flag (CI diffs the two).
+        for task in &mut tasks {
+            let width = task.db.table(0).width();
+            let row: Vec<String> = (0..width)
+                .map(|c| format!("\u{2047}noop{c}\u{2047}"))
+                .collect();
+            let ids = task.db.insert_rows(0, vec![row]).expect("roundtrip insert");
+            task.db.delete_rows(0, &ids).expect("roundtrip delete");
+        }
     }
     let reports = if serve {
         evaluate_tasks_served_with_options(&tasks, &options)
@@ -158,6 +203,9 @@ fn main() {
             (w, total_rows as f64 / total_secs)
         })
         .collect();
+
+    let mutate = mutate_micro(scale_rows);
+    let scale = reach_at_scale(scale_rows);
 
     println!("{{");
     println!(
@@ -262,6 +310,40 @@ fn main() {
         );
     }
     println!("  ],");
+    println!("  \"scale_rows\": {scale_rows},");
+    println!("  \"mutate_roundtrip\": {mutate_roundtrip},");
+    println!(
+        "  \"mutate\": {{\"rows\": {}, \"index_build_ms\": {:.3}, \
+         \"insert_row_us\": {:.3}, \"update_cell_us\": {:.3}, \
+         \"delete_row_us\": {:.3}, \"insert_vs_rebuild_ratio\": {:.6}, \
+         \"warm_entries_before\": {}, \"warm_entries_after\": {}, \
+         \"warm_preserved_pct\": {:.1}, \
+         \"unrelated_mutation_relearn_warm\": {}, \
+         \"observables_identical\": {}}},",
+        mutate.rows,
+        mutate.index_build_ms,
+        mutate.insert_row_us,
+        mutate.update_cell_us,
+        mutate.delete_row_us,
+        mutate.insert_vs_rebuild_ratio,
+        mutate.warm_entries_before,
+        mutate.warm_entries_after,
+        mutate.warm_preserved_pct,
+        mutate.unrelated_mutation_relearn_warm,
+        mutate.observables_identical,
+    );
+    println!(
+        "  \"reach_at_scale\": {{\"rows\": {}, \"index_build_ms\": {:.3}, \
+         \"learn_cold_ms\": {:.3}, \"learn_warm_ms\": {:.3}, \
+         \"count\": \"{}\", \"size\": {}, \"top_correct\": {}}},",
+        scale.rows,
+        scale.index_build_ms,
+        scale.learn_cold_ms,
+        scale.learn_warm_ms,
+        scale.count,
+        scale.size,
+        scale.top_correct,
+    );
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");

@@ -11,13 +11,16 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sst_benchmarks::{apply_column, BenchmarkTask, Category};
+use sst_benchmarks::{
+    apply_column, scaled_lookup_database, scaled_lookup_row, BenchmarkTask, Category,
+};
 use sst_core::{
     converge, generate_str_u, intersect_du_with, LuOptions, Pool, SemDStruct, SynthesisOptions,
     Synthesizer,
 };
 use sst_counting::BigUint;
 use sst_service::{Engine, LearnRequest};
+use sst_tables::{Database, SubstringIndex, Table, ValueIndex};
 
 /// Maximum examples the simulated user provides (the paper's tasks all
 /// converge within 3).
@@ -423,6 +426,201 @@ pub fn apply_micro(task: &BenchmarkTask, rows: usize, widths: &[usize]) -> Apply
         compiled_row_ns: per_row(compiled_time),
         column_rows_per_sec,
         outputs_match,
+    }
+}
+
+/// Single-row mutations timed per probe in [`mutate_micro`].
+const MUTATE_OPS: usize = 64;
+
+/// Metrics of the incremental database plane at scale — the `mutate`
+/// section of the perf snapshot. Timings probe index maintenance on an
+/// *owned* [`Database`] (no engine snapshot cloning in the loop), so the
+/// insert/update/delete numbers measure exactly the incremental
+/// `ValueIndex` + `SubstringIndex` + postings work.
+#[derive(Debug)]
+pub struct MutateReport {
+    /// Rows in the scaled lookup table.
+    pub rows: usize,
+    /// Building the two derived indexes from scratch over the table —
+    /// the cost every mutation *avoided* paying.
+    pub index_build_ms: f64,
+    /// Mean µs of one single-row insert, incrementally maintained.
+    pub insert_row_us: f64,
+    /// Mean µs of one cell overwrite.
+    pub update_cell_us: f64,
+    /// Mean µs of one single-row tombstone delete.
+    pub delete_row_us: f64,
+    /// `insert_row` time over `index_build` time (the acceptance bar is
+    /// ≤ 1/1000 at 10⁵ rows).
+    pub insert_vs_rebuild_ratio: f64,
+    /// Warm `DagCache` entries (dags + examples + intersections) before a
+    /// mutation to an *unrelated* table.
+    pub warm_entries_before: usize,
+    /// Warm entries surviving `validate_cache` after that mutation.
+    pub warm_entries_after: usize,
+    /// `100 · after / before` (the acceptance bar is ≥ 90, vs 0 under
+    /// wholesale invalidation).
+    pub warm_preserved_pct: f64,
+    /// Whether re-querying the session after the unrelated mutation hit
+    /// the cache (no new example-memo misses — no relearn).
+    pub unrelated_mutation_relearn_warm: bool,
+    /// Whether program count and structure size were bit-identical across
+    /// the mutation.
+    pub observables_identical: bool,
+}
+
+/// Probes the incremental mutation plane over a `rows`-row lookup table:
+/// index rebuild cost vs per-row incremental maintenance
+/// ([`MUTATE_OPS`] single-row inserts, updates, deletes), then warm-cache
+/// preservation — an [`Engine`] session learns over the big table, a
+/// small unrelated table is mutated, and the surviving `DagCache` entries
+/// and relearn behaviour are recorded.
+pub fn mutate_micro(rows: usize) -> MutateReport {
+    let (mut db, examples) = scaled_lookup_database(rows);
+    let big = db.table_id("Big").expect("Big exists");
+
+    // Rebuild cost of the derived indexes (the incremental plane's
+    // counterfactual).
+    let build_start = Instant::now();
+    let rebuilt = (
+        ValueIndex::build(db.table(big)),
+        SubstringIndex::build(db.table(big)),
+    );
+    let index_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    drop(rebuilt);
+
+    // Incremental single-row inserts: fresh bijective keys past the end
+    // of the table, so candidate keys stay unique.
+    let insert_start = Instant::now();
+    let mut new_rows = Vec::with_capacity(MUTATE_OPS);
+    for j in 0..MUTATE_OPS {
+        let ids = db
+            .insert_rows(big, vec![scaled_lookup_row(rows + j)])
+            .expect("insert probe");
+        new_rows.extend(ids);
+    }
+    let insert_row_us = insert_start.elapsed().as_secs_f64() * 1e6 / MUTATE_OPS as f64;
+
+    // Cell overwrites on the freshly inserted rows.
+    let update_start = Instant::now();
+    for (j, &r) in new_rows.iter().enumerate() {
+        db.update_cell(big, 1, r, &format!("W{j:08x}"))
+            .expect("update probe");
+    }
+    let update_cell_us = update_start.elapsed().as_secs_f64() * 1e6 / new_rows.len() as f64;
+
+    // Single-row tombstone deletes (64 dead rows over 10⁵ live ones —
+    // far from the compaction threshold, so this times the incremental
+    // path).
+    let delete_start = Instant::now();
+    for &r in &new_rows {
+        db.delete_rows(big, &[r]).expect("delete probe");
+    }
+    let delete_row_us = delete_start.elapsed().as_secs_f64() * 1e6 / new_rows.len() as f64;
+
+    // Warm-cache preservation: learn over `Big`, mutate an unrelated
+    // scratch table, and count what survives validation.
+    db.add_table(
+        Table::new(
+            "Scratch",
+            vec!["A", "B"],
+            vec![vec!["x1", "y1"], vec!["x2", "y2"]],
+        )
+        .expect("scratch table"),
+    )
+    .expect("scratch join");
+    let scratch = db.table_id("Scratch").expect("Scratch exists");
+    let engine = Engine::new(Arc::new(db));
+    let mut session = engine.session();
+    session.add_examples(examples);
+    let count_before = session.count().expect("scaled learn");
+    let size_before = session.size().expect("scaled learn");
+    let (d0, e0, i0) = engine.cache_entries();
+    let misses_before = engine.cache_stats().example_misses;
+
+    engine
+        .insert_rows(scratch, vec![vec!["x3", "y3"]])
+        .expect("unrelated mutation");
+    engine.validate_cache();
+    let (d1, e1, i1) = engine.cache_entries();
+    let count_after = session.count().expect("post-mutation query");
+    let size_after = session.size().expect("post-mutation query");
+
+    let warm_entries_before = d0 + e0 + i0;
+    let warm_entries_after = d1 + e1 + i1;
+    MutateReport {
+        rows,
+        index_build_ms,
+        insert_row_us,
+        update_cell_us,
+        delete_row_us,
+        insert_vs_rebuild_ratio: insert_row_us / 1e3 / index_build_ms,
+        warm_entries_before,
+        warm_entries_after,
+        warm_preserved_pct: if warm_entries_before == 0 {
+            100.0
+        } else {
+            100.0 * warm_entries_after as f64 / warm_entries_before as f64
+        },
+        unrelated_mutation_relearn_warm: engine.cache_stats().example_misses == misses_before,
+        observables_identical: count_after == count_before && size_after == size_before,
+    }
+}
+
+/// Learning-at-scale metrics — the `reach_at_scale` section of the perf
+/// snapshot: index build, cold and warm learn wall-clock over a
+/// `rows`-row lookup table, plus the converged observables.
+#[derive(Debug)]
+pub struct ScaleReport {
+    /// Rows in the scaled lookup table.
+    pub rows: usize,
+    /// `Database::from_tables` over the built table — `ValueIndex`,
+    /// `SubstringIndex` and postings construction at scale (the
+    /// memory-bandwidth probe).
+    pub index_build_ms: f64,
+    /// First `learn` over two examples (cold memo plane).
+    pub learn_cold_ms: f64,
+    /// Second identical `learn` (memo-served).
+    pub learn_warm_ms: f64,
+    /// Consistent-program count, scientific notation.
+    pub count: String,
+    /// Final structure size in terminal symbols.
+    pub size: usize,
+    /// Whether the top-ranked program maps a held-out key to its value.
+    pub top_correct: bool,
+}
+
+/// Measures index build and learning over a [`scaled_lookup_database`]
+/// of `rows` rows (10⁵–10⁶ in full snapshots, 2·10⁴ under `--smoke`).
+pub fn reach_at_scale(rows: usize) -> ScaleReport {
+    let table = sst_benchmarks::scaled_lookup_table(rows);
+    let build_start = Instant::now();
+    let db = Database::from_tables(vec![table]).expect("scaled database");
+    let index_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let (_, examples) = scaled_lookup_database(2);
+
+    let synthesizer = Synthesizer::new(Arc::new(db));
+    let cold_start = Instant::now();
+    let learned = synthesizer.learn(&examples).expect("scaled learn");
+    let learn_cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let warm_start = Instant::now();
+    let relearned = synthesizer.learn(&examples).expect("scaled relearn");
+    let learn_warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    drop(relearned);
+
+    let probe = scaled_lookup_row(rows / 2);
+    let top_correct = learned
+        .top()
+        .map(|p| p.run(&[&probe[0]]).as_deref() == Some(probe[1].as_str()))
+        .unwrap_or(false);
+    ScaleReport {
+        rows,
+        index_build_ms,
+        learn_cold_ms,
+        learn_warm_ms,
+        count: learned.count().to_scientific(),
+        size: learned.size(),
+        top_correct,
     }
 }
 

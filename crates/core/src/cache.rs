@@ -46,11 +46,24 @@
 //! lock with a double-check, keeping the first-inserted value canonical so
 //! racing writers converge on one shared allocation.
 //!
-//! All three levels are scoped to one database state: the cache records
-//! the [`Database::epoch`] it was filled under and [`DagCache::validate`]
-//! clears everything when the epoch moved (a background table added
-//! between learning steps changes reachability, so *no* cached result may
-//! survive). Epoch interning and uid assignment never restart, so stale
+//! # Validation
+//!
+//! Only the example memo is scoped to one database state. Per-value DAGs
+//! are pure functions of the ordered source-symbol list behind their
+//! `SourcesEpoch` key, and intersection entries are pure structural
+//! functions of the uid-named operand *values* — neither reads the
+//! database, so both survive every mutation. The cache records the
+//! [`Database::epoch`] it was filled under; [`DagCache::validate`] clears
+//! the example memo when the epoch moved, and the delta-aware
+//! [`DagCache::validate_db`] does better: it asks the database for the
+//! [`DbDelta`](sst_tables::DbDelta) spanning the move and *retains* every
+//! example entry whose recorded reads (the tables its `Select`s touch, the
+//! node values that drove its reachability) provably don't intersect the
+//! delta — so a row-level write into one background table leaves entries
+//! keyed to other tables warm. Structural mutations (a table added changes
+//! the default depth bound) and entries generated without the substring
+//! gate (whose activations aren't summarized by node values) fall back to
+//! eviction. Epoch interning and uid assignment never restart, so stale
 //! keys can never collide with post-mutation entries.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,7 +73,7 @@ use std::sync::Arc;
 
 use sst_lookup::NodeId;
 use sst_syntactic::Dag;
-use sst_tables::{Database, IntMap, Symbol};
+use sst_tables::{Database, IntMap, Symbol, TableId};
 
 use crate::dstruct::SemDStruct;
 
@@ -76,6 +89,33 @@ pub struct SourcesEpoch(u32);
 struct ExampleKey {
     inputs: Box<[Symbol]>,
     output: Symbol,
+}
+
+/// What one cached example structure *read* from the database, recorded at
+/// store time so [`DagCache::validate_db`] can prove a mutation span left
+/// the entry intact: the tables its `Select` programs touch, and every
+/// node value — the frontier strings whose substring relations drove
+/// reachability. A mutation that neither writes a read table nor touches a
+/// value substring-related to a node value cannot change the generation
+/// result (see `DbDelta::affects`).
+#[derive(Debug, Clone)]
+pub(crate) struct ExampleDeps {
+    /// Tables read by `Select` programs, sorted and deduplicated.
+    pub(crate) tables: Box<[TableId]>,
+    /// All node values (σ ∪ η̃), sorted and deduplicated.
+    pub(crate) vals: Box<[Symbol]>,
+}
+
+/// One example-memo entry: the structure, its uid, and (when the
+/// generation ran with the substring gate on) the reads that make it
+/// revalidatable across non-structural mutations.
+#[derive(Debug, Clone)]
+struct ExampleEntry {
+    uid: u64,
+    d: SemDStruct,
+    /// `None` = not revalidatable (gate-off generation): evicted on any
+    /// epoch move.
+    deps: Option<ExampleDeps>,
 }
 
 /// Cache hit/miss counters, exposed for benches and tests.
@@ -127,8 +167,8 @@ struct CacheState {
     /// `(sources epoch, value) → DAG of all expressions producing the
     /// value over that snapshot`.
     dags: IntMap<(u32, Symbol), Arc<Dag<NodeId>>>,
-    /// Whole-example generation memo: key → (uid, structure).
-    examples: IntMap<ExampleKey, (u64, SemDStruct)>,
+    /// Whole-example generation memo.
+    examples: IntMap<ExampleKey, ExampleEntry>,
     /// Example-pair intersection memo: operand uids → (uid, structure).
     intersections: IntMap<(u64, u64), (u64, SemDStruct)>,
 }
@@ -188,27 +228,52 @@ impl DagCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Rebinds the cache to `db_epoch`, clearing every entry when the
-    /// database mutated since the cache was filled. The common case — the
-    /// epoch did not move — is a read-lock check, so concurrent learns
-    /// validating the same state never contend.
+    /// Rebinds the cache to `db_epoch`, clearing the example memo when the
+    /// database mutated since the cache was filled. The per-value DAG and
+    /// intersection memos survive: they are pure functions of their keys
+    /// (source-symbol snapshots and operand uids) and never read the
+    /// database. The common case — the epoch did not move — is a read-lock
+    /// check, so concurrent learns validating the same state never
+    /// contend. Prefer [`DagCache::validate_db`], which retains example
+    /// entries a known mutation span provably left intact.
     pub fn validate(&self, db_epoch: u64) {
         if self.read().db_epoch == db_epoch {
             return;
         }
         let mut state = self.write();
         if state.db_epoch != db_epoch {
-            state.epochs.clear();
-            state.dags.clear();
             state.examples.clear();
-            state.intersections.clear();
             state.db_epoch = db_epoch;
         }
     }
 
-    /// [`DagCache::validate`] against a database.
+    /// Delta-aware [`DagCache::validate`]: when the epoch moved, asks the
+    /// database for the [`DbDelta`](sst_tables::DbDelta) spanning the move
+    /// and retains every revalidatable example entry the delta provably
+    /// didn't affect (no read table mutated, no touched value
+    /// substring-related to a node value). Falls back to clearing the
+    /// example memo when the span is structural, has left the journal, or
+    /// belongs to a diverged database lineage.
     pub fn validate_db(&self, db: &Database) {
-        self.validate(db.epoch());
+        let db_epoch = db.epoch();
+        if self.read().db_epoch == db_epoch {
+            return;
+        }
+        let mut state = self.write();
+        if state.db_epoch == db_epoch {
+            return;
+        }
+        match db.delta_since(state.db_epoch) {
+            Some(delta) if !delta.structural => {
+                state.examples.retain(|_, e| {
+                    e.deps
+                        .as_ref()
+                        .is_some_and(|deps| !delta.affects(&deps.tables, &deps.vals))
+                });
+            }
+            _ => state.examples.clear(),
+        }
+        state.db_epoch = db_epoch;
     }
 
     /// The database epoch the entries are valid for.
@@ -310,9 +375,9 @@ impl DagCache {
         };
         let state = self.read();
         match state.examples.get(&key) {
-            Some((uid, d)) if state.db_epoch == db_epoch => {
+            Some(e) if state.db_epoch == db_epoch => {
                 self.stats.example_hits.fetch_add(1, Ordering::Relaxed);
-                Some((*uid, d.clone()))
+                Some((e.uid, e.d.clone()))
             }
             _ => {
                 self.stats.example_misses.fetch_add(1, Ordering::Relaxed);
@@ -322,17 +387,20 @@ impl DagCache {
     }
 
     /// Stores a freshly generated per-example structure, returning its
-    /// uid. If a racing learn stored the key first, that (value-identical)
-    /// entry's uid wins; if the cache was concurrently rebound to a
-    /// different database epoch, the structure is *not* stored (it would
-    /// poison the new epoch's entries) and a fresh uid is returned — a
-    /// never-stored uid can only ever miss downstream.
+    /// uid. `deps` records what the generation read (for selective
+    /// retention by [`DagCache::validate_db`]); `None` marks the entry
+    /// non-revalidatable. If a racing learn stored the key first, that
+    /// (value-identical) entry's uid wins; if the cache was concurrently
+    /// rebound to a different database epoch, the structure is *not*
+    /// stored (it would poison the new epoch's entries) and a fresh uid is
+    /// returned — a never-stored uid can only ever miss downstream.
     pub(crate) fn store_example(
         &self,
         db_epoch: u64,
         inputs: &[Symbol],
         output: Symbol,
         d: &SemDStruct,
+        deps: Option<ExampleDeps>,
     ) -> u64 {
         let key = ExampleKey {
             inputs: inputs.into(),
@@ -342,14 +410,21 @@ impl DagCache {
         if state.db_epoch != db_epoch {
             return self.next_uid.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some((uid, _)) = state.examples.get(&key) {
-            return *uid;
+        if let Some(e) = state.examples.get(&key) {
+            return e.uid;
         }
         if state.examples.len() >= MAX_EXAMPLE_ENTRIES {
             state.examples.clear();
         }
         let uid = self.next_uid.fetch_add(1, Ordering::Relaxed);
-        state.examples.insert(key, (uid, d.clone()));
+        state.examples.insert(
+            key,
+            ExampleEntry {
+                uid,
+                d: d.clone(),
+                deps,
+            },
+        );
         uid
     }
 
@@ -437,24 +512,134 @@ mod tests {
     }
 
     #[test]
-    fn validate_clears_on_epoch_move_only() {
+    fn validate_clears_examples_on_epoch_move_only() {
         let c = DagCache::new();
         c.validate(7);
         let e = c.epoch_of(&[Symbol::intern("s")]);
         c.dag_for(e, Symbol::intern("v"), || dag(2));
+        c.store_example(
+            7,
+            &[Symbol::intern("vi")],
+            Symbol::intern("vo"),
+            &SemDStruct::default(),
+            None,
+        );
         c.validate(7);
         assert_eq!(c.dag_entries(), 1, "same epoch keeps entries");
+        assert_eq!(c.example_entries(), 1);
         c.validate(8);
-        assert_eq!(c.dag_entries(), 0, "moved epoch clears everything");
+        assert_eq!(
+            c.dag_entries(),
+            1,
+            "per-value DAGs are pure functions of their snapshot keys"
+        );
+        assert_eq!(
+            c.example_entries(),
+            0,
+            "moved epoch clears the example memo"
+        );
         assert_eq!(c.db_epoch(), 8);
+    }
+
+    #[test]
+    fn validate_db_retains_unaffected_examples() {
+        use sst_tables::{Database, Table};
+        let mut db = Database::from_tables(vec![
+            Table::new(
+                "Comp",
+                vec!["Id", "Name"],
+                vec![vec!["vc1", "VMicrosoft"], vec!["vc2", "VGoogle"]],
+            )
+            .unwrap(),
+            Table::new(
+                "Month",
+                vec!["MN", "MW"],
+                vec![vec!["vm1", "VJanuary"], vec!["vm2", "VFebruary"]],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let c = DagCache::new();
+        c.validate_db(&db);
+        let d = SemDStruct::default();
+        // An entry reading only Comp (table 0), one reading only Month
+        // (table 1), and a non-revalidatable one.
+        let deps0 = ExampleDeps {
+            tables: Box::new([0]),
+            vals: Box::new([Symbol::intern("vc2"), Symbol::intern("VGoogle")]),
+        };
+        let deps1 = ExampleDeps {
+            tables: Box::new([1]),
+            vals: Box::new([Symbol::intern("vm1"), Symbol::intern("VJanuary")]),
+        };
+        let epoch = db.epoch();
+        c.store_example(
+            epoch,
+            &[Symbol::intern("vc2")],
+            Symbol::intern("VGoogle"),
+            &d,
+            Some(deps0),
+        );
+        c.store_example(
+            epoch,
+            &[Symbol::intern("vm1")],
+            Symbol::intern("VJanuary"),
+            &d,
+            Some(deps1),
+        );
+        c.store_example(
+            epoch,
+            &[Symbol::intern("vx")],
+            Symbol::intern("vy"),
+            &d,
+            None,
+        );
+        assert_eq!(c.example_entries(), 3);
+
+        // A row insert into Month: the Comp entry survives, the Month
+        // entry and the non-revalidatable entry are evicted.
+        db.insert_rows(1, vec![vec!["vm3", "VMarch"]]).unwrap();
+        c.validate_db(&db);
+        assert_eq!(c.db_epoch(), db.epoch());
+        assert_eq!(c.example_entries(), 1, "only the Comp-only entry survives");
+        assert!(c
+            .example(
+                db.epoch(),
+                &[Symbol::intern("vc2")],
+                Symbol::intern("VGoogle")
+            )
+            .is_some());
+
+        // A mutation touching a value substring-related to the surviving
+        // entry's node values evicts it even though the table differs.
+        db.insert_rows(1, vec![vec!["vm4", "VGoogleplex"]]).unwrap();
+        c.validate_db(&db);
+        assert_eq!(c.example_entries(), 0, "substring-related delta evicts");
+
+        // A structural mutation clears wholesale.
+        let deps = ExampleDeps {
+            tables: Box::new([0]),
+            vals: Box::new([Symbol::intern("vc1")]),
+        };
+        c.store_example(
+            db.epoch(),
+            &[Symbol::intern("vc1")],
+            Symbol::intern("VMicrosoft"),
+            &d,
+            Some(deps),
+        );
+        db.add_table(Table::new("P", vec!["K"], vec![vec!["vk1"]]).unwrap())
+            .unwrap();
+        c.validate_db(&db);
+        assert_eq!(c.example_entries(), 0, "structural delta clears examples");
     }
 
     #[test]
     fn intersection_memo_keys_by_uid_pair() {
         let c = DagCache::new();
         let d = SemDStruct::default();
-        let ua = c.store_example(0, &[Symbol::intern("ia")], Symbol::intern("oa"), &d);
-        let ub = c.store_example(0, &[Symbol::intern("ib")], Symbol::intern("ob"), &d);
+        let ua = c.store_example(0, &[Symbol::intern("ia")], Symbol::intern("oa"), &d, None);
+        let ub = c.store_example(0, &[Symbol::intern("ib")], Symbol::intern("ob"), &d, None);
         assert_ne!(ua, ub, "distinct entries, distinct uids");
         assert!(c.intersection(0, ua, ub).is_none());
         let uid = c.store_intersection(0, ua, ub, &d);
@@ -468,16 +653,20 @@ mod tests {
         // A probe validated against a different db epoch must miss even
         // though the key is present (cross-database cache sharing).
         assert!(c.intersection(42, ua, ub).is_none());
-        // Validation to a new db state clears the memo but not uid
-        // monotonicity; stores against the *old* epoch are dropped.
+        // Validation to a new db state *keeps* the intersection memo: uids
+        // name operand values (monotone, never reused), so the pure
+        // `d₁ ∩ d₂` result stays sound across mutations.
         c.validate(99);
-        assert!(c.intersection(99, ua, ub).is_none());
-        let stale_uid = c.store_intersection(0, ua, ub, &d);
+        let (rebound_uid, _) = c.intersection(99, ua, ub).expect("pure memo survives");
+        assert_eq!(rebound_uid, uid);
+        // Stores against a stale epoch are still dropped (they could be
+        // mid-flight results from a diverged database sharing the cache).
+        let stale_uid = c.store_intersection(0, ub, ua, &d);
         assert!(stale_uid > uid, "uids never restart");
-        assert_eq!(c.intersection_entries(), 0, "stale-epoch store dropped");
-        let uid2 = c.store_intersection(99, ua, ub, &d);
+        assert_eq!(c.intersection_entries(), 1, "stale-epoch store dropped");
+        let uid2 = c.store_intersection(99, ub, ua, &d);
         assert!(uid2 > stale_uid, "uids never restart");
-        assert_eq!(c.intersection_entries(), 1);
+        assert_eq!(c.intersection_entries(), 2);
     }
 
     #[test]
@@ -486,8 +675,8 @@ mod tests {
         let d = SemDStruct::default();
         let ins = [Symbol::intern("fi")];
         let out = Symbol::intern("fo");
-        let u1 = c.store_example(0, &ins, out, &d);
-        let u2 = c.store_example(0, &ins, out, &d);
+        let u1 = c.store_example(0, &ins, out, &d, None);
+        let u2 = c.store_example(0, &ins, out, &d, None);
         assert_eq!(u1, u2, "re-store returns the canonical uid");
         let (hit, _) = c.example(0, &ins, out).expect("stored");
         assert_eq!(hit, u1);

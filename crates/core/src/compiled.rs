@@ -625,7 +625,7 @@ impl<'a> Lowerer<'a> {
                     // same partition `Symbol::get` + `find_unique_row_sym`
                     // computes per row.
                     let mut uniq: HashMap<Symbol, Option<u32>> = HashMap::new();
-                    for r in 0..t.len() as u32 {
+                    for r in t.row_ids() {
                         uniq.entry(t.cell_sym(*ccol, r))
                             .and_modify(|e| *e = None)
                             .or_insert(Some(r));

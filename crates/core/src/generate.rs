@@ -34,7 +34,7 @@ use sst_lookup::NodeId;
 use sst_syntactic::{generate_dag_prepared, Dag, GenOptions, PreparedSources};
 use sst_tables::{ColId, Database, IntMap, RowId, Symbol, TableId};
 
-use crate::cache::{DagCache, SourcesEpoch};
+use crate::cache::{DagCache, ExampleDeps, SourcesEpoch};
 use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 
 /// Options for `Lu` generation.
@@ -319,14 +319,27 @@ pub(crate) fn generate_str_u_keyed(
     // is deterministic in (db, inputs, output, opts), so an unmutated
     // database can serve the previous structure outright.
     let db_epoch = db.epoch();
-    cache.validate(db_epoch);
+    cache.validate_db(db);
     let ins: Vec<Symbol> = inputs.iter().map(|s| Symbol::intern(s)).collect();
     let out = Symbol::intern(output);
     if let Some((uid, hit)) = cache.example(db_epoch, &ins, out) {
         return (hit, uid);
     }
     let d = generate_str_u_impl(db, inputs, output, opts, Some(cache));
-    let uid = cache.store_example(db_epoch, &ins, out, &d);
+    // With the substring gate on, the structure's node values summarize
+    // exactly the strings that could activate cells, so recording the
+    // reads makes the entry revalidatable across unrelated row-level
+    // mutations; gate-off activations also depend on shared characters,
+    // which the summary cannot prove unaffected — those entries evict on
+    // any epoch move.
+    let deps = opts.substring_gate.then(|| {
+        let (tables, vals) = d.reads();
+        ExampleDeps {
+            tables: tables.into(),
+            vals: vals.into(),
+        }
+    });
+    let uid = cache.store_example(db_epoch, &ins, out, &d, deps);
     (d, uid)
 }
 

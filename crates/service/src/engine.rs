@@ -7,7 +7,7 @@ use sst_core::{
     Synthesizer,
 };
 use sst_par::Pool;
-use sst_tables::{Database, Table, TableId};
+use sst_tables::{ColId, Database, RowId, Symbol, Table, TableId};
 
 use crate::session::Session;
 use crate::types::{ApplyRequest, ApplyResponse, LearnRequest, LearnResponse, ServiceError};
@@ -132,6 +132,78 @@ impl Engine {
         // exactly once either way.
         let id = Arc::make_mut(&mut guard).add_table(table)?;
         Ok(id)
+    }
+
+    /// Appends rows to a background table for **all** sessions, returning
+    /// the new row ids. A row-level mutation, unlike [`Engine::add_table`],
+    /// is *non-structural*: the table's indexes are maintained
+    /// incrementally (microseconds per row, not a rebuild), and on the
+    /// next learn the shared DAG plane and each session's cached learn
+    /// revalidate against the mutation delta — entries that provably read
+    /// only other tables stay warm instead of cold-starting.
+    pub fn insert_rows<R: Into<String>>(
+        &self,
+        table: TableId,
+        rows: Vec<Vec<R>>,
+    ) -> Result<Vec<RowId>, ServiceError> {
+        let mut guard = self
+            .inner
+            .db
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::make_mut(&mut guard).insert_rows(table, rows)?)
+    }
+
+    /// Overwrites one cell for **all** sessions, returning the old value.
+    /// Same delta-aware invalidation as [`Engine::insert_rows`]; a
+    /// no-op write (the value did not change) moves no epoch at all.
+    pub fn update_cell(
+        &self,
+        table: TableId,
+        col: ColId,
+        row: RowId,
+        value: &str,
+    ) -> Result<Symbol, ServiceError> {
+        let mut guard = self
+            .inner
+            .db
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::make_mut(&mut guard).update_cell(table, col, row, value)?)
+    }
+
+    /// Deletes rows from a background table for **all** sessions,
+    /// returning how many live rows were removed. Deletes tombstone in
+    /// place (row ids stay stable) until garbage dominates the table, then
+    /// compact. Same delta-aware invalidation as [`Engine::insert_rows`].
+    pub fn delete_rows(&self, table: TableId, rows: &[RowId]) -> Result<usize, ServiceError> {
+        let mut guard = self
+            .inner
+            .db
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::make_mut(&mut guard).delete_rows(table, rows)?)
+    }
+
+    /// Revalidates the shared DAG plane against the current database
+    /// state *now* (it otherwise happens lazily on the next learn):
+    /// retained-entry counts become observable immediately, which the
+    /// mutation benchmarks use to measure warm-entry survival.
+    pub fn validate_cache(&self) {
+        self.inner.cache.validate_db(&self.read_db());
+    }
+
+    /// Entry counts of the shared memo plane `(per-value DAGs, examples,
+    /// intersections)` — alongside [`Engine::cache_stats`], the
+    /// observable the warm-across-mutation tests and benchmarks assert
+    /// on.
+    pub fn cache_entries(&self) -> (usize, usize, usize) {
+        let c = &self.inner.cache;
+        (
+            c.dag_entries(),
+            c.example_entries(),
+            c.intersection_entries(),
+        )
     }
 
     /// Learns one example set through the shared plane — the stateless

@@ -166,24 +166,44 @@ impl Session {
     /// (`status`, `distinguishing_input`) can end the mutable borrow
     /// before touching them — and so an `Err` never disturbs session
     /// state.
+    ///
+    /// When the database epoch moved under an unchanged example set, the
+    /// cached learn (and its compiled form) is kept — not re-learned, not
+    /// re-compiled — if the mutation span provably didn't affect it
+    /// ([`LearnedPrograms::survives`]): the span is row-level, and no
+    /// mutated table or touched value intersects what the learn read. A
+    /// row inserted into one background table therefore leaves every
+    /// session whose programs read other tables fully warm; a table
+    /// *added* (structural — it changes the default lookup depth) still
+    /// invalidates everyone.
     fn ensure_learned(&mut self) -> Result<(), ServiceError> {
         let synthesizer = self.engine.synthesizer();
-        let db_epoch = synthesizer.db().epoch();
-        let stale = match &self.learned {
-            Some(cached) => {
-                cached.db_epoch != db_epoch || cached.examples_len != self.examples.len()
+        let db = synthesizer.db_arc();
+        let db_epoch = db.epoch();
+        if let Some(cached) = &mut self.learned {
+            if cached.examples_len == self.examples.len() {
+                if cached.db_epoch == db_epoch {
+                    return Ok(());
+                }
+                let survives = db
+                    .delta_since(cached.db_epoch)
+                    .is_some_and(|delta| cached.learned.survives(&delta));
+                if survives {
+                    // Re-bind to the new epoch: the programs' own database
+                    // snapshot only probes unmutated tables, so every
+                    // observable stays bit-identical.
+                    cached.db_epoch = db_epoch;
+                    return Ok(());
+                }
             }
-            None => true,
-        };
-        if stale {
-            let learned = synthesizer.learn(&self.examples)?;
-            self.learned = Some(CachedLearn {
-                db_epoch,
-                examples_len: self.examples.len(),
-                learned,
-                compiled_top: None,
-            });
         }
+        let learned = synthesizer.learn(&self.examples)?;
+        self.learned = Some(CachedLearn {
+            db_epoch,
+            examples_len: self.examples.len(),
+            learned,
+            compiled_top: None,
+        });
         Ok(())
     }
 

@@ -255,6 +255,76 @@ fn add_table_bumps_epoch_once_and_invalidates_every_session() {
     assert!(matches!(err, ServiceError::Table(_)));
 }
 
+/// The mutation satellite: a row-level write to a table no learned program
+/// reads must keep other sessions warm — no re-learn, no re-compile, warm
+/// shared-plane entries preserved — while a write to a table the program
+/// *does* read still invalidates.
+#[test]
+fn unrelated_mutation_keeps_sessions_and_plane_warm() {
+    let engine = Engine::from_tables(vec![
+        comp_table(),
+        Table::new(
+            "Scratch",
+            vec!["K", "V"],
+            vec![vec!["zk1", "zv1"], vec!["zk2", "zv2"]],
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+    let mut session = engine.session();
+    session.add_example(Example::new(vec!["c2"], "Google"));
+    let col: Vec<Vec<String>> = vec![vec!["c1".into()], vec!["c3".into()]];
+    let warm = session.run_column(&col).unwrap();
+    assert_eq!(
+        warm,
+        vec![Some("Microsoft".to_string()), Some("Apple".to_string())]
+    );
+    let compiled_before = session.compiled_top().unwrap();
+    let stats_before = engine.cache_stats();
+    let entries_before = engine.cache_entries();
+    assert!(entries_before.1 > 0, "the learn warmed the example memo");
+    let epoch_before = engine.db_epoch();
+
+    // Insert, update and delete rows of the table the program never
+    // reads.
+    engine.insert_rows(1, vec![vec!["zk3", "zv3"]]).unwrap();
+    engine.update_cell(1, 1, 0, "zv1b").unwrap();
+    engine.delete_rows(1, &[1]).unwrap();
+    assert_ne!(engine.db_epoch(), epoch_before, "mutations move the epoch");
+
+    // The session's compiled run_column path stays warm: identical
+    // outputs, the same compiled allocation, and no fresh generation
+    // through the shared plane.
+    assert_eq!(session.run_column(&col).unwrap(), warm);
+    let compiled_after = session.compiled_top().unwrap();
+    assert!(
+        Arc::ptr_eq(&compiled_before, &compiled_after),
+        "unrelated mutation must not recompile the top program"
+    );
+    let stats_after = engine.cache_stats();
+    assert_eq!(
+        stats_after.example_misses, stats_before.example_misses,
+        "unrelated mutation must not force a regeneration"
+    );
+
+    // The shared plane revalidates without losing a single entry.
+    engine.validate_cache();
+    assert_eq!(engine.cache_entries(), entries_before);
+
+    // A write to the table the program READS invalidates: the session
+    // re-learns against the new state and sees the new cell.
+    engine.update_cell(0, 1, 0, "Microsofty").unwrap();
+    assert_eq!(
+        session.run(&["c1"]).unwrap().as_deref(),
+        Some("Microsofty"),
+        "related mutation must re-learn"
+    );
+    assert!(
+        engine.cache_stats().example_misses > stats_after.example_misses,
+        "related mutation regenerates through the plane"
+    );
+}
+
 #[test]
 fn failed_learns_do_not_disturb_session_state() {
     // Regression: status()/distinguishing_input() used to lose the

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::table::{ColId, RowId};
+
 /// Errors raised while building or querying tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableError {
@@ -28,6 +30,22 @@ pub enum TableError {
     UnknownTable(String),
     /// A table was declared with no columns.
     EmptyTable(String),
+    /// A mutation named a row id beyond the table's slots.
+    RowOutOfRange {
+        /// Offending row id.
+        row: RowId,
+        /// Row slots in the table (live + tombstoned).
+        slots: usize,
+    },
+    /// A mutation named a tombstoned (already deleted) row.
+    DeadRow(RowId),
+    /// A mutation named a column index beyond the table's width.
+    ColumnOutOfRange {
+        /// Offending column index.
+        col: ColId,
+        /// Columns in the table.
+        width: usize,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -53,6 +71,13 @@ impl fmt::Display for TableError {
             TableError::DuplicateTable(name) => write!(f, "duplicate table name `{name}`"),
             TableError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             TableError::EmptyTable(name) => write!(f, "table `{name}` has no columns"),
+            TableError::RowOutOfRange { row, slots } => {
+                write!(f, "row {row} is out of range ({slots} slots)")
+            }
+            TableError::DeadRow(row) => write!(f, "row {row} is already deleted"),
+            TableError::ColumnOutOfRange { col, width } => {
+                write!(f, "column {col} is out of range ({width} columns)")
+            }
         }
     }
 }

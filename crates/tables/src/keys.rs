@@ -20,8 +20,8 @@ pub fn is_unique_key(table: &Table, cols: &[ColId]) -> bool {
         return table.len() <= 1;
     }
     let mut seen: HashSet<Vec<Symbol>> = HashSet::with_capacity(table.len());
-    for row in table.iter_rows() {
-        let key: Vec<Symbol> = cols.iter().map(|&c| row[c as usize]).collect();
+    for r in table.row_ids() {
+        let key: Vec<Symbol> = cols.iter().map(|&c| table.cell_sym(c, r)).collect();
         if !seen.insert(key) {
             return false;
         }

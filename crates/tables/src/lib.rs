@@ -17,6 +17,22 @@
 //! The paper assumes Excel provides this substrate; here it is built from
 //! scratch, including minimal-candidate-key inference and a small CSV reader
 //! used by the examples.
+//!
+//! # Mutating tables at scale
+//!
+//! Tables are stored **columnar** (one contiguous `Vec<Symbol>` per
+//! column) and are mutable in place: [`Database::insert_rows`],
+//! [`Database::update_cell`] and [`Database::delete_rows`] maintain the
+//! [`ValueIndex`], the [`SubstringIndex`] postings and the per-column
+//! probe maps *incrementally*, so a single-row write into a 10⁵–10⁶-row
+//! background table costs microseconds instead of an index rebuild.
+//! Deletes tombstone rows (ids stay stable) until garbage dominates, then
+//! compact. Every mutation draws a globally fresh [`Database::epoch`] and
+//! stamps the per-table [`Database::table_epochs`] entry;
+//! [`Database::delta_since`] summarizes a span of mutations as a
+//! [`DbDelta`] (which tables, which cell values, structural or not) so
+//! upstream caches can keep entries that provably didn't change instead of
+//! invalidating wholesale.
 
 mod csv;
 mod database;
@@ -29,7 +45,7 @@ mod table;
 mod value_index;
 
 pub use csv::{parse_csv, write_csv, CsvError};
-pub use database::{Database, TableId};
+pub use database::{Database, DbDelta, TableId};
 pub use error::TableError;
 pub use intern::{IntHasher, IntMap, Symbol, SymbolMap};
 pub use progset::ProgSet;

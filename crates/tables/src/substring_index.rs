@@ -31,11 +31,22 @@
 //! Empty values are never indexed and empty probes never relate, matching
 //! the [`crate::Table::cells_related_to`] scan, which remains in the tree as
 //! this index's correctness oracle (see the property tests).
+//!
+//! The index is **incrementally maintainable** for the row-mutation plane:
+//! every distinct value carries a refcount of the live cells holding it
+//! ([`SubstringIndex::insert_value`] / [`SubstringIndex::remove_value`]),
+//! postings are kept sorted by binary insertion so entries can be spliced
+//! out, and freed value ids go on a free list for reuse. Dense-id
+//! *numbering* may therefore diverge from a fresh build's after
+//! delete/reinsert churn — equivalence with a rebuild is pinned at the
+//! answer level ([`SubstringIndex::related_values`] sets), which is all any
+//! consumer observes (the `GenerateStr_u` gate canonicalizes candidate
+//! order).
 
 use std::collections::HashMap;
 
 use crate::intern::Symbol;
-use crate::table::{ColId, RowId, Table};
+use crate::table::{ColId, Table};
 
 /// Gram width of the long-probe postings. Values shorter than `Q` are
 /// covered by the short-gram side table.
@@ -47,12 +58,18 @@ pub const Q: usize = 3;
 /// string data of its own.
 #[derive(Debug, Clone, Default)]
 pub struct SubstringIndex {
-    /// Distinct non-empty values, dense ids in first-occurrence order.
+    /// Value per dense id; slots of freed ids are stale until reused.
     vals: Vec<Symbol>,
-    /// Full value bytes → dense id (the `v ⊑ s` window probe).
+    /// Live cells holding each id's value; `0` = the id slot is free.
+    refs: Vec<u32>,
+    /// Freed ids awaiting reuse.
+    free: Vec<u32>,
+    /// Full value bytes → dense id (the `v ⊑ s` window probe); live values
+    /// only.
     exact: HashMap<&'static [u8], u32>,
-    /// Distinct byte lengths of indexed values, ascending.
-    lens: Vec<u32>,
+    /// `(byte length, distinct live values of that length)`, ascending by
+    /// length.
+    lens: Vec<(u32, u32)>,
     /// q-gram → ids of values (length ≥ `Q`) containing it, ascending.
     grams: HashMap<&'static [u8], Vec<u32>>,
     /// Short gram (length `1..Q`) → ids of values containing it, ascending.
@@ -60,47 +77,98 @@ pub struct SubstringIndex {
 }
 
 impl SubstringIndex {
-    /// Builds the index over one table's distinct non-empty values.
+    /// Builds the index over one table's live cells.
     pub fn build(table: &Table) -> Self {
         let mut idx = SubstringIndex::default();
-        for r in 0..table.len() {
+        for r in table.row_ids() {
             for c in 0..table.width() {
-                idx.insert_value(table.cell_sym(c as ColId, r as RowId));
+                idx.insert_value(table.cell_sym(c as ColId, r));
             }
         }
         idx
     }
 
-    fn insert_value(&mut self, v: Symbol) {
+    /// Records one more live cell holding `v`, indexing the value if it is
+    /// new. Empty values are never indexed.
+    pub fn insert_value(&mut self, v: Symbol) {
         if v.is_empty() {
             return;
         }
         let bytes = v.as_str().as_bytes();
-        if self.exact.contains_key(bytes) {
+        if let Some(&id) = self.exact.get(bytes) {
+            self.refs[id as usize] += 1;
             return;
         }
-        let id = self.vals.len() as u32;
-        self.vals.push(v);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.vals[id as usize] = v;
+                self.refs[id as usize] = 1;
+                id
+            }
+            None => {
+                let id = self.vals.len() as u32;
+                self.vals.push(v);
+                self.refs.push(1);
+                id
+            }
+        };
         self.exact.insert(bytes, id);
         let len = bytes.len() as u32;
-        if let Err(pos) = self.lens.binary_search(&len) {
-            self.lens.insert(pos, len);
+        match self.lens.binary_search_by_key(&len, |&(l, _)| l) {
+            Ok(pos) => self.lens[pos].1 += 1,
+            Err(pos) => self.lens.insert(pos, (len, 1)),
         }
         if bytes.len() >= Q {
             for gram in bytes.windows(Q) {
-                push_posting(self.grams.entry(gram).or_default(), id);
+                posting_insert(self.grams.entry(gram).or_default(), id);
             }
         }
         for glen in 1..Q.min(bytes.len() + 1) {
             for gram in bytes.windows(glen) {
-                push_posting(self.short.entry(gram).or_default(), id);
+                posting_insert(self.short.entry(gram).or_default(), id);
             }
         }
     }
 
+    /// Records that one live cell holding `v` disappeared; the value is
+    /// un-indexed (postings spliced out, id freed) when its last cell goes.
+    /// A value never indexed is ignored.
+    pub fn remove_value(&mut self, v: Symbol) {
+        if v.is_empty() {
+            return;
+        }
+        let bytes = v.as_str().as_bytes();
+        let Some(&id) = self.exact.get(bytes) else {
+            return;
+        };
+        self.refs[id as usize] -= 1;
+        if self.refs[id as usize] > 0 {
+            return;
+        }
+        self.exact.remove(bytes);
+        let len = bytes.len() as u32;
+        if let Ok(pos) = self.lens.binary_search_by_key(&len, |&(l, _)| l) {
+            self.lens[pos].1 -= 1;
+            if self.lens[pos].1 == 0 {
+                self.lens.remove(pos);
+            }
+        }
+        if bytes.len() >= Q {
+            for gram in bytes.windows(Q) {
+                posting_remove(&mut self.grams, gram, id);
+            }
+        }
+        for glen in 1..Q.min(bytes.len() + 1) {
+            for gram in bytes.windows(glen) {
+                posting_remove(&mut self.short, gram, id);
+            }
+        }
+        self.free.push(id);
+    }
+
     /// Number of distinct indexed values.
     pub fn distinct_len(&self) -> usize {
-        self.vals.len()
+        self.exact.len()
     }
 
     /// All distinct values in a substring relation with `s`: `v ⊑ s` or
@@ -113,7 +181,7 @@ impl SubstringIndex {
     /// is the value equal to `s` itself (`v ⊑ s ∧ s ⊑ v ⇒ v = s`).
     pub fn related_values(&self, s: &str) -> Vec<Symbol> {
         let mut out = Vec::new();
-        if s.is_empty() || self.vals.is_empty() {
+        if s.is_empty() || self.exact.is_empty() {
             return out;
         }
         let sb = s.as_bytes();
@@ -123,7 +191,7 @@ impl SubstringIndex {
         // dedup against the ids emitted so far — a list bounded by the
         // answer size, not the table.
         let mut emitted: Vec<u32> = Vec::new();
-        for &len in &self.lens {
+        for &(len, _) in &self.lens {
             let len = len as usize;
             if len > sb.len() {
                 break; // lens ascend
@@ -178,11 +246,24 @@ impl SubstringIndex {
     }
 }
 
-/// Appends `id` unless it is already the last entry (build order visits each
-/// value's grams consecutively, so duplicates within one value are adjacent).
-fn push_posting(posting: &mut Vec<u32>, id: u32) {
-    if posting.last() != Some(&id) {
-        posting.push(id);
+/// Splices `id` into a sorted postings list; a gram repeated within one
+/// value probes as already-present and is posted once.
+fn posting_insert(posting: &mut Vec<u32>, id: u32) {
+    if let Err(pos) = posting.binary_search(&id) {
+        posting.insert(pos, id);
+    }
+}
+
+/// Splices `id` out of a gram's postings, dropping the entry when it
+/// empties (so churn never strands empty lists).
+fn posting_remove(postings: &mut HashMap<&'static [u8], Vec<u32>>, gram: &[u8], id: u32) {
+    if let Some(posting) = postings.get_mut(gram) {
+        if let Ok(pos) = posting.binary_search(&id) {
+            posting.remove(pos);
+        }
+        if posting.is_empty() {
+            postings.remove(gram);
+        }
     }
 }
 
@@ -268,5 +349,46 @@ mod tests {
         let idx = index(&["aaaa"]);
         assert_eq!(related(&idx, "aa"), vec!["aaaa"]);
         assert_eq!(related(&idx, "aaaaaa"), vec!["aaaa"]);
+    }
+
+    #[test]
+    fn refcounts_survive_duplicate_removal() {
+        let mut idx = index(&["dup", "dup", "other"]);
+        // Removing one of two "dup" cells keeps the value indexed.
+        idx.remove_value(Symbol::intern("dup"));
+        assert_eq!(related(&idx, "dup"), vec!["dup"]);
+        // Removing the last strips it everywhere.
+        idx.remove_value(Symbol::intern("dup"));
+        assert!(idx.related_values("dup").is_empty());
+        assert!(idx.related_values("du").is_empty());
+        assert_eq!(related(&idx, "other"), vec!["other"]);
+    }
+
+    #[test]
+    fn removed_then_reinserted_answers_like_rebuild() {
+        let mut idx = index(&["Microsoft", "Google", "naïve"]);
+        idx.remove_value(Symbol::intern("Google"));
+        idx.insert_value(Symbol::intern("Alphabet"));
+        idx.insert_value(Symbol::intern("Google"));
+        let fresh = index(&["Microsoft", "naïve", "Alphabet", "Google"]);
+        for probe in [
+            "Google",
+            "soft",
+            "Alphabet Google",
+            "aï",
+            "zz",
+            "",
+            "Microsoft Office",
+        ] {
+            assert_eq!(related(&idx, probe), related(&fresh, probe), "{probe:?}");
+        }
+    }
+
+    #[test]
+    fn remove_unknown_value_is_noop() {
+        let mut idx = index(&["abc"]);
+        idx.remove_value(Symbol::intern("never-indexed"));
+        idx.remove_value(Symbol::intern(""));
+        assert_eq!(related(&idx, "abc"), vec!["abc"]);
     }
 }

@@ -12,6 +12,12 @@ pub type ColId = u32;
 /// Row index within a table.
 pub type RowId = u32;
 
+/// Tombstone threshold: a table compacts once at least this many dead slots
+/// have accumulated *and* they outnumber the live rows (see
+/// [`Table::should_compact`]). Small tables never compact — rewriting a
+/// handful of rows costs more than the tombstone scan it saves.
+const COMPACT_MIN_DEAD: usize = 32;
+
 /// A cell coordinate within one table (the owning [`crate::TableId`] is
 /// carried separately by [`crate::Database`] queries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,23 +28,46 @@ pub struct CellRef {
     pub row: RowId,
 }
 
-/// An immutable string table with named columns and candidate keys.
+/// A mutable string table with named columns and candidate keys.
 ///
-/// Rows and columns are dense; every cell is an interned [`Symbol`], so
-/// cloning a table is cheap and cell equality is an integer compare.
-/// Candidate keys are *ordered* column lists — the ordering matters because
-/// the paper's `Intersect_t` intersects key predicates positionally
-/// (Fig. 5b).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Cells are stored **columnar**: one contiguous `Vec<Symbol>` per column,
+/// so whole-column scans (`cells_related_to`, the compiled `Op::Probe`
+/// probe-map build) stream u32 symbol ids at memory bandwidth instead of
+/// chasing one heap allocation per row. Every cell is an interned
+/// [`Symbol`], so cloning a table is cheap and cell equality is an integer
+/// compare. Candidate keys are *ordered* column lists — the ordering
+/// matters because the paper's `Intersect_t` intersects key predicates
+/// positionally (Fig. 5b).
+///
+/// # Mutation and row ids
+///
+/// [`Table::insert_rows`] appends new slots; [`Table::delete_rows`]
+/// *tombstones* slots (cheap, id-stable) until enough garbage accumulates
+/// that [`Table::compact`] rewrites the columns densely. Row ids are
+/// therefore **slot** ids: stable across insert/update/delete, renumbered
+/// only by compaction. [`Table::len`] counts live rows; iteration
+/// ([`Table::row_ids`], [`Table::iter_cells`]) visits live rows in
+/// ascending slot order, which preserves original insertion order.
+///
+/// Candidate keys are inferred (or declared) at construction and **not**
+/// re-checked on mutation: a mutated table may transiently violate a key,
+/// and [`Table::find_unique_row`] already scans defensively, answering
+/// `None` on ambiguity.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns: Vec<String>,
-    rows: Vec<Vec<Symbol>>,
+    /// Columnar cell storage: `cols[c][r]`, including dead slots.
+    cols: Vec<Vec<Symbol>>,
+    /// Liveness per row slot (`false` = tombstoned by `delete_rows`).
+    live: Vec<bool>,
+    /// Number of live slots (`live.iter().filter(|l| **l).count()`).
+    live_rows: usize,
     candidate_keys: Vec<Vec<ColId>>,
-    /// `(column, value)` → rows holding it, ascending — the `Select`
-    /// evaluator's probe ([`Table::find_unique_row_sym`]). Derived from
-    /// `rows` at construction, so it never affects table equality beyond
-    /// what `rows` already decides.
+    /// `(column, value)` → live rows holding it, ascending — the `Select`
+    /// evaluator's probe ([`Table::find_unique_row_sym`]). Maintained
+    /// incrementally by every mutation; entries whose last row disappears
+    /// are removed, so the map always equals a fresh build's.
     col_postings: IntMap<(ColId, Symbol), Vec<RowId>>,
 }
 
@@ -89,16 +118,17 @@ impl Table {
         Self::new(name.to_string(), header, rows)
     }
 
-    /// Serializes the table (header + rows) as CSV text; round-trips
+    /// Serializes the table (header + live rows) as CSV text; round-trips
     /// through [`Table::from_csv`] up to key inference.
     pub fn to_csv(&self) -> String {
-        let mut all: Vec<Vec<String>> = Vec::with_capacity(self.rows.len() + 1);
+        let mut all: Vec<Vec<String>> = Vec::with_capacity(self.live_rows + 1);
         all.push(self.columns.clone());
-        all.extend(
-            self.rows
+        all.extend(self.row_ids().map(|r| {
+            self.cols
                 .iter()
-                .map(|row| row.iter().map(|s| s.as_str().to_string()).collect()),
-        );
+                .map(|col| col[r as usize].as_str().to_string())
+                .collect()
+        }));
         crate::csv::write_csv(&all)
     }
 
@@ -153,7 +183,9 @@ impl Table {
                 return Err(TableError::DuplicateColumn(col.clone()));
             }
         }
-        let mut converted = Vec::with_capacity(rows.len());
+        let n_rows = rows.len();
+        let mut cols: Vec<Vec<Symbol>> =
+            columns.iter().map(|_| Vec::with_capacity(n_rows)).collect();
         for (i, row) in rows.into_iter().enumerate() {
             let row: Vec<Symbol> = row
                 .into_iter()
@@ -166,24 +198,192 @@ impl Table {
                     expected: columns.len(),
                 });
             }
-            converted.push(row);
-        }
-        let mut col_postings: IntMap<(ColId, Symbol), Vec<RowId>> = IntMap::default();
-        for (r, row) in converted.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
-                col_postings
-                    .entry((c as ColId, v))
+                cols[c].push(v);
+            }
+        }
+        let mut table = Table {
+            name,
+            columns,
+            cols,
+            live: vec![true; n_rows],
+            live_rows: n_rows,
+            candidate_keys: Vec::new(),
+            col_postings: IntMap::default(),
+        };
+        table.rebuild_postings();
+        Ok(table)
+    }
+
+    fn rebuild_postings(&mut self) {
+        self.col_postings.clear();
+        for r in 0..self.live.len() {
+            if !self.live[r] {
+                continue;
+            }
+            for (c, col) in self.cols.iter().enumerate() {
+                self.col_postings
+                    .entry((c as ColId, col[r]))
                     .or_default()
                     .push(r as RowId);
             }
         }
-        Ok(Table {
-            name,
-            columns,
-            rows: converted,
-            candidate_keys: Vec::new(),
-            col_postings,
-        })
+    }
+
+    fn posting_insert(&mut self, col: ColId, value: Symbol, row: RowId) {
+        let list = self.col_postings.entry((col, value)).or_default();
+        if let Err(pos) = list.binary_search(&row) {
+            list.insert(pos, row);
+        }
+    }
+
+    fn posting_remove(&mut self, col: ColId, value: Symbol, row: RowId) {
+        if let Some(list) = self.col_postings.get_mut(&(col, value)) {
+            if let Ok(pos) = list.binary_search(&row) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.col_postings.remove(&(col, value));
+            }
+        }
+    }
+
+    fn check_live(&self, row: RowId) -> Result<(), TableError> {
+        if row as usize >= self.live.len() {
+            return Err(TableError::RowOutOfRange {
+                row,
+                slots: self.live.len(),
+            });
+        }
+        if !self.live[row as usize] {
+            return Err(TableError::DeadRow(row));
+        }
+        Ok(())
+    }
+
+    /// Appends rows, returning their (stable) row ids. Validates the whole
+    /// batch first, so a ragged batch mutates nothing.
+    pub fn insert_rows<R: Into<String>>(
+        &mut self,
+        rows: Vec<Vec<R>>,
+    ) -> Result<Vec<RowId>, TableError> {
+        let mut converted: Vec<Vec<Symbol>> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.into_iter().enumerate() {
+            let row: Vec<Symbol> = row
+                .into_iter()
+                .map(|cell| Symbol::intern(&cell.into()))
+                .collect();
+            if row.len() != self.columns.len() {
+                return Err(TableError::RaggedRow {
+                    row: i,
+                    found: row.len(),
+                    expected: self.columns.len(),
+                });
+            }
+            converted.push(row);
+        }
+        let mut ids = Vec::with_capacity(converted.len());
+        for row in converted {
+            let r = self.live.len() as RowId;
+            self.live.push(true);
+            self.live_rows += 1;
+            for (c, &v) in row.iter().enumerate() {
+                self.cols[c].push(v);
+                // A fresh slot id exceeds every existing id, so a plain
+                // push keeps the posting list ascending.
+                self.col_postings
+                    .entry((c as ColId, v))
+                    .or_default()
+                    .push(r);
+            }
+            ids.push(r);
+        }
+        Ok(ids)
+    }
+
+    /// Overwrites one live cell, returning the previous value. Writing the
+    /// value already present is a no-op (the old value is still returned).
+    pub fn update_cell(
+        &mut self,
+        col: ColId,
+        row: RowId,
+        value: &str,
+    ) -> Result<Symbol, TableError> {
+        if col as usize >= self.columns.len() {
+            return Err(TableError::ColumnOutOfRange {
+                col,
+                width: self.columns.len(),
+            });
+        }
+        self.check_live(row)?;
+        let old = self.cols[col as usize][row as usize];
+        let new = Symbol::intern(value);
+        if new == old {
+            return Ok(old);
+        }
+        self.cols[col as usize][row as usize] = new;
+        self.posting_remove(col, old, row);
+        self.posting_insert(col, new, row);
+        Ok(old)
+    }
+
+    /// Tombstones rows, returning each removed row's cells (callers
+    /// maintaining derived indexes need the pre-removal values). Validates
+    /// the whole batch — including in-batch duplicates — before touching
+    /// anything, so an invalid batch mutates nothing. Slots stay allocated
+    /// until [`Table::compact`].
+    pub fn delete_rows(&mut self, rows: &[RowId]) -> Result<Vec<(RowId, Vec<Symbol>)>, TableError> {
+        let mut seen = HashSet::with_capacity(rows.len());
+        for &r in rows {
+            self.check_live(r)?;
+            if !seen.insert(r) {
+                return Err(TableError::DeadRow(r));
+            }
+        }
+        let mut removed = Vec::with_capacity(rows.len());
+        for &r in rows {
+            let vals: Vec<Symbol> = self.cols.iter().map(|col| col[r as usize]).collect();
+            for (c, &v) in vals.iter().enumerate() {
+                self.posting_remove(c as ColId, v, r);
+            }
+            self.live[r as usize] = false;
+            self.live_rows -= 1;
+            removed.push((r, vals));
+        }
+        Ok(removed)
+    }
+
+    /// Whether enough tombstones have accumulated that [`Table::compact`]
+    /// is worth running: dead slots both exceed a fixed floor and outnumber
+    /// the live rows.
+    pub fn should_compact(&self) -> bool {
+        let dead = self.live.len() - self.live_rows;
+        dead >= COMPACT_MIN_DEAD && dead > self.live_rows
+    }
+
+    /// Rewrites the columns densely, dropping tombstoned slots. Live rows
+    /// keep their relative order but are **renumbered**; per-column
+    /// postings are rebuilt. Callers holding derived per-row state (the
+    /// database's value/substring indexes) must rebuild it. Returns whether
+    /// anything moved.
+    pub fn compact(&mut self) -> bool {
+        if self.live_rows == self.live.len() {
+            return false;
+        }
+        for col in &mut self.cols {
+            let mut w = 0;
+            for r in 0..self.live.len() {
+                if self.live[r] {
+                    col[w] = col[r];
+                    w += 1;
+                }
+            }
+            col.truncate(w);
+            col.shrink_to_fit();
+        }
+        self.live = vec![true; self.live_rows];
+        self.rebuild_postings();
+        true
     }
 
     /// Table name.
@@ -201,14 +401,31 @@ impl Table {
         self.columns.len()
     }
 
-    /// Number of rows.
+    /// Number of **live** rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.live_rows
     }
 
-    /// True iff the table has no rows.
+    /// True iff the table has no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.live_rows == 0
+    }
+
+    /// Number of row slots, live and tombstoned — the exclusive upper bound
+    /// of valid row ids. Equals [`Table::len`] when no deletes are pending
+    /// compaction.
+    pub fn slots(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether a row id names a live (in-range, non-tombstoned) row.
+    pub fn is_live(&self, row: RowId) -> bool {
+        (row as usize) < self.live.len() && self.live[row as usize]
+    }
+
+    /// Live row ids, ascending (original insertion order).
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.live.len() as RowId).filter(move |&r| self.live[r as usize])
     }
 
     /// Resolves a column name to its index.
@@ -226,35 +443,41 @@ impl Table {
 
     /// Cell content at `(col, row)`.
     pub fn cell(&self, col: ColId, row: RowId) -> &'static str {
-        self.rows[row as usize][col as usize].as_str()
+        self.cols[col as usize][row as usize].as_str()
     }
 
     /// Interned cell at `(col, row)` — the hot-path accessor: no string
     /// resolution, equality by id.
     pub fn cell_sym(&self, col: ColId, row: RowId) -> Symbol {
-        self.rows[row as usize][col as usize]
+        self.cols[col as usize][row as usize]
     }
 
-    /// A full row as a slice of interned cells.
-    pub fn row(&self, row: RowId) -> &[Symbol] {
-        &self.rows[row as usize]
+    /// A full row as interned cells (gathered across the column arrays).
+    pub fn row(&self, row: RowId) -> Vec<Symbol> {
+        self.cols.iter().map(|col| col[row as usize]).collect()
     }
 
-    /// Iterates over all rows as interned cells.
-    pub fn iter_rows(&self) -> impl Iterator<Item = &[Symbol]> {
-        self.rows.iter().map(|r| r.as_slice())
+    /// Live rows holding `value` in `col`, ascending — the raw posting
+    /// list behind [`Table::find_unique_row_sym`], exposed so differential
+    /// tests can compare incrementally-maintained postings against a fresh
+    /// build's.
+    pub fn rows_with(&self, col: ColId, value: Symbol) -> &[RowId] {
+        self.col_postings
+            .get(&(col, value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// Iterates over every cell as `(CellRef, &str)`.
+    /// Iterates every live cell as `(CellRef, &str)`, row-major.
     pub fn iter_cells(&self) -> impl Iterator<Item = (CellRef, &'static str)> + '_ {
-        self.rows.iter().enumerate().flat_map(|(r, row)| {
-            row.iter().enumerate().map(move |(c, v)| {
+        self.row_ids().flat_map(move |r| {
+            self.cols.iter().enumerate().map(move |(c, col)| {
                 (
                     CellRef {
                         col: c as ColId,
-                        row: r as RowId,
+                        row: r,
                     },
-                    v.as_str(),
+                    col[r as usize].as_str(),
                 )
             })
         })
@@ -282,28 +505,30 @@ impl Table {
         &'a self,
         s: &'a str,
     ) -> impl Iterator<Item = (CellRef, &'static str)> + 'a {
-        let rows: &[Vec<Symbol>] = if s.is_empty() { &[] } else { &self.rows };
-        rows.iter().enumerate().flat_map(move |(r, row)| {
-            row.iter()
-                .enumerate()
-                .map(move |(c, v)| {
+        let slots = if s.is_empty() { 0 } else { self.live.len() };
+        (0..slots as RowId)
+            .filter(move |&r| self.live[r as usize])
+            .flat_map(move |r| {
+                self.cols.iter().enumerate().map(move |(c, col)| {
                     (
                         CellRef {
                             col: c as ColId,
-                            row: r as RowId,
+                            row: r,
                         },
-                        v.as_str(),
+                        col[r as usize].as_str(),
                     )
                 })
-                .filter(move |(_, v)| !v.is_empty() && (s.contains(v) || v.contains(s)))
-        })
+            })
+            .filter(move |(_, v)| !v.is_empty() && (s.contains(v) || v.contains(s)))
     }
 
-    /// Finds the unique row where each `(col, value)` pair matches, if any.
+    /// Finds the unique live row where each `(col, value)` pair matches, if
+    /// any.
     ///
     /// This is the evaluator for `Select` conditions: the paper guarantees
     /// conditions cover a candidate key, so at most one row can match; we
-    /// nevertheless scan defensively and return `None` on ambiguity.
+    /// nevertheless scan defensively and return `None` on ambiguity (which
+    /// mutation can introduce — keys are not re-checked on writes).
     pub fn find_unique_row(&self, conds: &[(ColId, &str)]) -> Option<RowId> {
         // Resolve each probe string to a symbol once, without interning: a
         // value that was never interned cannot equal any cell (cells intern
@@ -317,22 +542,29 @@ impl Table {
 
     /// [`Table::find_unique_row`] over interned probe values.
     ///
-    /// Probes the per-column posting map built at construction: candidate
-    /// rows come from the first condition's postings (O(matches) instead of
-    /// O(rows)), the remaining conditions are integer compares per
-    /// candidate, and the defensive ambiguity check is preserved — two
-    /// matching rows still return `None`.
+    /// Probes the per-column posting map: candidate rows come from the
+    /// first condition's postings (O(matches) instead of O(rows), and only
+    /// live rows — tombstoned rows leave the postings on delete), the
+    /// remaining conditions are integer compares per candidate, and the
+    /// defensive ambiguity check is preserved — two matching rows still
+    /// return `None`.
     pub fn find_unique_row_sym(&self, conds: &[(ColId, Symbol)]) -> Option<RowId> {
         let Some((first, rest)) = conds.split_first() else {
             // No conditions: every row matches vacuously; unique iff the
-            // table has exactly one row (the seed scan's behavior).
-            return (self.rows.len() == 1).then_some(0);
+            // table has exactly one live row (the seed scan's behavior).
+            return if self.live_rows == 1 {
+                self.row_ids().next()
+            } else {
+                None
+            };
         };
         let candidates = self.col_postings.get(first)?;
         let mut found: Option<RowId> = None;
         for &r in candidates {
-            let row = &self.rows[r as usize];
-            if rest.iter().all(|(c, v)| row[*c as usize] == *v) {
+            if rest
+                .iter()
+                .all(|(c, v)| self.cols[*c as usize][r as usize] == *v)
+            {
                 if found.is_some() {
                     return None;
                 }
@@ -343,12 +575,32 @@ impl Table {
     }
 }
 
+/// Equality over the **observable** table: name, columns, candidate keys
+/// and the live row sequence. A table with pending tombstones equals its
+/// compacted (or freshly rebuilt) form even though slot ids differ.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.candidate_keys == other.candidate_keys
+            && self.live_rows == other.live_rows
+            && self.row_ids().zip(other.row_ids()).all(|(a, b)| {
+                self.cols
+                    .iter()
+                    .zip(&other.cols)
+                    .all(|(ca, cb)| ca[a as usize] == cb[b as usize])
+            })
+    }
+}
+
+impl Eq for Table {}
+
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.as_str().len());
+        for r in self.row_ids() {
+            for (i, col) in self.cols.iter().enumerate() {
+                widths[i] = widths[i].max(col[r as usize].as_str().len());
             }
         }
         writeln!(f, "{}:", self.name)?;
@@ -359,11 +611,12 @@ impl fmt::Display for Table {
             .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
             .collect();
         writeln!(f, "  {}", header.join(" | "))?;
-        for row in &self.rows {
-            let cells: Vec<String> = row
+        for r in self.row_ids() {
+            let cells: Vec<String> = self
+                .cols
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:w$}", c.as_str(), w = widths[i]))
+                .map(|(i, col)| format!("{:w$}", col[r as usize].as_str(), w = widths[i]))
                 .collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
@@ -399,7 +652,10 @@ mod tests {
         assert_eq!(t.column_id("Name"), Some(1));
         assert_eq!(t.column_id("Nope"), None);
         assert_eq!(t.column_name(0), "Id");
-        assert_eq!(t.row(1), [Symbol::intern("c2"), Symbol::intern("Google")]);
+        assert_eq!(
+            t.row(1),
+            vec![Symbol::intern("c2"), Symbol::intern("Google")]
+        );
     }
 
     #[test]
@@ -531,5 +787,140 @@ mod tests {
     #[test]
     fn from_csv_empty_is_error() {
         assert!(Table::from_csv("T", "").is_err());
+    }
+
+    #[test]
+    fn insert_rows_appends_and_probes() {
+        let mut t = comp_table();
+        let ids = t
+            .insert_rows(vec![vec!["c4", "Amazon"], vec!["c5", "Meta"]])
+            .unwrap();
+        assert_eq!(ids, vec![3, 4]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.cell(1, 4), "Meta");
+        assert_eq!(t.find_unique_row(&[(0, "c4")]), Some(3));
+        assert_eq!(t.rows_with(1, Symbol::intern("Amazon")), &[3]);
+        // A ragged batch mutates nothing.
+        let before = t.clone();
+        assert!(t.insert_rows(vec![vec!["c6", "X"], vec!["short"]]).is_err());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn update_cell_moves_postings() {
+        let mut t = comp_table();
+        let old = t.update_cell(1, 1, "Alphabet").unwrap();
+        assert_eq!(old.as_str(), "Google");
+        assert_eq!(t.cell(1, 1), "Alphabet");
+        assert_eq!(t.find_unique_row(&[(1, "Alphabet")]), Some(1));
+        assert_eq!(t.find_unique_row(&[(1, "Google")]), None);
+        assert!(t.rows_with(1, Symbol::intern("Google")).is_empty());
+        // No-op update returns the (unchanged) old value.
+        assert_eq!(
+            t.update_cell(1, 1, "Alphabet").unwrap().as_str(),
+            "Alphabet"
+        );
+        // Out-of-range coordinates are rejected.
+        assert!(matches!(
+            t.update_cell(7, 0, "x"),
+            Err(TableError::ColumnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.update_cell(0, 99, "x"),
+            Err(TableError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_rows_tombstones_and_hides() {
+        let mut t = comp_table();
+        let removed = t.delete_rows(&[1]).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, 1);
+        assert_eq!(removed[0].1[1].as_str(), "Google");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.slots(), 3);
+        assert!(!t.is_live(1));
+        assert_eq!(t.find_unique_row(&[(0, "c2")]), None);
+        assert_eq!(t.row_ids().collect::<Vec<_>>(), vec![0, 2]);
+        // Observables skip the tombstone.
+        assert_eq!(t.iter_cells().count(), 4);
+        assert!(!t.to_string().contains("Google"));
+        assert_eq!(t.cells_related_to("c2 c3").count(), 1);
+        // Deleting a dead row (or one row twice in a batch) is an error and
+        // mutates nothing.
+        assert!(matches!(t.delete_rows(&[1]), Err(TableError::DeadRow(1))));
+        assert!(matches!(
+            t.delete_rows(&[0, 0]),
+            Err(TableError::DeadRow(0))
+        ));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn tombstoned_equals_compacted_and_rebuilt() {
+        let mut t = comp_table();
+        t.delete_rows(&[1]).unwrap();
+        let rebuilt = Table::new(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![vec!["c1", "Microsoft"], vec!["c3", "Apple"]],
+        )
+        .unwrap();
+        assert_eq!(t, rebuilt);
+        let mut compacted = t.clone();
+        assert!(compacted.compact());
+        assert_eq!(compacted.slots(), 2);
+        assert_eq!(compacted, t);
+        assert_eq!(compacted, rebuilt);
+        assert_eq!(compacted.find_unique_row(&[(0, "c3")]), Some(1));
+        // Compacting a dense table is a no-op.
+        assert!(!compacted.compact());
+    }
+
+    #[test]
+    fn compaction_threshold() {
+        let rows: Vec<Vec<String>> = (0..100).map(|i| vec![format!("r{i}")]).collect();
+        let mut t = Table::new("T", vec!["A"], rows).unwrap();
+        let doomed: Vec<RowId> = (0..40).collect();
+        t.delete_rows(&doomed).unwrap();
+        assert!(!t.should_compact(), "40 dead of 100 is under half");
+        t.delete_rows(&(40..55).collect::<Vec<RowId>>()).unwrap();
+        assert!(t.should_compact(), "55 dead > 45 live and over the floor");
+        t.compact();
+        assert_eq!(t.len(), 45);
+        assert_eq!(t.slots(), 45);
+        assert_eq!(t.find_unique_row(&[(0, "r99")]), Some(44));
+    }
+
+    #[test]
+    fn mutated_postings_match_fresh_build() {
+        let mut t = comp_table();
+        t.insert_rows(vec![vec!["c4", "Google"]]).unwrap();
+        t.update_cell(1, 0, "Google").unwrap();
+        t.delete_rows(&[2]).unwrap();
+        // Live rows: (c1,Google), (c2,Google), (c4,Google) — Apple gone.
+        assert_eq!(t.rows_with(1, Symbol::intern("Google")), &[0, 1, 3]);
+        assert!(t.rows_with(1, Symbol::intern("Microsoft")).is_empty());
+        assert!(t.rows_with(1, Symbol::intern("Apple")).is_empty());
+        t.compact();
+        let fresh = Table::with_keys(
+            "Comp",
+            vec!["Id", "Name"],
+            vec![
+                vec!["c1", "Google"],
+                vec!["c2", "Google"],
+                vec!["c4", "Google"],
+            ],
+            vec![vec!["Id"]],
+        )
+        .unwrap();
+        // Candidate keys were frozen at construction, so compare the
+        // contents and the posting answers, not whole-table equality.
+        assert_eq!(t.to_csv(), fresh.to_csv());
+        assert_eq!(
+            t.rows_with(1, Symbol::intern("Google")),
+            fresh.rows_with(1, Symbol::intern("Google"))
+        );
     }
 }

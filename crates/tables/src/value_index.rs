@@ -6,31 +6,61 @@
 //! query in O(1) per distinct value. Keys are [`Symbol`]s, so a cross-table
 //! probe hashes one `u32` once — no per-table string hashing, no `String`
 //! allocation.
+//!
+//! The index is **incrementally maintainable**: [`ValueIndex::insert_cell`]
+//! and [`ValueIndex::remove_cell`] splice one `CellRef` in or out of its
+//! value's (row, col)-sorted list — the same order a fresh
+//! [`ValueIndex::build`] produces — so an incrementally-maintained index is
+//! structurally equal to a rebuilt one (pinned by the `incremental_index`
+//! differential harness).
 
 use crate::intern::{Symbol, SymbolMap};
-use crate::table::{CellRef, ColId, RowId, Table};
+use crate::table::{CellRef, ColId, Table};
 
-/// Inverted index from interned cell value to every cell holding it.
-#[derive(Debug, Clone, Default)]
+/// Inverted index from interned cell value to every cell holding it, each
+/// list ascending by `(row, col)`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ValueIndex {
     cells: SymbolMap<Vec<CellRef>>,
 }
 
 impl ValueIndex {
-    /// Builds the index for one table.
+    /// Builds the index over one table's live cells.
     pub fn build(table: &Table) -> Self {
         let mut cells: SymbolMap<Vec<CellRef>> = SymbolMap::default();
         cells.reserve(table.len() * table.width());
-        for r in 0..table.len() {
+        for r in table.row_ids() {
             for c in 0..table.width() {
-                let v = table.cell_sym(c as ColId, r as RowId);
+                let v = table.cell_sym(c as ColId, r);
                 cells.entry(v).or_default().push(CellRef {
                     col: c as ColId,
-                    row: r as RowId,
+                    row: r,
                 });
             }
         }
         ValueIndex { cells }
+    }
+
+    /// Records that `cell` now holds `value`, keeping the list's
+    /// (row, col) order. Idempotent for an already-present cell.
+    pub fn insert_cell(&mut self, value: Symbol, cell: CellRef) {
+        let list = self.cells.entry(value).or_default();
+        if let Err(pos) = list.binary_search_by_key(&(cell.row, cell.col), |c| (c.row, c.col)) {
+            list.insert(pos, cell);
+        }
+    }
+
+    /// Records that `cell` no longer holds `value`; a vacated value leaves
+    /// the map entirely (so equality with a fresh build holds).
+    pub fn remove_cell(&mut self, value: Symbol, cell: CellRef) {
+        if let Some(list) = self.cells.get_mut(&value) {
+            if let Ok(pos) = list.binary_search_by_key(&(cell.row, cell.col), |c| (c.row, c.col)) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.cells.remove(&value);
+            }
+        }
     }
 
     /// All cells whose content equals `value`.
@@ -92,5 +122,36 @@ mod tests {
         let t = Table::new_with_key_width("T", vec!["A"], Vec::<Vec<&str>>::new(), 1).unwrap();
         let idx = ValueIndex::build(&t);
         assert_eq!(idx.distinct_len(), 0);
+    }
+
+    #[test]
+    fn incremental_edits_equal_rebuild() {
+        let mut table = t();
+        let mut idx = ValueIndex::build(&table);
+        // Insert a row.
+        let ids = table.insert_rows(vec![vec!["y", "w"]]).unwrap();
+        let r = ids[0];
+        idx.insert_cell(Symbol::intern("y"), CellRef { col: 0, row: r });
+        idx.insert_cell(Symbol::intern("w"), CellRef { col: 1, row: r });
+        assert_eq!(idx, ValueIndex::build(&table));
+        // Update a cell.
+        let old = table.update_cell(1, 0, "q").unwrap();
+        idx.remove_cell(old, CellRef { col: 1, row: 0 });
+        idx.insert_cell(Symbol::intern("q"), CellRef { col: 1, row: 0 });
+        assert_eq!(idx, ValueIndex::build(&table));
+        // Delete a row; the vacated value "z" leaves the map.
+        for (r, vals) in table.delete_rows(&[1]).unwrap() {
+            for (c, v) in vals.into_iter().enumerate() {
+                idx.remove_cell(
+                    v,
+                    CellRef {
+                        col: c as ColId,
+                        row: r,
+                    },
+                );
+            }
+        }
+        assert_eq!(idx, ValueIndex::build(&table));
+        assert!(idx.cells_equal(Symbol::intern("z")).is_empty());
     }
 }

@@ -131,6 +131,49 @@
 //! `tests/compiled_equivalence.rs` harness replays the full 50-task suite
 //! through both the interpreter and the bytecode plane to pin this.
 //!
+//! # Mutating tables at scale
+//!
+//! Background knowledge is live data, not a frozen snapshot:
+//! [`Engine::insert_rows`](service::Engine::insert_rows),
+//! [`Engine::update_cell`](service::Engine::update_cell) and
+//! [`Engine::delete_rows`](service::Engine::delete_rows) apply row-level
+//! mutations whose index maintenance is *incremental* — the value index,
+//! q-gram substring index and column postings are spliced in place
+//! (microseconds per row on 10⁵–10⁶-row tables) instead of rebuilt.
+//! Every table carries its own epoch and each mutation records a
+//! row-level delta, so invalidation is surgical: memo entries and
+//! cached session learns survive any mutation that provably doesn't
+//! touch the tables or values they read, and a mutation to one
+//! background table leaves sessions learning against others fully warm
+//! (no relearn, no recompile). Adding a whole table is the structural
+//! exception that still invalidates broadly. See the
+//! [`tables`] module docs for the exact epoch/delta semantics.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use semantic_strings::prelude::*;
+//!
+//! # let comp = Table::new("Comp", vec!["Id", "Name"],
+//! #     vec![vec!["c1", "Microsoft"], vec!["c2", "Google"], vec!["c3", "Apple"]]).unwrap();
+//! let scratch = Table::new("Jobs", vec!["Code", "Role"], vec![vec!["j1", "eng"]]).unwrap();
+//! let engine =
+//!     Engine::new(Arc::new(Database::from_tables(vec![comp, scratch]).unwrap()));
+//! let mut session = engine.session();
+//! session.add_example(Example::new(vec!["c2"], "Google"));
+//! assert_eq!(session.run(&["c1"]).unwrap().as_deref(), Some("Microsoft"));
+//!
+//! // Mutating the unrelated Jobs table leaves this session warm…
+//! let jobs = engine.db().table_id("Jobs").unwrap();
+//! engine.insert_rows(jobs, vec![vec!["j2", "pm"]]).unwrap();
+//! assert_eq!(session.run(&["c1"]).unwrap().as_deref(), Some("Microsoft"));
+//!
+//! // …while a mutation to a table the program reads is picked up.
+//! let comp_id = engine.db().table_id("Comp").unwrap();
+//! engine.update_cell(comp_id, 1, 0, "Microsoft Corp").unwrap();
+//! assert_eq!(session.run(&["c1"]).unwrap().as_deref(), Some("Microsoft Corp"));
+//! ```
+//!
 //! # Low-level API
 //!
 //! The stateless [`Synthesizer`](core::Synthesizer) underneath the service
