@@ -1,0 +1,310 @@
+//! A blocking client for the serving stack, one keep-alive connection
+//! per instance.
+//!
+//! The client speaks exactly what the server serves: HTTP/1.1 with
+//! newline-delimited JSON bodies. Non-2xx responses are decoded into the
+//! typed [`ServiceError`] they carry, so callers match on
+//! [`ClientError::Http`] the same way in-process callers match on the
+//! service plane's own errors — an evicted session is
+//! `SessionNotFound`, a saturated server is `Overloaded`, never a
+//! stringly-typed status code.
+//!
+//! Instances are intentionally single-connection: drive concurrency by
+//! opening more clients (as `traffic_replay` does), not by sharing one.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sst_core::Example;
+use sst_service::{
+    decode_cell_lines, decode_lines, encode_lines, encode_row_lines, ApplyRequest, ApplyResponse,
+    LearnRequest, ServiceError, SessionStatus, Wire, WireError, WireLearnResponse,
+};
+
+use crate::proto::SessionInfo;
+
+/// What a request can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke or the response framing was malformed.
+    Io(io::Error),
+    /// The response body did not decode as the expected wire type.
+    Decode(WireError),
+    /// The server answered non-2xx with a typed error body.
+    Http {
+        /// The HTTP status.
+        status: u16,
+        /// The decoded error body.
+        error: ServiceError,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport: {err}"),
+            ClientError::Decode(err) => write!(f, "bad response body: {err}"),
+            ClientError::Http { status, error } => write!(f, "HTTP {status}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(err) => Some(err),
+            ClientError::Decode(err) => Some(err),
+            ClientError::Http { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Decode(err)
+    }
+}
+
+impl ClientError {
+    /// The typed service error, when the server sent one.
+    pub fn service_error(&self) -> Option<&ServiceError> {
+        match self {
+            ClientError::Http { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// One keep-alive connection to a server. See the module docs.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One raw exchange: returns the status and body. Typed helpers below
+    /// are built on this; it is public so tests can hit edge routes.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), ClientError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: sst\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed status line",
+                ))
+            })?;
+
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside headers",
+                )));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        ClientError::Io(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "bad content-length",
+                        ))
+                    })?;
+                }
+            }
+        }
+
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response body is not UTF-8",
+            ))
+        })?;
+        Ok((status, body))
+    }
+
+    /// Raises non-2xx responses as [`ClientError::Http`] with the typed
+    /// error decoded from the body.
+    fn checked(&mut self, method: &str, path: &str, body: &str) -> Result<String, ClientError> {
+        let (status, body) = self.request(method, path, body)?;
+        if (200..300).contains(&status) {
+            return Ok(body);
+        }
+        let error = body
+            .lines()
+            .find(|line| !line.trim().is_empty())
+            .and_then(|line| ServiceError::decode_line(line).ok())
+            .unwrap_or_else(|| ServiceError::BadRequest(body.trim().to_string()));
+        Err(ClientError::Http { status, error })
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&mut self) -> Result<bool, ClientError> {
+        let (status, _) = self.request("GET", "/healthz", "")?;
+        Ok(status == 200)
+    }
+
+    /// `GET /metrics`: the raw Prometheus text.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.checked("GET", "/metrics", "")
+    }
+
+    /// `POST /v1/{engine}/learn`: batch learn, request-ordered summaries.
+    pub fn learn(
+        &mut self,
+        engine: &str,
+        requests: &[LearnRequest],
+    ) -> Result<Vec<WireLearnResponse>, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/learn"),
+            &encode_lines(requests),
+        )?;
+        Ok(decode_lines(&body)?)
+    }
+
+    /// `POST /v1/{engine}/apply`: batch apply, request-ordered outputs.
+    pub fn apply(
+        &mut self,
+        engine: &str,
+        requests: &[ApplyRequest],
+    ) -> Result<Vec<ApplyResponse>, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/apply"),
+            &encode_lines(requests),
+        )?;
+        Ok(decode_lines(&body)?)
+    }
+
+    /// `POST /v1/{engine}/sessions`: a new session seeded with
+    /// `examples` (may be empty).
+    pub fn create_session(
+        &mut self,
+        engine: &str,
+        examples: &[Example],
+    ) -> Result<SessionInfo, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/sessions"),
+            &encode_lines(examples),
+        )?;
+        Ok(SessionInfo::decode_line(body.trim_end())?)
+    }
+
+    /// `GET /v1/{engine}/sessions/{id}`: attach to a live session.
+    pub fn attach(&mut self, engine: &str, session: u64) -> Result<SessionInfo, ClientError> {
+        let body = self.checked("GET", &format!("/v1/{engine}/sessions/{session}"), "")?;
+        Ok(SessionInfo::decode_line(body.trim_end())?)
+    }
+
+    /// `POST /v1/{engine}/sessions/{id}/examples`.
+    pub fn add_examples(
+        &mut self,
+        engine: &str,
+        session: u64,
+        examples: &[Example],
+    ) -> Result<SessionInfo, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/sessions/{session}/examples"),
+            &encode_lines(examples),
+        )?;
+        Ok(SessionInfo::decode_line(body.trim_end())?)
+    }
+
+    /// `POST /v1/{engine}/sessions/{id}/inputs`.
+    pub fn watch_inputs(
+        &mut self,
+        engine: &str,
+        session: u64,
+        rows: &[Vec<String>],
+    ) -> Result<SessionInfo, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/sessions/{session}/inputs"),
+            &encode_row_lines(rows),
+        )?;
+        Ok(SessionInfo::decode_line(body.trim_end())?)
+    }
+
+    /// `GET /v1/{engine}/sessions/{id}/status`: learns (server-side,
+    /// memoized) and reports convergence.
+    pub fn status(&mut self, engine: &str, session: u64) -> Result<SessionStatus, ClientError> {
+        let body = self.checked(
+            "GET",
+            &format!("/v1/{engine}/sessions/{session}/status"),
+            "",
+        )?;
+        Ok(SessionStatus::decode_line(body.trim_end())?)
+    }
+
+    /// `POST /v1/{engine}/sessions/{id}/run_column`: top-ranked program
+    /// over a whole column.
+    pub fn run_column(
+        &mut self,
+        engine: &str,
+        session: u64,
+        rows: &[Vec<String>],
+    ) -> Result<Vec<Option<String>>, ClientError> {
+        let body = self.checked(
+            "POST",
+            &format!("/v1/{engine}/sessions/{session}/run_column"),
+            &encode_row_lines(rows),
+        )?;
+        Ok(decode_cell_lines(&body)?)
+    }
+
+    /// `DELETE /v1/{engine}/sessions/{id}`.
+    pub fn close_session(&mut self, engine: &str, session: u64) -> Result<(), ClientError> {
+        self.checked("DELETE", &format!("/v1/{engine}/sessions/{session}"), "")?;
+        Ok(())
+    }
+}

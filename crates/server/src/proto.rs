@@ -1,0 +1,51 @@
+//! Wire types owned by the serving layer (not the service plane):
+//! session bookkeeping the client needs between requests.
+
+use sst_service::{Json, Wire, WireError};
+
+/// What the server reports about a session after any mutation or attach:
+/// its id plus the sizes of its example and watched-input sets, enough
+/// for a client to confirm state without shipping the sets back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session id (path segment for every later request).
+    pub session: u64,
+    /// Examples held by the session.
+    pub examples: usize,
+    /// Watched ambiguous-input candidates held by the session.
+    pub inputs: usize,
+}
+
+impl Wire for SessionInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("session", Json::UInt(self.session)),
+            ("examples", Json::UInt(self.examples as u64)),
+            ("inputs", Json::UInt(self.inputs as u64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, WireError> {
+        Ok(SessionInfo {
+            session: json.field("session")?.as_u64()?,
+            examples: json.field("examples")?.as_usize()?,
+            inputs: json.field("inputs")?.as_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_info_round_trips() {
+        let info = SessionInfo {
+            session: 42,
+            examples: 3,
+            inputs: 7,
+        };
+        let line = info.encode_line();
+        assert_eq!(SessionInfo::decode_line(&line).unwrap(), info);
+    }
+}

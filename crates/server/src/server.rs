@@ -1,0 +1,531 @@
+//! The server: TCP accept loop, routing, and request lifecycle.
+//!
+//! One [`Server`] hosts one or more *named* engines (a name is a path
+//! segment, so fifty benchmark tasks can live behind one port without
+//! merging their databases and changing what each one learns). Each
+//! accepted connection gets a thread running the HTTP/1.1 keep-alive
+//! loop; synthesis-bearing endpoints (`learn`, `apply`, `status`,
+//! `run_column`) pass through [`Admission`] first, because connection
+//! threads are cheap but the shared engine pool is not. A sweeper thread
+//! ticks the session store's deadline wheel so idle conversations are
+//! evicted even when no traffic arrives.
+//!
+//! # Routes
+//!
+//! All request/response bodies are newline-delimited JSON (one value per
+//! line) using the [`sst_service::wire`] codec.
+//!
+//! | Route | Body in → out |
+//! |---|---|
+//! | `GET /healthz` | — → `ok` |
+//! | `GET /metrics` | — → Prometheus text |
+//! | `POST /v1/{engine}/learn` | `LearnRequest` lines → `WireLearnResponse` lines |
+//! | `POST /v1/{engine}/apply` | `ApplyRequest` lines → `ApplyResponse` lines |
+//! | `POST /v1/{engine}/sessions` | `Example` lines (may be empty) → `SessionInfo` |
+//! | `GET /v1/{engine}/sessions/{id}` | — → `SessionInfo` |
+//! | `POST /v1/{engine}/sessions/{id}/examples` | `Example` lines → `SessionInfo` |
+//! | `POST /v1/{engine}/sessions/{id}/inputs` | row lines → `SessionInfo` |
+//! | `GET /v1/{engine}/sessions/{id}/status` | — → `SessionStatus` line |
+//! | `POST /v1/{engine}/sessions/{id}/run_column` | row lines → cell lines |
+//! | `DELETE /v1/{engine}/sessions/{id}` | — → empty |
+//!
+//! # Errors
+//!
+//! Every error response body is one [`ServiceError`] wire line:
+//! `BadRequest` → 400, `SessionNotFound` (and unknown engine names) →
+//! 404, `Synthesis`/`Table` → 422, `Overloaded` → 429. Batch endpoints
+//! return 200 with per-request errors embedded in their response lines,
+//! matching the in-process `learn_batch`/`apply_batch` contract.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sst_service::{
+    decode_lines, decode_row_lines, encode_cell_lines, encode_lines, Engine, ServiceError, Wire,
+    WireError, WireLearnResponse,
+};
+
+use crate::admission::Admission;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::proto::SessionInfo;
+use crate::sessions::SessionStore;
+
+/// Server tuning knobs. `Default` suits tests and local use: an
+/// OS-assigned port on loopback, admission sized for a small pool, and a
+/// five-minute idle session ttl.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port; read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Synthesis-bearing requests allowed to execute at once.
+    pub max_in_flight: usize,
+    /// Synthesis-bearing requests allowed to wait for a slot; one more
+    /// is rejected with a typed 429.
+    pub max_queue: usize,
+    /// Idle time after which a session is evicted.
+    pub session_ttl: Duration,
+    /// Deadline-wheel tick (eviction resolution and sweeper interval).
+    pub sweep_granularity: Duration,
+    /// Test hook: hold each admitted synthesis request this long before
+    /// doing the work, so saturation tests can fill the admission queue
+    /// deterministically.
+    #[doc(hidden)]
+    pub debug_handler_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight: 8,
+            max_queue: 1024,
+            session_ttl: Duration::from_secs(300),
+            sweep_granularity: Duration::from_millis(50),
+            debug_handler_delay: None,
+        }
+    }
+}
+
+struct State {
+    /// Engine name → engine, plus a stable render order for `/metrics`.
+    engines: HashMap<String, Engine>,
+    engine_names: Vec<String>,
+    sessions: SessionStore,
+    admission: Admission,
+    metrics: Metrics,
+    debug_handler_delay: Option<Duration>,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop and the sweeper; established connections wind down as
+/// their clients disconnect.
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Serves a single engine under the name `default`.
+    pub fn bind(engine: Engine, config: ServerConfig) -> io::Result<Server> {
+        Server::bind_named(vec![("default".to_string(), engine)], config)
+    }
+
+    /// Serves several engines, each addressed by its name in the path.
+    pub fn bind_named(engines: Vec<(String, Engine)>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine_names: Vec<String> = engines.iter().map(|(name, _)| name.clone()).collect();
+        let state = Arc::new(State {
+            engines: engines.into_iter().collect(),
+            engine_names,
+            sessions: SessionStore::new(config.session_ttl, config.sweep_granularity),
+            admission: Admission::new(config.max_in_flight, config.max_queue),
+            metrics: Metrics::default(),
+            debug_handler_delay: config.debug_handler_delay,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+
+        let sweep_state = Arc::clone(&state);
+        let sweeper = std::thread::spawn(move || {
+            let tick = sweep_state.sessions.granularity();
+            while !sweep_state.shutdown.load(Ordering::Acquire) {
+                std::thread::sleep(tick);
+                sweep_state.sessions.sweep();
+            }
+        });
+
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+            sweeper: Some(sweeper),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live sessions right now.
+    pub fn live_sessions(&self) -> usize {
+        self.state.sessions.live()
+    }
+
+    /// Sessions evicted by the idle deadline so far.
+    pub fn evicted_sessions(&self) -> u64 {
+        self.state.sessions.evicted()
+    }
+
+    /// Requests rejected by admission control so far.
+    pub fn rejected_requests(&self) -> u64 {
+        self.state.metrics.rejected()
+    }
+
+    /// Stops accepting connections and joins the background threads.
+    /// Idempotent; also runs on `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &state);
+                });
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &State) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(err) => {
+                // Malformed framing: answer 400 if the peer is still
+                // there, then drop the connection.
+                let body = ServiceError::BadRequest(err.to_string()).encode_line();
+                let response = Response::ndjson(400, body + "\n");
+                let _ = write_response(&mut writer, &response, true);
+                return Err(err);
+            }
+        };
+        let close = request.wants_close() || state.shutdown.load(Ordering::Acquire);
+        let started = Instant::now();
+        let (endpoint, response) = route(state, &request);
+        state
+            .metrics
+            .observe(endpoint, started.elapsed(), response.status < 400);
+        write_response(&mut writer, &response, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Maps a service error onto its HTTP status.
+fn error_status(err: &ServiceError) -> u16 {
+    match err {
+        ServiceError::BadRequest(_) => 400,
+        ServiceError::SessionNotFound(_) => 404,
+        ServiceError::Synthesis(_) | ServiceError::Table(_) => 422,
+        ServiceError::Overloaded { .. } => 429,
+    }
+}
+
+fn error_response(err: &ServiceError) -> Response {
+    Response::ndjson(error_status(err), err.encode_line() + "\n")
+}
+
+fn decode_error(err: WireError) -> Response {
+    error_response(&ServiceError::BadRequest(err.to_string()))
+}
+
+fn route(state: &State, request: &Request) -> (Endpoint, Response) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
+        ("GET", ["metrics"]) => (Endpoint::Other, metrics_response(state)),
+        (method, ["v1", engine, rest @ ..]) => {
+            let Some(engine) = state.engines.get(*engine) else {
+                // Unknown engine: 404, body says which segment failed.
+                let err = ServiceError::BadRequest(format!("unknown engine `{engine}`"));
+                return (
+                    Endpoint::Other,
+                    Response::ndjson(404, err.encode_line() + "\n"),
+                );
+            };
+            route_engine(state, engine, method, rest, &request.body)
+        }
+        _ => (
+            Endpoint::Other,
+            error_response(&ServiceError::BadRequest(format!(
+                "no route for {} {}",
+                request.method, request.path
+            ))),
+        ),
+    }
+}
+
+fn route_engine(
+    state: &State,
+    engine: &Engine,
+    method: &str,
+    rest: &[&str],
+    body: &str,
+) -> (Endpoint, Response) {
+    match (method, rest) {
+        ("POST", ["learn"]) => (Endpoint::Learn, learn(state, engine, body)),
+        ("POST", ["apply"]) => (Endpoint::Apply, apply(state, engine, body)),
+        ("POST", ["sessions"]) => (Endpoint::SessionCreate, session_create(state, engine, body)),
+        (method, ["sessions", id, verb @ ..]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return (
+                    Endpoint::Other,
+                    error_response(&ServiceError::BadRequest(format!("bad session id `{id}`"))),
+                );
+            };
+            route_session(state, method, id, verb, body)
+        }
+        (method, rest) => (
+            Endpoint::Other,
+            error_response(&ServiceError::BadRequest(format!(
+                "no route for {} /v1/{{engine}}/{}",
+                method,
+                rest.join("/")
+            ))),
+        ),
+    }
+}
+
+fn route_session(
+    state: &State,
+    method: &str,
+    id: u64,
+    verb: &[&str],
+    body: &str,
+) -> (Endpoint, Response) {
+    match (method, verb) {
+        ("GET", []) => (Endpoint::SessionAttach, session_attach(state, id)),
+        ("DELETE", []) => (Endpoint::SessionClose, session_close(state, id)),
+        ("POST", ["examples"]) => (Endpoint::AddExamples, session_examples(state, id, body)),
+        ("POST", ["inputs"]) => (Endpoint::WatchInputs, session_inputs(state, id, body)),
+        ("GET", ["status"]) => (Endpoint::Status, session_status(state, id)),
+        ("POST", ["run_column"]) => (Endpoint::RunColumn, session_run_column(state, id, body)),
+        (method, verb) => (
+            Endpoint::Other,
+            error_response(&ServiceError::BadRequest(format!(
+                "no route for {} /v1/{{engine}}/sessions/{{id}}/{}",
+                method,
+                verb.join("/")
+            ))),
+        ),
+    }
+}
+
+/// Runs `work` under an admission permit, answering the typed 429 when
+/// both the execution slots and the wait queue are full.
+fn admitted(state: &State, work: impl FnOnce() -> Response) -> Response {
+    match state.admission.admit() {
+        Ok(_permit) => {
+            if let Some(delay) = state.debug_handler_delay {
+                std::thread::sleep(delay);
+            }
+            work()
+        }
+        Err(err) => {
+            state.metrics.reject();
+            error_response(&err)
+        }
+    }
+}
+
+fn learn(state: &State, engine: &Engine, body: &str) -> Response {
+    let requests = match decode_lines(body) {
+        Ok(requests) => requests,
+        Err(err) => return decode_error(err),
+    };
+    admitted(state, || {
+        let responses = engine.learn_batch(&requests);
+        let wire: Vec<WireLearnResponse> = responses
+            .iter()
+            .map(WireLearnResponse::from_response)
+            .collect();
+        Response::ndjson(200, encode_lines(&wire))
+    })
+}
+
+fn apply(state: &State, engine: &Engine, body: &str) -> Response {
+    let requests = match decode_lines(body) {
+        Ok(requests) => requests,
+        Err(err) => return decode_error(err),
+    };
+    admitted(state, || {
+        let responses = engine.apply_batch(&requests);
+        Response::ndjson(200, encode_lines(&responses))
+    })
+}
+
+fn session_create(state: &State, engine: &Engine, body: &str) -> Response {
+    let examples = match decode_lines(body) {
+        Ok(examples) => examples,
+        Err(err) => return decode_error(err),
+    };
+    let mut session = engine.session();
+    session.add_examples(examples);
+    let info = SessionInfo {
+        session: 0,
+        examples: session.examples().len(),
+        inputs: session.inputs().len(),
+    };
+    let id = state.sessions.create(session);
+    let info = SessionInfo {
+        session: id,
+        ..info
+    };
+    Response::ndjson(200, info.encode_line() + "\n")
+}
+
+fn with_session(
+    state: &State,
+    id: u64,
+    work: impl FnOnce(&mut sst_service::Session) -> Response,
+) -> Response {
+    match state.sessions.touch(id) {
+        Ok(session) => {
+            let mut session = session
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            work(&mut session)
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+fn session_info(id: u64, session: &sst_service::Session) -> Response {
+    let info = SessionInfo {
+        session: id,
+        examples: session.examples().len(),
+        inputs: session.inputs().len(),
+    };
+    Response::ndjson(200, info.encode_line() + "\n")
+}
+
+fn session_attach(state: &State, id: u64) -> Response {
+    with_session(state, id, |session| session_info(id, session))
+}
+
+fn session_close(state: &State, id: u64) -> Response {
+    match state.sessions.close(id) {
+        Ok(()) => Response::ndjson(200, String::new()),
+        Err(err) => error_response(&err),
+    }
+}
+
+fn session_examples(state: &State, id: u64, body: &str) -> Response {
+    let examples: Vec<sst_core::Example> = match decode_lines(body) {
+        Ok(examples) => examples,
+        Err(err) => return decode_error(err),
+    };
+    with_session(state, id, |session| {
+        session.add_examples(examples);
+        session_info(id, session)
+    })
+}
+
+fn session_inputs(state: &State, id: u64, body: &str) -> Response {
+    let rows = match decode_row_lines(body) {
+        Ok(rows) => rows,
+        Err(err) => return decode_error(err),
+    };
+    with_session(state, id, |session| {
+        session.watch_inputs(rows);
+        session_info(id, session)
+    })
+}
+
+fn session_status(state: &State, id: u64) -> Response {
+    admitted(state, || {
+        with_session(state, id, |session| match session.status() {
+            Ok(status) => Response::ndjson(200, status.encode_line() + "\n"),
+            Err(err) => error_response(&err),
+        })
+    })
+}
+
+fn session_run_column(state: &State, id: u64, body: &str) -> Response {
+    let rows = match decode_row_lines(body) {
+        Ok(rows) => rows,
+        Err(err) => return decode_error(err),
+    };
+    admitted(state, || {
+        with_session(state, id, |session| match session.run_column(&rows) {
+            Ok(cells) => Response::ndjson(200, encode_cell_lines(&cells)),
+            Err(err) => error_response(&err),
+        })
+    })
+}
+
+fn metrics_response(state: &State) -> Response {
+    use std::fmt::Write;
+    let mut out = String::new();
+    state.metrics.render(&mut out);
+    let _ = writeln!(out, "# TYPE sst_in_flight gauge");
+    let _ = writeln!(out, "sst_in_flight {}", state.admission.in_flight());
+    let _ = writeln!(out, "# TYPE sst_queued gauge");
+    let _ = writeln!(out, "sst_queued {}", state.admission.queued());
+    let _ = writeln!(out, "# TYPE sst_sessions_live gauge");
+    let _ = writeln!(out, "sst_sessions_live {}", state.sessions.live());
+    let _ = writeln!(out, "# TYPE sst_sessions_evicted_total counter");
+    let _ = writeln!(
+        out,
+        "sst_sessions_evicted_total {}",
+        state.sessions.evicted()
+    );
+    out.push_str("# TYPE sst_cache_hits_total counter\n");
+    out.push_str("# TYPE sst_cache_misses_total counter\n");
+    for name in &state.engine_names {
+        let stats = state.engines[name].cache_stats();
+        for (layer, hits, misses) in [
+            ("dag", stats.dag_hits, stats.dag_misses),
+            ("example", stats.example_hits, stats.example_misses),
+            ("intersect", stats.intersect_hits, stats.intersect_misses),
+        ] {
+            let _ = writeln!(
+                out,
+                "sst_cache_hits_total{{engine=\"{name}\",layer=\"{layer}\"}} {hits}"
+            );
+            let _ = writeln!(
+                out,
+                "sst_cache_misses_total{{engine=\"{name}\",layer=\"{layer}\"}} {misses}"
+            );
+        }
+    }
+    Response::text(200, out)
+}

@@ -1,0 +1,147 @@
+//! Session lifecycle and admission-control behavior over real sockets:
+//! idle eviction fires on the deadline and answers the typed not-found
+//! thereafter, touches push the deadline forward, and saturating the
+//! admission queue rejects with the typed 429 while dropping zero
+//! admitted requests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sst_core::Example;
+use sst_server::{Client, ClientError, Server, ServerConfig};
+use sst_service::{Engine, LearnRequest, ServiceError};
+use sst_tables::{Database, Table};
+
+fn engine() -> Engine {
+    let table = Table::new(
+        "Comp",
+        vec!["Id", "Name"],
+        vec![
+            vec!["c1", "Microsoft"],
+            vec!["c2", "Google"],
+            vec!["c3", "Apple"],
+        ],
+    )
+    .unwrap();
+    Engine::new(Arc::new(Database::from_tables(vec![table]).unwrap()))
+}
+
+fn expect_http(result: Result<impl std::fmt::Debug, ClientError>) -> (u16, ServiceError) {
+    match result {
+        Err(ClientError::Http { status, error }) => (status, error),
+        other => panic!("expected typed HTTP error, got {other:?}"),
+    }
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_answer_typed_not_found() {
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            session_ttl: Duration::from_millis(120),
+            sweep_granularity: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let info = client
+        .create_session("default", &[Example::new(vec!["c2"], "Google")])
+        .unwrap();
+
+    // Touching within the ttl keeps the session alive well past one ttl
+    // of wall-clock.
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(50));
+        client.attach("default", info.session).expect("still live");
+    }
+
+    // Going idle past the ttl lets the sweeper evict it without any
+    // traffic arriving.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(server.live_sessions(), 0, "sweeper should have evicted");
+    assert_eq!(server.evicted_sessions(), 1);
+
+    // Every route naming the session now answers the typed 404.
+    let (status, error) = expect_http(client.attach("default", info.session));
+    assert_eq!(status, 404);
+    assert!(matches!(error, ServiceError::SessionNotFound(id) if id == info.session));
+    let (status, error) =
+        expect_http(client.run_column("default", info.session, &[vec!["c1".to_string()]]));
+    assert_eq!(status, 404);
+    assert!(matches!(error, ServiceError::SessionNotFound(_)));
+}
+
+#[test]
+fn closed_sessions_are_gone_immediately() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let info = client.create_session("default", &[]).unwrap();
+    client.close_session("default", info.session).unwrap();
+    let (status, _) = expect_http(client.attach("default", info.session));
+    assert_eq!(status, 404);
+    // Closing twice is the same typed not-found, not a crash.
+    let (status, _) = expect_http(client.close_session("default", info.session));
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn saturating_the_admission_queue_rejects_with_429_and_drops_nothing() {
+    // One execution slot, one queue slot, and a debug delay that holds
+    // the slot long enough to saturate deterministically.
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            max_in_flight: 1,
+            max_queue: 1,
+            debug_handler_delay: Some(Duration::from_millis(400)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let request = || vec![LearnRequest::new(vec![Example::new(vec!["c2"], "Google")])];
+
+    // Three concurrent learns: the first holds the slot, the second
+    // queues, the third must be rejected immediately with the typed 429.
+    let holder = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.learn("default", &request())
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.learn("default", &request())
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(addr).unwrap();
+    let (status, error) = expect_http(client.learn("default", &request()));
+    assert_eq!(status, 429);
+    match error {
+        ServiceError::Overloaded { in_flight, queued } => {
+            assert_eq!((in_flight, queued), (1, 1));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Zero dropped in-flight requests: both admitted learns complete
+    // with full responses.
+    let held = holder.join().unwrap().expect("held request completes");
+    let waited = queued.join().unwrap().expect("queued request completes");
+    assert_eq!(held.len(), 1);
+    assert_eq!(waited.len(), 1);
+    assert!(held[0].result.is_ok());
+    assert!(waited[0].result.is_ok());
+
+    // completed + rejected == sent, exactly.
+    assert_eq!(server.rejected_requests(), 1);
+
+    // The saturation was transient: with the slots free again, the same
+    // request is admitted and served.
+    let after = client
+        .learn("default", &request())
+        .expect("admitted after drain");
+    assert!(after[0].result.is_ok());
+}

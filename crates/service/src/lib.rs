@@ -32,7 +32,7 @@
 //!   [`Session::run`], [`Session::run_column`]. Learning is implicit and
 //!   lazy; repeated learns on a grown example prefix are served from the
 //!   engine's shared memo plane, and applies run through the compiled top
-//!   program, cached per `(db_epoch, examples_len)`.
+//!   program, cached per `(db_epoch, examples_hash)`.
 //!
 //! The typed boundary ([`LearnRequest`], [`LearnResponse`],
 //! [`ServiceError`]) is deliberately plain data, ready to be lifted onto a
@@ -77,9 +77,14 @@
 mod engine;
 mod session;
 mod types;
+pub mod wire;
 
 pub use engine::Engine;
 pub use session::{Session, SessionConvergence};
 pub use types::{
     ApplyRequest, ApplyResponse, LearnRequest, LearnResponse, ServiceError, SessionStatus,
+};
+pub use wire::{
+    decode_cell_lines, decode_lines, decode_row_lines, encode_cell_lines, encode_lines,
+    encode_row_lines, Json, LearnSummary, Wire, WireError, WireLearnResponse,
 };

@@ -18,14 +18,44 @@ use crate::types::{ServiceError, SessionStatus};
 struct CachedLearn {
     /// Database epoch at learn time.
     db_epoch: u64,
-    /// How many examples the learn saw.
-    examples_len: usize,
+    /// Content hash of the example sequence the learn saw (not its
+    /// length: [`Session::remove_example`] followed by a different
+    /// [`Session::add_example`] leaves the count unchanged but must
+    /// invalidate the cached learn — pinned by a regression test in
+    /// `tests/service.rs`).
+    examples_hash: u64,
     learned: LearnedPrograms,
     /// The top-ranked program lowered to bytecode, filled on first apply —
-    /// cached per `(db_epoch, examples_len)` by construction (this struct
+    /// cached per `(db_epoch, examples_hash)` by construction (this struct
     /// is replaced whenever either moves), so repeated [`Session::run`] /
     /// [`Session::run_column`] calls neither re-rank nor re-interpret.
     compiled_top: Option<Arc<CompiledProgram>>,
+}
+
+/// Order-sensitive FNV-1a content hash of an example sequence, with every
+/// string length-prefixed so concatenation boundaries cannot collide
+/// (`["ab"] + "c"` vs `["a"] + "bc"`).
+fn examples_hash(examples: &[Example]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        h ^= bytes.len() as u64;
+        h = h.wrapping_mul(PRIME);
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for example in examples {
+        mix(&[0xFF]);
+        for input in &example.inputs {
+            mix(input.as_bytes());
+        }
+        mix(&[0xFE]);
+        mix(example.output.as_bytes());
+    }
+    h
 }
 
 /// One interactive learning conversation (the §3.2 protocol), backed by a
@@ -95,6 +125,21 @@ impl Session {
     /// Supplies several examples at once.
     pub fn add_examples(&mut self, examples: impl IntoIterator<Item = Example>) {
         self.examples.extend(examples);
+    }
+
+    /// Retracts the example at `index` (a §3.2 user un-fix: the user
+    /// realizes a supplied output was wrong). The next query re-learns
+    /// over the remaining sequence — the cached learn is keyed on example
+    /// *content*, so removing one example and adding a different one
+    /// never serves the stale set even though the count is unchanged.
+    pub fn remove_example(&mut self, index: usize) -> Example {
+        self.examples.remove(index)
+    }
+
+    /// Clears the conversation's examples entirely (watched inputs are
+    /// kept).
+    pub fn clear_examples(&mut self) {
+        self.examples.clear();
     }
 
     /// Declares the spreadsheet's input rows — what [`Session::status`]
@@ -180,8 +225,9 @@ impl Session {
         let synthesizer = self.engine.synthesizer();
         let db = synthesizer.db_arc();
         let db_epoch = db.epoch();
+        let hash = examples_hash(&self.examples);
         if let Some(cached) = &mut self.learned {
-            if cached.examples_len == self.examples.len() {
+            if cached.examples_hash == hash {
                 if cached.db_epoch == db_epoch {
                     return Ok(());
                 }
@@ -200,7 +246,7 @@ impl Session {
         let learned = synthesizer.learn(&self.examples)?;
         self.learned = Some(CachedLearn {
             db_epoch,
-            examples_len: self.examples.len(),
+            examples_hash: hash,
             learned,
             compiled_top: None,
         });

@@ -12,14 +12,32 @@ use sst_core::{Example, LearnedPrograms, Program, SynthesisError};
 use sst_tables::TableError;
 
 /// Failures of the service plane: synthesis failures (no examples, arity
-/// mismatch, no consistent program) and database mutations gone wrong
-/// (duplicate table names, ragged rows, ...).
+/// mismatch, no consistent program), database mutations gone wrong
+/// (duplicate table names, ragged rows, ...), and the wire-serving
+/// conditions a remote front door must type precisely — an evicted or
+/// unknown session, admission-control overload (the HTTP 429 body), and
+/// malformed wire payloads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// Learning failed.
     Synthesis(SynthesisError),
     /// A table mutation ([`crate::Engine::add_table`]) failed.
     Table(TableError),
+    /// The named session does not exist — never created, closed, or
+    /// evicted after its idle deadline passed.
+    SessionNotFound(u64),
+    /// Admission control rejected the request: the execution slots were
+    /// all busy and the bounded wait queue was full. Carries the limits in
+    /// force so clients can reason about backoff.
+    Overloaded {
+        /// Requests executing when the rejection happened.
+        in_flight: usize,
+        /// Requests already waiting for a slot.
+        queued: usize,
+    },
+    /// The request could not be decoded (malformed JSON, an unknown
+    /// field shape, an undecodable body line).
+    BadRequest(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -27,6 +45,17 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
             ServiceError::Table(e) => write!(f, "table mutation failed: {e}"),
+            ServiceError::SessionNotFound(id) => {
+                write!(
+                    f,
+                    "session {id} not found (never created, closed, or evicted)"
+                )
+            }
+            ServiceError::Overloaded { in_flight, queued } => write!(
+                f,
+                "server overloaded: {in_flight} requests in flight, {queued} queued"
+            ),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
         }
     }
 }
@@ -36,6 +65,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Synthesis(e) => Some(e),
             ServiceError::Table(e) => Some(e),
+            _ => None,
         }
     }
 }

@@ -409,3 +409,50 @@ fn engine_options_flow_into_sessions() {
     session.add_example(Example::new(vec!["c2"], "Google"));
     assert!(session.top_k().unwrap().len() <= 2);
 }
+
+#[test]
+fn replacing_an_example_at_the_same_count_invalidates_the_learn_cache() {
+    // Regression: the session learn-cache was keyed by (db_epoch,
+    // examples.len()), so removing an example and adding a different one
+    // at the same count served the stale learned set. The key is now a
+    // content hash of the example sequence.
+    let engine = Engine::from_tables(vec![Table::new(
+        "Prod",
+        vec!["Id", "Name", "Price"],
+        vec![
+            vec!["p1", "Laptop", "980"],
+            vec!["p2", "Phone", "650"],
+            vec!["p3", "Tablet", "430"],
+        ],
+    )
+    .unwrap()])
+    .unwrap();
+    let mut session = engine.session();
+
+    session.add_example(Example::new(vec!["p1"], "Laptop"));
+    assert_eq!(session.run(&["p2"]).unwrap().as_deref(), Some("Phone"));
+
+    // Same example count (one), different content: the session must
+    // re-learn, not replay the Name-column programs.
+    let removed = session.remove_example(0);
+    assert_eq!(removed.output, "Laptop");
+    session.add_example(Example::new(vec!["p1"], "980"));
+    assert_eq!(session.run(&["p2"]).unwrap().as_deref(), Some("650"));
+
+    // And the same holds for in-place replacement via clear + re-add.
+    session.clear_examples();
+    session.add_example(Example::new(vec!["p2"], "Phone"));
+    assert_eq!(session.run(&["p3"]).unwrap().as_deref(), Some("Tablet"));
+
+    // Reordering two examples also changes the hash (the sequence is
+    // order-sensitive), which must not poison correctness: the learned
+    // set is semantically identical, just re-derived.
+    session.clear_examples();
+    session.add_example(Example::new(vec!["p1"], "Laptop"));
+    session.add_example(Example::new(vec!["p2"], "Phone"));
+    let forward = session.run(&["p3"]).unwrap();
+    session.clear_examples();
+    session.add_example(Example::new(vec!["p2"], "Phone"));
+    session.add_example(Example::new(vec!["p1"], "Laptop"));
+    assert_eq!(session.run(&["p3"]).unwrap(), forward);
+}

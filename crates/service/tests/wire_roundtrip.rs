@@ -1,0 +1,268 @@
+//! Property tests for the wire codec: every value the serving stack puts
+//! on a socket must survive encode → decode bit-identically, one line per
+//! value, across randomized payloads — unicode, embedded quotes and
+//! backslashes, control characters, empty strings, miss cells — and
+//! every `ServiceError` variant.
+
+use proptest::prelude::*;
+
+use sst_core::{Example, SynthesisError};
+use sst_service::wire::{
+    decode_cell_lines, decode_lines, decode_row_lines, encode_cell_lines, encode_lines,
+    encode_row_lines, LearnSummary, Wire, WireLearnResponse,
+};
+use sst_service::{ApplyRequest, ApplyResponse, LearnRequest, ServiceError, SessionStatus};
+use sst_tables::TableError;
+
+/// The cell alphabet: ASCII, punctuation JSON must escape (`"`, `\`),
+/// control characters (tab, newline — NDJSON framing must escape them
+/// into one line), and multi-byte unicode (Latin-1 supplement, Greek,
+/// CJK, an astral-plane emoji). `{0,12}` includes the empty string.
+const CELL: &str = "[a-zA-Z0-9 ,.:/\"\\\u{9}\u{a}é€αβ日本😀-]{0,12}";
+
+fn example(inputs: Vec<String>, output: String) -> Example {
+    Example::new(inputs, output)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Example` round trip on one line.
+    #[test]
+    fn example_round_trips(inputs in prop::collection::vec(CELL, 1..4), output in CELL) {
+        let value = example(inputs, output);
+        let line = value.encode_line();
+        prop_assert!(!line.contains('\n'), "NDJSON values stay on one line: {line:?}");
+        prop_assert_eq!(Example::decode_line(&line).unwrap(), value);
+    }
+
+    /// `LearnRequest` round trip, with and without `top_k`.
+    #[test]
+    fn learn_request_round_trips(
+        inputs in prop::collection::vec(CELL, 1..3),
+        outputs in prop::collection::vec(CELL, 1..4),
+        top_k in 0usize..6,
+    ) {
+        let examples: Vec<Example> = outputs
+            .into_iter()
+            .map(|o| example(inputs.clone(), o))
+            .collect();
+        let mut request = LearnRequest::new(examples);
+        if top_k > 0 {
+            request = request.with_top_k(top_k);
+        }
+        let line = request.encode_line();
+        let back = LearnRequest::decode_line(&line).unwrap();
+        prop_assert_eq!(back.examples, request.examples);
+        prop_assert_eq!(back.top_k, request.top_k);
+    }
+
+    /// `ApplyRequest` round trip over randomized row tables.
+    #[test]
+    fn apply_request_round_trips(
+        examples in prop::collection::vec(CELL, 1..3),
+        rows in prop::collection::vec(prop::collection::vec(CELL, 1..3), 0..5),
+    ) {
+        let request = ApplyRequest::new(
+            examples.into_iter().map(|o| example(vec![o.clone()], o)).collect(),
+            rows,
+        );
+        let line = request.encode_line();
+        let back = ApplyRequest::decode_line(&line).unwrap();
+        prop_assert_eq!(back.examples, request.examples);
+        prop_assert_eq!(back.rows, request.rows);
+    }
+
+    /// `ApplyResponse` (ok side) round trip including miss cells
+    /// (`null` on the wire) in randomized positions.
+    #[test]
+    fn apply_response_round_trips(
+        cells in prop::collection::vec(CELL, 0..6),
+        mask in 0u32..64,
+        request in 0usize..1000,
+    ) {
+        let cells: Vec<Option<String>> = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| if (mask >> i) & 1 == 0 { Some(c) } else { None })
+            .collect();
+        let response = ApplyResponse {
+            request,
+            result: Ok(cells),
+        };
+        let line = response.encode_line();
+        let back = ApplyResponse::decode_line(&line).unwrap();
+        prop_assert_eq!(back.request, response.request);
+        prop_assert_eq!(back.result.unwrap(), response.result.unwrap());
+    }
+
+    /// Bare row/cell line streams (the `run_column` request and response
+    /// bodies) round trip, preserving row count and miss positions.
+    #[test]
+    fn row_and_cell_lines_round_trip(
+        rows in prop::collection::vec(prop::collection::vec(CELL, 1..3), 0..6),
+        mask in 0u32..64,
+    ) {
+        let body = encode_row_lines(&rows);
+        prop_assert_eq!(decode_row_lines(&body).unwrap(), rows.clone());
+
+        let cells: Vec<Option<String>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| if (mask >> i) & 1 == 0 { Some(row[0].clone()) } else { None })
+            .collect();
+        let body = encode_cell_lines(&cells);
+        prop_assert_eq!(decode_cell_lines(&body).unwrap(), cells);
+    }
+
+    /// `WireLearnResponse` (ok side) round trips: arbitrary-precision
+    /// decimal counts and unicode paraphrases survive.
+    #[test]
+    fn learn_summary_round_trips(
+        count in "[1-9][0-9]{0,39}",
+        size in 0usize..100_000,
+        top in prop::collection::vec(CELL, 0..4),
+        request in 0usize..1000,
+    ) {
+        let response = WireLearnResponse {
+            request,
+            result: Ok(LearnSummary { count, size, top }),
+        };
+        let line = response.encode_line();
+        let back = WireLearnResponse::decode_line(&line).unwrap();
+        prop_assert_eq!(back.request, response.request);
+        prop_assert_eq!(back.result.unwrap(), response.result.unwrap());
+    }
+
+    /// NDJSON streams: a batch of values encodes to one line each and
+    /// decodes back in order.
+    #[test]
+    fn line_streams_round_trip(outputs in prop::collection::vec(CELL, 0..8)) {
+        let values: Vec<Example> = outputs
+            .into_iter()
+            .map(|o| example(vec![o.clone()], o))
+            .collect();
+        let body = encode_lines(&values);
+        prop_assert_eq!(body.lines().count(), values.len());
+        prop_assert_eq!(decode_lines::<Example>(&body).unwrap(), values);
+    }
+
+    /// Randomized `SessionStatus::NeedsExamples` payloads survive.
+    #[test]
+    fn session_status_round_trips(
+        ambiguous in prop::collection::vec(prop::collection::vec(CELL, 1..3), 0..4),
+    ) {
+        let status = SessionStatus::NeedsExamples {
+            ambiguous_inputs: ambiguous,
+        };
+        let line = status.encode_line();
+        match SessionStatus::decode_line(&line).unwrap() {
+            SessionStatus::NeedsExamples { ambiguous_inputs } => match &status {
+                SessionStatus::NeedsExamples { ambiguous_inputs: sent } => {
+                    prop_assert_eq!(&ambiguous_inputs, sent);
+                }
+                SessionStatus::Converged => unreachable!(),
+            },
+            SessionStatus::Converged => prop_assert!(false, "decoded wrong arm"),
+        }
+    }
+
+    /// Randomized message payloads inside error variants survive.
+    #[test]
+    fn stringy_errors_round_trip(message in CELL, id in 0u64..) {
+        for err in [
+            ServiceError::BadRequest(message.clone()),
+            ServiceError::SessionNotFound(id),
+            ServiceError::Table(TableError::UnknownColumn(message.clone())),
+            ServiceError::Table(TableError::NoCandidateKey(message.clone())),
+        ] {
+            let line = err.encode_line();
+            let back = ServiceError::decode_line(&line).unwrap();
+            prop_assert_eq!(format!("{back:?}"), format!("{err:?}"));
+        }
+    }
+}
+
+/// Every `ServiceError` variant — including every `SynthesisError` and
+/// `TableError` kind — survives the wire with all payload fields intact.
+#[test]
+fn every_service_error_variant_survives_the_wire() {
+    let variants = vec![
+        ServiceError::Synthesis(SynthesisError::NoExamples),
+        ServiceError::Synthesis(SynthesisError::ArityMismatch {
+            expected: 2,
+            example: 3,
+            found: 5,
+        }),
+        ServiceError::Synthesis(SynthesisError::NoConsistentProgram),
+        ServiceError::Table(TableError::RaggedRow {
+            row: 7,
+            found: 2,
+            expected: 4,
+        }),
+        ServiceError::Table(TableError::DuplicateColumn("Näme €".to_string())),
+        ServiceError::Table(TableError::UnknownColumn(String::new())),
+        ServiceError::Table(TableError::NotAKey(vec![
+            "Id".to_string(),
+            "日本".to_string(),
+        ])),
+        ServiceError::Table(TableError::NoCandidateKey("T\" \\ 😀".to_string())),
+        ServiceError::Table(TableError::DuplicateTable("T".to_string())),
+        ServiceError::Table(TableError::UnknownTable("Missing".to_string())),
+        ServiceError::Table(TableError::EmptyTable("Hollow".to_string())),
+        ServiceError::Table(TableError::RowOutOfRange { row: 9, slots: 4 }),
+        ServiceError::Table(TableError::DeadRow(3)),
+        ServiceError::Table(TableError::ColumnOutOfRange { col: 8, width: 2 }),
+        ServiceError::SessionNotFound(u64::MAX),
+        ServiceError::Overloaded {
+            in_flight: 8,
+            queued: 1024,
+        },
+        ServiceError::BadRequest("no route for GET /nope\n\ttab".to_string()),
+    ];
+    for err in variants {
+        let line = err.encode_line();
+        assert!(
+            !line.contains('\n'),
+            "error must encode onto one line: {line:?}"
+        );
+        let back = ServiceError::decode_line(&line)
+            .unwrap_or_else(|e| panic!("decoding {line:?} failed: {e}"));
+        // `ServiceError` has no `PartialEq` (it nests source errors), so
+        // compare the full debug rendering, which covers every field.
+        assert_eq!(format!("{back:?}"), format!("{err:?}"));
+    }
+}
+
+/// Error-side responses round trip too: a `WireLearnResponse` and an
+/// `ApplyResponse` carrying a typed error.
+#[test]
+fn error_sides_round_trip() {
+    let learn = WireLearnResponse {
+        request: 4,
+        result: Err(ServiceError::Synthesis(SynthesisError::NoConsistentProgram)),
+    };
+    let back = WireLearnResponse::decode_line(&learn.encode_line()).unwrap();
+    assert_eq!(back.request, 4);
+    assert!(matches!(
+        back.result,
+        Err(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))
+    ));
+
+    let apply = ApplyResponse {
+        request: 9,
+        result: Err(ServiceError::Overloaded {
+            in_flight: 2,
+            queued: 3,
+        }),
+    };
+    let back = ApplyResponse::decode_line(&apply.encode_line()).unwrap();
+    assert_eq!(back.request, 9);
+    assert!(matches!(
+        back.result,
+        Err(ServiceError::Overloaded {
+            in_flight: 2,
+            queued: 3
+        })
+    ));
+}

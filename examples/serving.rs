@@ -116,4 +116,50 @@ fn main() {
         outputs.len(),
         outputs[2].as_deref().unwrap()
     );
+
+    // The same engine over the wire: `sst-server` puts a real TCP front
+    // door on the service plane — hand-rolled HTTP/1.1, newline-delimited
+    // JSON bodies, typed errors, admission control, idle-session
+    // eviction, and Prometheus-style `/metrics`. The example binds to an
+    // OS-assigned loopback port; swap in a fixed `addr` to serve real
+    // clients (then `curl` works too — see the README quickstart).
+    let server = Server::bind(engine.clone(), ServerConfig::default()).expect("bind server");
+    let mut client = Client::connect(server.local_addr()).expect("connect client");
+
+    // The §3.2 interactive loop, each step one HTTP exchange: create a
+    // session with one example, confirm convergence, fill a column.
+    let info = client
+        .create_session("default", &[Example::new(vec!["c2"], "Google")])
+        .expect("create session");
+    let status = client.status("default", info.session).expect("status");
+    assert!(status.is_converged());
+    let cells = client
+        .run_column(
+            "default",
+            info.session,
+            &[vec!["c1".to_string()], vec!["c4".to_string()]],
+        )
+        .expect("run column");
+    assert_eq!(cells[0].as_deref(), Some("Microsoft"));
+    assert_eq!(cells[1].as_deref(), Some("Facebook"));
+    client
+        .close_session("default", info.session)
+        .expect("close session");
+
+    // Batch learn over the socket answers byte-for-byte what
+    // `learn_batch` answers in-process (the observables travel as
+    // summaries; execution stays server-side).
+    let wire = client.learn("default", &requests).expect("wire learn");
+    assert_eq!(wire.len(), requests.len());
+
+    // The server meters itself: per-endpoint latency quantiles and the
+    // engine's cache hit rates under live traffic.
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(metrics.contains("sst_requests_total"));
+    println!(
+        "\nserved over the wire at {}: session converged, {} learn summaries, /metrics exports {} series",
+        server.local_addr(),
+        wire.len(),
+        metrics.lines().filter(|l| !l.starts_with('#')).count()
+    );
 }

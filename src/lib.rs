@@ -131,6 +131,50 @@
 //! `tests/compiled_equivalence.rs` harness replays the full 50-task suite
 //! through both the interpreter and the bytecode plane to pin this.
 //!
+//! # Serving over the wire
+//!
+//! [`server`] (`sst-server`) puts a real TCP front door on the service
+//! plane: hand-rolled HTTP/1.1 over [`std::net::TcpListener`] (the
+//! container has no registry access, so no hyper/tokio/serde), with
+//! newline-delimited JSON request/response bodies from the serde-free
+//! [`service::wire`] codec. One [`Server`](server::Server) hosts many
+//! *named* engines; per-engine routes cover batch `learn`/`apply` and
+//! the full interactive session lifecycle
+//! (create/attach/examples/inputs/status/run_column/close). Idle
+//! sessions are evicted by a deadline wheel and answer a typed
+//! `SessionNotFound` (404) afterwards; a saturated server rejects with a
+//! typed `Overloaded` (429) instead of queueing unboundedly; `/metrics`
+//! exports per-endpoint latency quantiles and cache hit rates.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use semantic_strings::prelude::*;
+//!
+//! # let comp = Table::new("Comp", vec!["Id", "Name"],
+//! #     vec![vec!["c1", "Microsoft"], vec!["c2", "Google"], vec!["c3", "Apple"]]).unwrap();
+//! let engine = Engine::new(Arc::new(Database::from_tables(vec![comp]).unwrap()));
+//! let server = Server::bind(engine, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let info = client
+//!     .create_session("default", &[Example::new(vec!["c2"], "Google")])
+//!     .unwrap();
+//! assert!(client.status("default", info.session).unwrap().is_converged());
+//! let cells = client
+//!     .run_column("default", info.session, &[vec!["c1".to_string()]])
+//!     .unwrap();
+//! assert_eq!(cells[0].as_deref(), Some("Microsoft"));
+//! ```
+//!
+//! The payloads are plain NDJSON, so any HTTP client works — see the
+//! README for a `curl` transcript. `tests/server_equivalence.rs` replays
+//! the 50-task suite over real sockets and asserts the response bodies
+//! are byte-identical to encoding the in-process results;
+//! `crates/bench/src/bin/traffic_replay.rs` drives 1000+ concurrent
+//! sessions against one server and records latency quantiles and cache
+//! hit rates into `BENCH_PR8.json`.
+//!
 //! # Mutating tables at scale
 //!
 //! Background knowledge is live data, not a frozen snapshot:
@@ -202,6 +246,7 @@ pub use sst_counting as counting;
 pub use sst_datatypes as datatypes;
 pub use sst_lookup as lookup;
 pub use sst_par as par;
+pub use sst_server as server;
 pub use sst_service as service;
 pub use sst_syntactic as syntactic;
 pub use sst_tables as tables;
@@ -213,6 +258,7 @@ pub mod prelude {
     pub use sst_core::{
         Example, LearnedPrograms, SynthesisOptions, SynthesisOptionsBuilder, Synthesizer,
     };
+    pub use sst_server::{Client, Server, ServerConfig};
     pub use sst_service::{
         ApplyRequest, ApplyResponse, Engine, LearnRequest, LearnResponse, ServiceError, Session,
         SessionStatus,
