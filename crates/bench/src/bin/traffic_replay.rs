@@ -136,17 +136,26 @@ fn fan_out<J: Send, R: Send>(
                 let mut client = Client::connect(addr).expect("connect worker client");
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.lock().unwrap().get_mut(index).and_then(Option::take)
+                    let Some(job) = jobs
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .get_mut(index)
+                        .and_then(Option::take)
                     else {
                         return;
                     };
                     let result = work(&mut client, job);
-                    results.lock().unwrap().push(result);
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(result);
                 }
             });
         }
     });
-    results.into_inner().unwrap()
+    results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Drives one session's §3.2 loop to convergence over the wire,

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use sst_lookup::reach::{reach, Activation, ReachPolicy, ReachState};
 use sst_lookup::NodeId;
+use sst_par::CancelToken;
 use sst_syntactic::{generate_dag_prepared, Dag, GenOptions, PreparedSources};
 use sst_tables::{ColId, Database, IntMap, RowId, Symbol, TableId};
 
@@ -111,6 +112,12 @@ struct RelaxedGate<'a> {
     /// The current snapshot's interned epoch; `None` while no cache is
     /// attached (or before the first sync).
     epoch: Option<SourcesEpoch>,
+    /// Cooperative cancellation, checked once per reachability step and
+    /// once per activated row (coarse granularity — never inside the
+    /// per-cell loops). A fired token dries the frontier up: no further
+    /// activations or conditions are produced, so `reach` terminates with
+    /// whatever partial state it had, and the caller discards it.
+    cancel: &'a CancelToken,
 }
 
 impl RelaxedGate<'_> {
@@ -172,6 +179,11 @@ impl ReachPolicy for RelaxedGate<'_> {
         frontier: &[NodeId],
         out: &mut Vec<Activation>,
     ) {
+        // Cancellation checkpoint (once per reachability step): producing
+        // no activations dries the frontier up and `reach` terminates.
+        if self.cancel.is_cancelled() {
+            return;
+        }
         // Candidate cells: substring-related to some frontier string (the
         // paper's experimental restriction), answered by the per-table
         // `SubstringIndex` postings; or every cell when the gate is
@@ -242,6 +254,11 @@ impl ReachPolicy for RelaxedGate<'_> {
         _state: &ReachState<GenLookupU>,
         act: &Activation,
     ) -> Option<Arc<Vec<GenCondU>>> {
+        // Cancellation checkpoint (once per activated row): skipping the
+        // condition skips the row's predicate-DAG builds entirely.
+        if self.cancel.is_cancelled() {
+            return None;
+        }
         if let Some(conds) = self.row_conds.get(&(act.table, act.row)) {
             return Some(Arc::clone(conds));
         }
@@ -285,7 +302,21 @@ pub fn generate_str_u(
     output: &str,
     opts: &LuOptions,
 ) -> SemDStruct {
-    generate_str_u_impl(db, inputs, output, opts, None)
+    generate_str_u_impl(db, inputs, output, opts, None, &CancelToken::default())
+}
+
+/// [`generate_str_u`] under a cooperative [`CancelToken`]: a fired token
+/// makes the reachability frontier dry up at the next coarse checkpoint
+/// and the (partial, to-be-discarded) structure return early. The caller
+/// is responsible for checking the token and discarding the result.
+pub(crate) fn generate_str_u_budgeted(
+    db: &Database,
+    inputs: &[&str],
+    output: &str,
+    opts: &LuOptions,
+    cancel: &CancelToken,
+) -> SemDStruct {
+    generate_str_u_impl(db, inputs, output, opts, None, cancel)
 }
 
 /// [`generate_str_u`] backed by a [`DagCache`]: per-value DAGs are served
@@ -301,19 +332,22 @@ pub fn generate_str_u_cached(
     opts: &LuOptions,
     cache: &DagCache,
 ) -> SemDStruct {
-    generate_str_u_keyed(db, inputs, output, opts, cache).0
+    generate_str_u_keyed(db, inputs, output, opts, cache, &CancelToken::default()).0
 }
 
 /// [`generate_str_u_cached`] that also reports the structure's cache uid,
 /// the key half of the example-pair intersection memo (`Synthesizer::learn`
-/// keys `d₁ ∩ d₂` on the operands' uids).
+/// keys `d₁ ∩ d₂` on the operands' uids). A cancellation observed during
+/// the build skips the whole-example store (the partial structure never
+/// enters the memo) and reports no uid.
 pub(crate) fn generate_str_u_keyed(
     db: &Database,
     inputs: &[&str],
     output: &str,
     opts: &LuOptions,
     cache: &DagCache,
-) -> (SemDStruct, u64) {
+    cancel: &CancelToken,
+) -> (SemDStruct, Option<u64>) {
     // Whole-example memo: `Synthesize` on a growing example prefix (the
     // §3.2 loop) replays generation for every earlier example; generation
     // is deterministic in (db, inputs, output, opts), so an unmutated
@@ -323,9 +357,13 @@ pub(crate) fn generate_str_u_keyed(
     let ins: Vec<Symbol> = inputs.iter().map(|s| Symbol::intern(s)).collect();
     let out = Symbol::intern(output);
     if let Some((uid, hit)) = cache.example(db_epoch, &ins, out) {
-        return (hit, uid);
+        return (hit, Some(uid));
     }
-    let d = generate_str_u_impl(db, inputs, output, opts, Some(cache));
+    let d = generate_str_u_impl(db, inputs, output, opts, Some(cache), cancel);
+    if cancel.is_cancelled() {
+        // Partial structure: never enters the whole-example memo.
+        return (d, None);
+    }
     // With the substring gate on, the structure's node values summarize
     // exactly the strings that could activate cells, so recording the
     // reads makes the entry revalidatable across unrelated row-level
@@ -340,7 +378,7 @@ pub(crate) fn generate_str_u_keyed(
         }
     });
     let uid = cache.store_example(db_epoch, &ins, out, &d, deps);
-    (d, uid)
+    (d, Some(uid))
 }
 
 fn generate_str_u_impl(
@@ -349,6 +387,7 @@ fn generate_str_u_impl(
     output: &str,
     opts: &LuOptions,
     cache: Option<&DagCache>,
+    cancel: &CancelToken,
 ) -> SemDStruct {
     let mut gate = RelaxedGate {
         opts,
@@ -357,6 +396,7 @@ fn generate_str_u_impl(
         row_conds: IntMap::default(),
         cache,
         epoch: None,
+        cancel,
     };
     let state = reach(db, inputs, opts.depth_for(db), &mut gate);
 

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use sst_lookup::NodeId;
-use sst_par::Pool;
+use sst_par::{CancelToken, Pool};
 use sst_syntactic::{
     assemble_product_dag, intersect_dags_memo, intersect_dags_memo_unpruned, product_edge_atoms,
     product_path_masks, AtomSet, Dag, PosMemo, PosSet, ProductMasks,
@@ -44,7 +44,7 @@ use crate::dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};
 ///   key value — one row pair's predicate work serves every row pair
 ///   carrying the same values.
 pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
-    intersect_du_impl(a, b, Tuning::OPTIMIZED)
+    intersect_du_impl(a, b, Tuning::OPTIMIZED, &CancelToken::default())
 }
 
 /// The unpruned, unmemoized `Intersect_u`: every edge pair expands its
@@ -53,7 +53,7 @@ pub fn intersect_du(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
 /// the differential property tests; counts, sizes and ranking must match
 /// [`intersect_du`] bit for bit.
 pub fn intersect_du_unpruned(a: &SemDStruct, b: &SemDStruct) -> SemDStruct {
-    intersect_du_impl(a, b, Tuning::ORACLE)
+    intersect_du_impl(a, b, Tuning::ORACLE, &CancelToken::default())
 }
 
 /// Default estimated top-level edge-pair product below which the parallel
@@ -96,14 +96,37 @@ pub fn intersect_du_tuned(
     pool: &Pool,
     parallel_edge_product_min: usize,
 ) -> SemDStruct {
+    intersect_du_budgeted(
+        a,
+        b,
+        pool,
+        parallel_edge_product_min,
+        &CancelToken::default(),
+    )
+}
+
+/// [`intersect_du_tuned`] under a cooperative [`CancelToken`], checked at
+/// coarse granularity (per node pair on the serial path; per discovery
+/// step, per row unit and per wave on the parallel plane). When the token
+/// fires mid-intersection the return value is an *empty* structure that the
+/// caller must discard after checking the token — cancellation is a
+/// control signal, not a result. An un-fired token changes nothing:
+/// results stay bit-identical to [`intersect_du_tuned`].
+pub fn intersect_du_budgeted(
+    a: &SemDStruct,
+    b: &SemDStruct,
+    pool: &Pool,
+    parallel_edge_product_min: usize,
+    cancel: &CancelToken,
+) -> SemDStruct {
     let worthwhile = match (&a.top, &b.top) {
         (Some(ta), Some(tb)) => ta.edges.len() * tb.edges.len() >= parallel_edge_product_min,
         _ => false,
     };
     if pool.is_parallel() && worthwhile {
-        intersect_du_parallel(a, b, pool)
+        intersect_du_parallel_budgeted(a, b, pool, cancel)
     } else {
-        intersect_du(a, b)
+        intersect_du_impl(a, b, Tuning::OPTIMIZED, cancel)
     }
 }
 
@@ -128,7 +151,12 @@ impl Tuning {
     };
 }
 
-fn intersect_du_impl(a: &SemDStruct, b: &SemDStruct, tuning: Tuning) -> SemDStruct {
+fn intersect_du_impl(
+    a: &SemDStruct,
+    b: &SemDStruct,
+    tuning: Tuning,
+    cancel: &CancelToken,
+) -> SemDStruct {
     let (Some(ta), Some(tb)) = (&a.top, &b.top) else {
         return SemDStruct::default();
     };
@@ -147,8 +175,14 @@ fn intersect_du_impl(a: &SemDStruct, b: &SemDStruct, tuning: Tuning) -> SemDStru
         memo,
         dag_memo: IntMap::default(),
         pos_memo: &pos_memo,
+        cancel,
     };
     let top = ctx.intersect_top(ta, tb);
+    if cancel.is_cancelled() {
+        // The product was abandoned mid-flight; hand back an empty
+        // structure for the caller to discard.
+        return SemDStruct::default();
+    }
     let mut out = SemDStruct {
         nodes: ctx.out_nodes,
         top,
@@ -172,6 +206,11 @@ struct Ctx<'a> {
     memo: IntMap<(NodeId, NodeId), NodeId>,
     dag_memo: IntMap<(usize, usize), NestedDagEntry>,
     pos_memo: &'a PosMemo,
+    /// Cooperative cancellation, checked once per source pair (the
+    /// per-node-pair granularity of the §5.3 recursion). A fired token
+    /// makes every remaining pairing refuse, so products die quickly; the
+    /// (invalid) partial result is discarded by the impl's final check.
+    cancel: &'a CancelToken,
 }
 
 impl Ctx<'_> {
@@ -180,6 +219,9 @@ impl Ctx<'_> {
     /// (either side has no generalized program) so their recursive
     /// intersection work never happens.
     fn pair_src(&mut self, na: NodeId, nb: NodeId) -> Option<NodeId> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
         if self.tuning.skip_empty_pairs
             && (self.a.node(na).progs.is_empty() || self.b.node(nb).progs.is_empty())
         {
@@ -738,6 +780,22 @@ fn edge_profiles(dag: &Dag<NodeId>) -> (Vec<EdgeInfo<'_>>, Vec<u32>) {
 /// drive the discovery-scheduled path on structures of every size; results
 /// are observably identical to [`intersect_du`] at any pool width.
 pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> SemDStruct {
+    intersect_du_parallel_budgeted(a, b, pool, &CancelToken::default())
+}
+
+/// [`intersect_du_parallel`] under a cooperative [`CancelToken`]. The
+/// checkpoints are coarse: per discovery step, per wave, and per row unit
+/// inside the worker closures. A worker that observes the token returns a
+/// trivial (empty) result for its unit — every output slot is still
+/// written exactly once, keeping the pool's slot protocol sound — and the
+/// wave loop then abandons the session, returning an empty structure for
+/// the caller to discard.
+fn intersect_du_parallel_budgeted(
+    a: &SemDStruct,
+    b: &SemDStruct,
+    pool: &Pool,
+    cancel: &CancelToken,
+) -> SemDStruct {
     let (Some(ta), Some(tb)) = (&a.top, &b.top) else {
         return SemDStruct::default();
     };
@@ -764,8 +822,12 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
     let mut dag_results: Vec<Option<Arc<Dag<NodeId>>>> = Vec::new();
     let (mut done_pos, mut done_units, mut done_jobs) = (0usize, 0usize, 0usize);
     loop {
-        // Serial discovery to the current fixpoint.
+        // Serial discovery to the current fixpoint (checking the token
+        // once per walked job/pair — each walk is one bounded unit).
         while next_job < disc.jobs.len() || next_pair < disc.pairs.len() {
+            if cancel.is_cancelled() {
+                return SemDStruct::default();
+            }
             if next_job < disc.jobs.len() {
                 disc.walk_job(next_job);
                 next_job += 1;
@@ -773,6 +835,9 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
                 disc.walk_pair(next_pair);
                 next_pair += 1;
             }
+        }
+        if cancel.is_cancelled() {
+            return SemDStruct::default();
         }
         if done_jobs == disc.jobs.len() {
             break;
@@ -786,6 +851,11 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
         let new_pos = &disc.pos_pairs[done_pos..];
         let pos_results: Vec<Option<Arc<Vec<PosSet>>>> =
             pool.par_map_indexed(new_pos, |_, (pa, pb)| {
+                // Cancelled workers fill their slot with a trivial value;
+                // the wave loop discards the whole session right after.
+                if cancel.is_cancelled() {
+                    return None;
+                }
                 let v = sst_syntactic::intersect_pos_lists(pa, pb);
                 if v.is_empty() {
                     None
@@ -838,6 +908,12 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
         let pos_memo_ref = &pos_memo;
         type RowProducts = Vec<((u64, u64), Vec<AtomSet<NodeId>>)>;
         let unit_atoms: Vec<RowProducts> = pool.par_map_indexed(new_units, |_, unit| {
+            // Per-row-unit cancellation checkpoint: a trivial return keeps
+            // the slot protocol sound, and the wave loop discards the
+            // session before any trivial row can reach the output.
+            if cancel.is_cancelled() {
+                return Vec::new();
+            }
             let job = &jobs[unit.job as usize];
             let (a_slices, b_slices, a_keys, b_keys) = &edge_tables[unit.job as usize - done_jobs];
             let i = unit.ai as usize;
@@ -870,6 +946,9 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
             }
             out
         });
+        if cancel.is_cancelled() {
+            return SemDStruct::default();
+        }
         done_units = disc.units.len();
 
         // Reassemble each new job's product DAG from its rows, in row and
@@ -936,6 +1015,9 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
     // Phase 3: every node pair's program product in parallel, nested DAG
     // intersections served from phase 2.
     let progs: Vec<Vec<GenLookupU>> = pool.par_map_indexed(&pairs, |_, &(na, nb)| {
+        if cancel.is_cancelled() {
+            return Vec::new();
+        }
         let mut out: Vec<GenLookupU> = Vec::new();
         for ga in &a.node(na).progs {
             for gb in &b.node(nb).progs {
@@ -946,6 +1028,10 @@ pub fn intersect_du_parallel(a: &SemDStruct, b: &SemDStruct, pool: &Pool) -> Sem
         }
         out
     });
+
+    if cancel.is_cancelled() {
+        return SemDStruct::default();
+    }
 
     // Phase 4: assemble in discovery order and prune, exactly as serial.
     let nodes: Vec<SemNode> = pairs

@@ -8,15 +8,15 @@ use std::fmt;
 use std::sync::Arc;
 
 use sst_counting::BigUint;
-use sst_par::Pool;
+use sst_par::{CancelToken, Pool};
 use sst_syntactic::TokenSet;
 use sst_tables::{Database, DbDelta, Symbol, Table, TableError, TableId};
 
 use crate::cache::DagCache;
 use crate::dstruct::SemDStruct;
 use crate::eval::eval_sem;
-use crate::generate::{generate_str_u, generate_str_u_keyed, LuOptions};
-use crate::intersect::intersect_du_tuned;
+use crate::generate::{generate_str_u_budgeted, generate_str_u_keyed, LuOptions};
+use crate::intersect::intersect_du_budgeted;
 use crate::language::{display_sem, SemExpr};
 use crate::paraphrase::paraphrase_sem;
 use crate::rank::LuRankWeights;
@@ -61,6 +61,13 @@ pub enum SynthesisError {
     },
     /// No `Lu` program is consistent with all examples.
     NoConsistentProgram,
+    /// Learning was cancelled mid-flight — the configured
+    /// [`CancelToken`] fired (deadline expiry or caller-triggered) before
+    /// the consistent-program set was complete. All caches and memos are
+    /// left exactly as they were: partial results are never inserted, so
+    /// an immediate retry without a budget is bit-identical to a cold
+    /// learn.
+    Cancelled,
 }
 
 impl fmt::Display for SynthesisError {
@@ -77,6 +84,9 @@ impl fmt::Display for SynthesisError {
             ),
             SynthesisError::NoConsistentProgram => {
                 f.write_str("no transformation in the language is consistent with all examples")
+            }
+            SynthesisError::Cancelled => {
+                f.write_str("learning was cancelled before completion (deadline or caller)")
             }
         }
     }
@@ -135,6 +145,16 @@ pub struct SynthesisOptions {
     /// [`crate::DEFAULT_PARALLEL_EDGE_PRODUCT_MIN`]; untuned on real
     /// multi-core hardware.
     pub parallel_edge_product_min: usize,
+    /// Cooperative cancellation for the synthesis hot loops. The default
+    /// is the inert token (zero overhead — a single `None` branch per
+    /// checkpoint); a live token (deadline- or caller-triggered, see
+    /// [`CancelToken`]) makes `learn` abort with
+    /// [`SynthesisError::Cancelled`] at the next coarse checkpoint
+    /// (per generated example, per node-pair inside `Intersect_u`, per
+    /// reachability frontier step inside `GenerateStr_u`). A cancelled
+    /// learn never stores partial structures into the [`DagCache`], so
+    /// retrying without a budget is bit-identical to a cold learn.
+    pub cancel: CancelToken,
 }
 
 impl Default for SynthesisOptions {
@@ -146,6 +166,7 @@ impl Default for SynthesisOptions {
             threads: sst_par::default_threads(),
             top_k: 10,
             parallel_edge_product_min: crate::intersect::DEFAULT_PARALLEL_EDGE_PRODUCT_MIN,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -227,6 +248,14 @@ impl SynthesisOptionsBuilder {
     /// [`SynthesisOptions::parallel_edge_product_min`]).
     pub fn parallel_edge_product_min(mut self, min_product: usize) -> Self {
         self.options.parallel_edge_product_min = min_product;
+        self
+    }
+
+    /// Installs a cooperative cancellation token (see
+    /// [`SynthesisOptions::cancel`]). The default is the inert token,
+    /// which never cancels and costs nothing.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.options.cancel = token;
         self
     }
 
@@ -349,26 +378,34 @@ impl Synthesizer {
         }
         let pool = Pool::new(self.options.threads);
         let db_epoch = self.db.epoch();
+        let cancel = &self.options.cancel;
         let cache: Option<&DagCache> = self.options.dag_cache.then_some(&*self.cache);
         let generate = |e: &Example| -> (SemDStruct, Option<u64>) {
             match cache {
-                Some(c) => {
-                    let (d, uid) = generate_str_u_keyed(
+                Some(c) => generate_str_u_keyed(
+                    &self.db,
+                    &e.input_refs(),
+                    &e.output,
+                    &self.options.lu,
+                    c,
+                    cancel,
+                ),
+                None => (
+                    generate_str_u_budgeted(
                         &self.db,
                         &e.input_refs(),
                         &e.output,
                         &self.options.lu,
-                        c,
-                    );
-                    (d, Some(uid))
-                }
-                None => (
-                    generate_str_u(&self.db, &e.input_refs(), &e.output, &self.options.lu),
+                        cancel,
+                    ),
                     None,
                 ),
             }
         };
         let (mut d, mut d_uid) = generate(first);
+        if cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled);
+        }
         // Union of every per-example generation's reads (NOT the final
         // intersected structure's: a mutation can change one example's
         // generation through a node the intersection later dropped). Only
@@ -378,6 +415,9 @@ impl Synthesizer {
             self.options.lu.substring_gate.then(|| d.reads());
         for e in &examples[1..] {
             let (next, next_uid) = generate(e);
+            if cancel.is_cancelled() {
+                return Err(SynthesisError::Cancelled);
+            }
             if let Some((tables, vals)) = &mut reads {
                 let (t2, v2) = next.reads();
                 tables.extend(t2);
@@ -396,7 +436,11 @@ impl Synthesizer {
                 next_uid,
                 &pool,
                 self.options.parallel_edge_product_min,
+                cancel,
             );
+            if cancel.is_cancelled() {
+                return Err(SynthesisError::Cancelled);
+            }
             if !d.has_programs() {
                 return Err(SynthesisError::NoConsistentProgram);
             }
@@ -418,7 +462,9 @@ impl Synthesizer {
 /// intersection memo when both operands carry cache uids (their values are
 /// then exactly the memo key's), computed through the parallel plane and
 /// stored otherwise. Chained steps stay memoized because the stored
-/// result's own uid keys the next step.
+/// result's own uid keys the next step. A cancellation observed during the
+/// compute skips the store — partial intersections never enter the memo —
+/// and the caller aborts the learn at its own checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn intersect_step(
     cache: Option<&DagCache>,
@@ -429,18 +475,22 @@ fn intersect_step(
     b_uid: Option<u64>,
     pool: &Pool,
     parallel_edge_product_min: usize,
+    cancel: &CancelToken,
 ) -> (SemDStruct, Option<u64>) {
     match (cache, a_uid, b_uid) {
         (Some(c), Some(ia), Some(ib)) => {
             if let Some((uid, hit)) = c.intersection(db_epoch, ia, ib) {
                 return (hit, Some(uid));
             }
-            let r = intersect_du_tuned(&a, b, pool, parallel_edge_product_min);
+            let r = intersect_du_budgeted(&a, b, pool, parallel_edge_product_min, cancel);
+            if cancel.is_cancelled() {
+                return (r, None);
+            }
             let uid = c.store_intersection(db_epoch, ia, ib, &r);
             (r, Some(uid))
         }
         _ => (
-            intersect_du_tuned(&a, b, pool, parallel_edge_product_min),
+            intersect_du_budgeted(&a, b, pool, parallel_edge_product_min, cancel),
             None,
         ),
     }
@@ -717,6 +767,63 @@ mod tests {
         // The clone's next learn of the same example is a memo hit.
         clone.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
         assert!(clone.cache_stats().example_hits > 0);
+    }
+
+    #[test]
+    fn cancelled_learn_aborts_and_leaves_caches_clean() {
+        let db = Arc::new(comp_db());
+        let examples = [
+            Example::new(vec!["c2"], "Google"),
+            Example::new(vec!["c1"], "Microsoft"),
+        ];
+        // An already-expired deadline: the learn must abort with the typed
+        // error at the first checkpoint.
+        let cancelled = Synthesizer::with_options(
+            Arc::clone(&db),
+            SynthesisOptions::builder()
+                .cancel_token(CancelToken::with_deadline(std::time::Duration::ZERO))
+                .build(),
+        );
+        assert_eq!(
+            cancelled.learn(&examples).unwrap_err(),
+            SynthesisError::Cancelled
+        );
+
+        // Nothing partial entered the shared plane: a learn over the very
+        // same cache serves no example memo entries from the aborted
+        // attempt and matches a cold engine bit for bit.
+        let warm = Synthesizer::with_shared_cache(
+            Arc::clone(&db),
+            SynthesisOptions::default(),
+            Arc::clone(&cancelled.cache),
+        );
+        let relearned = warm.learn(&examples).unwrap();
+        assert_eq!(
+            warm.cache_stats().example_hits,
+            0,
+            "cancelled learn must not have stored example structures"
+        );
+        let fresh = Synthesizer::new(db).learn(&examples).unwrap();
+        assert_eq!(relearned.count(), fresh.count());
+        assert_eq!(relearned.size(), fresh.size());
+    }
+
+    #[test]
+    fn caller_triggered_cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let s = Synthesizer::with_options(
+            Arc::new(comp_db()),
+            SynthesisOptions::builder()
+                .cancel_token(token.clone())
+                .build(),
+        );
+        // Not yet cancelled: the learn completes normally.
+        s.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+        token.cancel();
+        assert_eq!(
+            s.learn(&[Example::new(vec!["c3"], "Apple")]).unwrap_err(),
+            SynthesisError::Cancelled
+        );
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //! serial execution exactly.
 
 use std::mem::{ManuallyDrop, MaybeUninit};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// The machine's available parallelism, probed once per process; `1` when
 /// the runtime cannot tell.
@@ -168,6 +169,93 @@ impl Pool {
 impl Default for Pool {
     fn default() -> Self {
         Pool::new(0)
+    }
+}
+
+/// A cheap cooperative cancellation handle: caller-triggered
+/// ([`CancelToken::cancel`]), deadline-triggered
+/// ([`CancelToken::with_deadline`]), or both.
+///
+/// The default token is *inert* — it holds no allocation and
+/// [`is_cancelled`](CancelToken::is_cancelled) is a single `Option` check
+/// that branches on `None`, so threading a token through hot loops costs
+/// nothing for callers that never set one. Live tokens share one
+/// atomically-flagged allocation across clones, so cancelling any clone
+/// cancels them all; a deadline latches into the flag the first time it is
+/// observed expired, making subsequent checks a plain atomic load.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// An inert token that can never cancel (the zero-cost default).
+    pub fn inert() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A live token with no deadline; it cancels only when
+    /// [`cancel`](CancelToken::cancel) is called on any clone.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A live token that reports cancelled once `budget` has elapsed (and
+    /// immediately if [`cancel`](CancelToken::cancel) fires first).
+    /// Saturates to "never expires by time" if the deadline overflows the
+    /// clock.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            })),
+        }
+    }
+
+    /// Flags the token (and every clone of it) as cancelled.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True iff the token was cancelled or its deadline has passed.
+    /// Cooperative checkpoints call this at coarse granularity (per
+    /// node-pair, per job) — one relaxed load on the warm path.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch so future checks skip the clock read.
+                inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True iff this token can ever cancel (i.e. it is not the inert
+    /// default).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
     }
 }
 
@@ -341,6 +429,29 @@ mod tests {
         let items: Vec<usize> = (0..base.len()).collect();
         let out = Pool::new(2).par_map_indexed(&items, |_, &i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn cancel_token_states() {
+        let inert = CancelToken::default();
+        assert!(!inert.is_live());
+        assert!(!inert.is_cancelled());
+        inert.cancel(); // no-op
+        assert!(!inert.is_cancelled());
+
+        let manual = CancelToken::new();
+        let clone = manual.clone();
+        assert!(manual.is_live());
+        assert!(!manual.is_cancelled());
+        clone.cancel();
+        assert!(manual.is_cancelled(), "cancel propagates across clones");
+
+        let expired = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(expired.is_cancelled());
+        assert!(expired.is_cancelled(), "latched after first observation");
+
+        let generous = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
     }
 
     #[test]

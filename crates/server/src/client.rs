@@ -11,10 +11,25 @@
 //!
 //! Instances are intentionally single-connection: drive concurrency by
 //! opening more clients (as `traffic_replay` does), not by sharing one.
+//!
+//! # Timeouts and retries
+//!
+//! A client built with [`Client::connect_with`] can bound each request
+//! with a socket read timeout ([`ClientConfig::request_timeout`]) and
+//! retry *idempotent* requests — learn, apply, status, `run_column`,
+//! attach, `watch_inputs`, close, `/healthz`, `/metrics` — on transport
+//! failures, 429 and 5xx, with capped exponential backoff and
+//! deterministic (seeded) jitter. Non-idempotent requests
+//! (`create_session`, `add_examples`) are never retried automatically:
+//! a retry that actually reached the server the first time would create
+//! a second session or double an example. Retried requests carry an
+//! `x-retry-attempt` header, which the server counts on `/metrics`.
+//! Defaults keep the pre-hardening behavior: zero retries, no timeout.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use sst_core::Example;
 use sst_service::{
@@ -82,22 +97,104 @@ impl ClientError {
     }
 }
 
+/// Client tuning knobs for [`Client::connect_with`]. `Default` is the
+/// pre-hardening behavior: no socket timeout, no deadline header, zero
+/// retries.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout per response; a server that stalls past it
+    /// surfaces as [`ClientError::Io`] (kind `WouldBlock`/`TimedOut`).
+    pub request_timeout: Option<Duration>,
+    /// How many times an idempotent request is retried after a
+    /// retryable failure (transport error, 429, 5xx). `0` disables.
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
+    /// When set, every request carries a `deadline-ms` header with this
+    /// value — the server-side synthesis budget.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            request_timeout: None,
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            retry_seed: 0x5357_5f72_6574_7279,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// splitmix64 — deterministic jitter without a rand dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// One keep-alive connection to a server. See the module docs.
 pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with default (no-retry) configuration.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout/retry configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )
+        })?;
+        let (writer, reader) = Client::open(addr, &config)?;
+        Ok(Client {
+            addr,
+            config,
+            writer,
+            reader,
+        })
+    }
+
+    fn open(
+        addr: SocketAddr,
+        config: &ClientConfig,
+    ) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.request_timeout)?;
         let writer = stream.try_clone()?;
-        Ok(Client {
-            writer,
-            reader: BufReader::new(stream),
-        })
+        Ok((writer, BufReader::new(stream)))
+    }
+
+    /// Tears down the (possibly mid-frame) connection and dials a fresh
+    /// one — the retry path after a transport failure.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (writer, reader) = Client::open(self.addr, &self.config)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
+    }
+
+    /// Sets (or clears) the `deadline-ms` header attached to every
+    /// subsequent request.
+    pub fn set_deadline_ms(&mut self, ms: Option<u64>) {
+        self.config.deadline_ms = ms;
     }
 
     /// One raw exchange: returns the status and body. Typed helpers below
@@ -108,10 +205,27 @@ impl Client {
         path: &str,
         body: &str,
     ) -> Result<(u16, String), ClientError> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: sst\r\ncontent-length: {}\r\n\r\n",
+        self.request_attempt(method, path, body, 0)
+    }
+
+    fn request_attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        attempt: u32,
+    ) -> Result<(u16, String), ClientError> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: sst\r\ncontent-length: {}\r\n",
             body.len()
         );
+        if let Some(ms) = self.config.deadline_ms {
+            head.push_str(&format!("deadline-ms: {ms}\r\n"));
+        }
+        if attempt > 0 {
+            head.push_str(&format!("x-retry-attempt: {attempt}\r\n"));
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;
@@ -171,9 +285,19 @@ impl Client {
     }
 
     /// Raises non-2xx responses as [`ClientError::Http`] with the typed
-    /// error decoded from the body.
+    /// error decoded from the body. One attempt, no retry.
     fn checked(&mut self, method: &str, path: &str, body: &str) -> Result<String, ClientError> {
-        let (status, body) = self.request(method, path, body)?;
+        self.checked_attempt(method, path, body, 0)
+    }
+
+    fn checked_attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        attempt: u32,
+    ) -> Result<String, ClientError> {
+        let (status, body) = self.request_attempt(method, path, body, attempt)?;
         if (200..300).contains(&status) {
             return Ok(body);
         }
@@ -185,6 +309,52 @@ impl Client {
         Err(ClientError::Http { status, error })
     }
 
+    /// [`Client::checked`] plus the retry loop for idempotent requests:
+    /// transport failures, 429 and 5xx are retried up to
+    /// [`ClientConfig::retries`] times with capped exponential backoff
+    /// and seeded jitter; everything else (and every non-idempotent
+    /// request) surfaces immediately.
+    fn checked_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        idempotent: bool,
+    ) -> Result<String, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.checked_attempt(method, path, body, attempt);
+            let retryable = idempotent
+                && attempt < self.config.retries
+                && match &result {
+                    Err(ClientError::Io(_)) => true,
+                    Err(ClientError::Http { status, .. }) => *status == 429 || *status >= 500,
+                    _ => false,
+                };
+            if !retryable {
+                return result;
+            }
+            if matches!(result, Err(ClientError::Io(_))) {
+                // The connection may hold half a frame; start clean.
+                if let Err(err) = self.reconnect() {
+                    return Err(ClientError::Io(err));
+                }
+            }
+            std::thread::sleep(self.backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Backoff before retry `attempt + 1`: `base * 2^attempt`, capped,
+    /// then jittered into `[delay/2, delay]` deterministically.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.as_millis().max(1) as u64;
+        let cap = self.config.backoff_cap.as_millis().max(1) as u64;
+        let delay = base.saturating_mul(1u64 << attempt.min(16)).min(cap);
+        let jitter = splitmix64(self.config.retry_seed ^ u64::from(attempt)) % (delay / 2 + 1);
+        Duration::from_millis(delay / 2 + jitter)
+    }
+
     /// `GET /healthz`.
     pub fn healthz(&mut self) -> Result<bool, ClientError> {
         let (status, _) = self.request("GET", "/healthz", "")?;
@@ -193,7 +363,7 @@ impl Client {
 
     /// `GET /metrics`: the raw Prometheus text.
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
-        self.checked("GET", "/metrics", "")
+        self.checked_retry("GET", "/metrics", "", true)
     }
 
     /// `POST /v1/{engine}/learn`: batch learn, request-ordered summaries.
@@ -202,10 +372,11 @@ impl Client {
         engine: &str,
         requests: &[LearnRequest],
     ) -> Result<Vec<WireLearnResponse>, ClientError> {
-        let body = self.checked(
+        let body = self.checked_retry(
             "POST",
             &format!("/v1/{engine}/learn"),
             &encode_lines(requests),
+            true,
         )?;
         Ok(decode_lines(&body)?)
     }
@@ -216,10 +387,11 @@ impl Client {
         engine: &str,
         requests: &[ApplyRequest],
     ) -> Result<Vec<ApplyResponse>, ClientError> {
-        let body = self.checked(
+        let body = self.checked_retry(
             "POST",
             &format!("/v1/{engine}/apply"),
             &encode_lines(requests),
+            true,
         )?;
         Ok(decode_lines(&body)?)
     }
@@ -241,7 +413,8 @@ impl Client {
 
     /// `GET /v1/{engine}/sessions/{id}`: attach to a live session.
     pub fn attach(&mut self, engine: &str, session: u64) -> Result<SessionInfo, ClientError> {
-        let body = self.checked("GET", &format!("/v1/{engine}/sessions/{session}"), "")?;
+        let body =
+            self.checked_retry("GET", &format!("/v1/{engine}/sessions/{session}"), "", true)?;
         Ok(SessionInfo::decode_line(body.trim_end())?)
     }
 
@@ -267,10 +440,11 @@ impl Client {
         session: u64,
         rows: &[Vec<String>],
     ) -> Result<SessionInfo, ClientError> {
-        let body = self.checked(
+        let body = self.checked_retry(
             "POST",
             &format!("/v1/{engine}/sessions/{session}/inputs"),
             &encode_row_lines(rows),
+            true,
         )?;
         Ok(SessionInfo::decode_line(body.trim_end())?)
     }
@@ -278,10 +452,11 @@ impl Client {
     /// `GET /v1/{engine}/sessions/{id}/status`: learns (server-side,
     /// memoized) and reports convergence.
     pub fn status(&mut self, engine: &str, session: u64) -> Result<SessionStatus, ClientError> {
-        let body = self.checked(
+        let body = self.checked_retry(
             "GET",
             &format!("/v1/{engine}/sessions/{session}/status"),
             "",
+            true,
         )?;
         Ok(SessionStatus::decode_line(body.trim_end())?)
     }
@@ -294,17 +469,23 @@ impl Client {
         session: u64,
         rows: &[Vec<String>],
     ) -> Result<Vec<Option<String>>, ClientError> {
-        let body = self.checked(
+        let body = self.checked_retry(
             "POST",
             &format!("/v1/{engine}/sessions/{session}/run_column"),
             &encode_row_lines(rows),
+            true,
         )?;
         Ok(decode_cell_lines(&body)?)
     }
 
     /// `DELETE /v1/{engine}/sessions/{id}`.
     pub fn close_session(&mut self, engine: &str, session: u64) -> Result<(), ClientError> {
-        self.checked("DELETE", &format!("/v1/{engine}/sessions/{session}"), "")?;
+        self.checked_retry(
+            "DELETE",
+            &format!("/v1/{engine}/sessions/{session}"),
+            "",
+            true,
+        )?;
         Ok(())
     }
 }

@@ -61,6 +61,8 @@
 
 pub mod admission;
 pub mod client;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod proto;
@@ -68,8 +70,11 @@ pub mod server;
 pub mod sessions;
 
 pub use admission::{Admission, AdmitPermit};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultAction, FaultCounts, FaultPlan, FaultSite};
+pub use http::{ReadError, ReadLimits, MAX_BODY};
 pub use metrics::{Endpoint, LatencyHistogram, Metrics};
 pub use proto::SessionInfo;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, DRAIN_DRAINING, DRAIN_SERVING, DRAIN_STOPPED};
 pub use sessions::SessionStore;

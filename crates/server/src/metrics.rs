@@ -159,6 +159,10 @@ struct EndpointMetrics {
 pub struct Metrics {
     endpoints: Vec<EndpointMetrics>,
     rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -166,6 +170,10 @@ impl Default for Metrics {
         Metrics {
             endpoints: Endpoint::ALL.iter().map(|_| Default::default()).collect(),
             rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 }
@@ -191,6 +199,50 @@ impl Metrics {
     /// Total requests rejected by admission control.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Records one request whose deadline expired (a typed 408 — either a
+    /// cooperatively cancelled synthesis or a mid-request read stall).
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total deadline-exceeded (408) answers.
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Records one socket-level timeout (a peer that stalled mid-request
+    /// past the read budget).
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total mid-request socket timeouts.
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Records one handler panic isolated by the per-request
+    /// `catch_unwind` boundary (answered as a typed 500).
+    pub fn panic_caught(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total isolated handler panics.
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Records one request that declared itself a client retry
+    /// (`x-retry-attempt` header).
+    pub fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests that were client retries.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Total requests observed across all endpoints.
@@ -241,6 +293,18 @@ impl Metrics {
         }
         let _ = writeln!(out, "# TYPE sst_rejected_total counter");
         let _ = writeln!(out, "sst_rejected_total {}", self.rejected());
+        let _ = writeln!(out, "# TYPE sst_deadline_exceeded_total counter");
+        let _ = writeln!(
+            out,
+            "sst_deadline_exceeded_total {}",
+            self.deadline_exceeded_total()
+        );
+        let _ = writeln!(out, "# TYPE sst_timeouts_total counter");
+        let _ = writeln!(out, "sst_timeouts_total {}", self.timeouts_total());
+        let _ = writeln!(out, "# TYPE sst_panics_total counter");
+        let _ = writeln!(out, "sst_panics_total {}", self.panics_total());
+        let _ = writeln!(out, "# TYPE sst_retries_total counter");
+        let _ = writeln!(out, "sst_retries_total {}", self.retries_total());
     }
 }
 

@@ -33,14 +33,40 @@
 //!
 //! Every error response body is one [`ServiceError`] wire line:
 //! `BadRequest` → 400, `SessionNotFound` (and unknown engine names) →
-//! 404, `Synthesis`/`Table` → 422, `Overloaded` → 429. Batch endpoints
-//! return 200 with per-request errors embedded in their response lines,
-//! matching the in-process `learn_batch`/`apply_batch` contract.
+//! 404, `DeadlineExceeded` → 408, `PayloadTooLarge` → 413,
+//! `Synthesis`/`Table` → 422, `Overloaded` → 429, `Internal` (an
+//! isolated handler panic) → 500. Batch endpoints return 200 with
+//! per-request errors embedded in their response lines, matching the
+//! in-process `learn_batch`/`apply_batch` contract — except when a
+//! deadline killed the *entire* batch, which answers a top-level 408.
+//!
+//! # Deadlines
+//!
+//! A request may carry a `deadline-ms` header (or the server may set
+//! [`ServerConfig::default_deadline`]): synthesis-bearing work then runs
+//! under a cooperative cancellation budget. A learn the deadline
+//! interrupts aborts mid-synthesis with every shared memo left valid —
+//! partial results are never inserted — and answers the typed 408; the
+//! identical request without a deadline later is bit-identical to a cold
+//! engine (pinned by `tests/cancellation_equivalence.rs`).
+//!
+//! # Crash containment
+//!
+//! Each request is routed inside a `catch_unwind` boundary: a handler
+//! panic is isolated to that one request (typed 500, `sst_panics_total`
+//! bumped), the connection and every other session stay live. Socket
+//! reads are budgeted ([`crate::http::ReadLimits`]) so slow-loris peers
+//! cannot pin connection threads, and [`Server::shutdown`] drains
+//! in-flight requests up to [`ServerConfig::drain_deadline`] before
+//! returning.
 
 use std::collections::HashMap;
+#[cfg(feature = "fault-injection")]
+use std::io::Write;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,7 +77,9 @@ use sst_service::{
 };
 
 use crate::admission::Admission;
-use crate::http::{read_request, write_response, Request, Response};
+#[cfg(feature = "fault-injection")]
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
+use crate::http::{read_request, write_response, ReadError, ReadLimits, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::proto::SessionInfo;
 use crate::sessions::SessionStore;
@@ -73,11 +101,36 @@ pub struct ServerConfig {
     pub session_ttl: Duration,
     /// Deadline-wheel tick (eviction resolution and sweeper interval).
     pub sweep_granularity: Duration,
+    /// Default synthesis budget for requests that carry no `deadline-ms`
+    /// header; `None` (the default) learns without a deadline.
+    pub default_deadline: Option<Duration>,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before it is closed silently.
+    pub idle_timeout: Option<Duration>,
+    /// Total wall-clock budget for one request to arrive in full once its
+    /// first byte lands (the slow-loris bound); a stalled peer is answered
+    /// with a typed 408 and closed.
+    pub request_read_timeout: Option<Duration>,
+    /// Socket write timeout per response (a peer that stops draining its
+    /// receive buffer cannot pin a connection thread forever).
+    pub write_timeout: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for in-flight requests to
+    /// finish after it stops accepting, before giving up on them.
+    pub drain_deadline: Duration,
     /// Test hook: hold each admitted synthesis request this long before
     /// doing the work, so saturation tests can fill the admission queue
     /// deterministically.
     #[doc(hidden)]
     pub debug_handler_delay: Option<Duration>,
+    /// Test hook: panic inside the handler boundary when the request path
+    /// contains this substring, so panic isolation is testable without
+    /// the fault-injection feature.
+    #[doc(hidden)]
+    pub debug_panic_on: Option<String>,
+    /// The seeded fault schedule the connection loop draws from; `None`
+    /// injects nothing. Only present under the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -88,10 +141,26 @@ impl Default for ServerConfig {
             max_queue: 1024,
             session_ttl: Duration::from_secs(300),
             sweep_granularity: Duration::from_millis(50),
+            default_deadline: None,
+            idle_timeout: Some(Duration::from_secs(300)),
+            request_read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(30)),
+            drain_deadline: Duration::from_secs(5),
             debug_handler_delay: None,
+            debug_panic_on: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
+
+/// Drain state for `/metrics` (`sst_drain_state`): 0 serving, 1 draining
+/// in-flight requests, 2 stopped.
+pub const DRAIN_SERVING: u8 = 0;
+/// See [`DRAIN_SERVING`].
+pub const DRAIN_DRAINING: u8 = 1;
+/// See [`DRAIN_SERVING`].
+pub const DRAIN_STOPPED: u8 = 2;
 
 struct State {
     /// Engine name → engine, plus a stable render order for `/metrics`.
@@ -100,8 +169,20 @@ struct State {
     sessions: SessionStore,
     admission: Admission,
     metrics: Metrics,
+    default_deadline: Option<Duration>,
+    read_limits: ReadLimits,
+    write_timeout: Option<Duration>,
+    drain_deadline: Duration,
     debug_handler_delay: Option<Duration>,
+    debug_panic_on: Option<String>,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<Arc<FaultPlan>>,
     shutdown: AtomicBool,
+    /// Requests currently inside the handler boundary (drained by
+    /// [`Server::shutdown`]).
+    active_requests: AtomicUsize,
+    /// One of the `DRAIN_*` states.
+    drain: AtomicU8,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
@@ -131,8 +212,20 @@ impl Server {
             sessions: SessionStore::new(config.session_ttl, config.sweep_granularity),
             admission: Admission::new(config.max_in_flight, config.max_queue),
             metrics: Metrics::default(),
+            default_deadline: config.default_deadline,
+            read_limits: ReadLimits {
+                idle_timeout: config.idle_timeout,
+                request_timeout: config.request_read_timeout,
+            },
+            write_timeout: config.write_timeout,
+            drain_deadline: config.drain_deadline,
             debug_handler_delay: config.debug_handler_delay,
+            debug_panic_on: config.debug_panic_on,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: config.fault_plan,
             shutdown: AtomicBool::new(false),
+            active_requests: AtomicUsize::new(0),
+            drain: AtomicU8::new(DRAIN_SERVING),
         });
 
         let accept_state = Arc::clone(&state);
@@ -175,17 +268,43 @@ impl Server {
         self.state.metrics.rejected()
     }
 
-    /// Stops accepting connections and joins the background threads.
-    /// Idempotent; also runs on `Drop`.
+    /// Handler panics isolated by the per-request `catch_unwind` boundary
+    /// so far.
+    pub fn caught_panics(&self) -> u64 {
+        self.state.metrics.panics_total()
+    }
+
+    /// Requests currently inside the handler boundary.
+    pub fn active_requests(&self) -> usize {
+        self.state.active_requests.load(Ordering::Acquire)
+    }
+
+    /// Where the server stands in its lifecycle: [`DRAIN_SERVING`],
+    /// [`DRAIN_DRAINING`], or [`DRAIN_STOPPED`].
+    pub fn drain_state(&self) -> u8 {
+        self.state.drain.load(Ordering::Acquire)
+    }
+
+    /// Gracefully stops the server: stops accepting connections, waits up
+    /// to [`ServerConfig::drain_deadline`] for in-flight requests to
+    /// finish (they get their responses; the keep-alive loop marks every
+    /// connection `connection: close` once shutdown begins), then joins
+    /// the background threads. Idempotent; also runs on `Drop`.
     pub fn shutdown(&mut self) {
         if self.state.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.state.drain.store(DRAIN_DRAINING, Ordering::Release);
         // Wake the blocking `accept` with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        let deadline = Instant::now() + self.state.drain_deadline;
+        while self.state.active_requests.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.state.drain.store(DRAIN_STOPPED, Ordering::Release);
         if let Some(sweeper) = self.sweeper.take() {
             let _ = sweeper.join();
         }
@@ -219,29 +338,127 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
     }
 }
 
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "handler panicked (non-string payload)".to_string()
+    }
+}
+
 fn serve_connection(stream: TcpStream, state: &State) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    stream.set_write_timeout(state.write_timeout)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        let request = match read_request(&mut reader) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(action) = state
+            .fault_plan
+            .as_deref()
+            .and_then(|plan| plan.draw(FaultSite::PreRead))
+        {
+            match action {
+                FaultAction::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                // Kill the connection before even reading the request.
+                _ => return Ok(()),
+            }
+        }
+        let request = match read_request(&mut reader, &state.read_limits) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
-            Err(err) => {
-                // Malformed framing: answer 400 if the peer is still
-                // there, then drop the connection.
-                let body = ServiceError::BadRequest(err.to_string()).encode_line();
-                let response = Response::ndjson(400, body + "\n");
-                let _ = write_response(&mut writer, &response, true);
-                return Err(err);
+            Err(ReadError::Malformed(msg)) => {
+                // Malformed framing: answer the typed 400 if the peer is
+                // still there, then drop the connection.
+                let err = ServiceError::BadRequest(format!("malformed request: {msg}"));
+                let _ = write_response(&mut writer, &error_response(&err), true);
+                return Ok(());
             }
+            Err(ReadError::TooLarge { limit }) => {
+                let err = ServiceError::PayloadTooLarge { limit };
+                let _ = write_response(&mut writer, &error_response(&err), true);
+                return Ok(());
+            }
+            Err(ReadError::TimedOut { idle }) => {
+                if !idle {
+                    // A peer stalled mid-request (slow-loris): typed 408.
+                    state.metrics.timeout();
+                    let budget_ms = state
+                        .read_limits
+                        .request_timeout
+                        .map_or(0, |d| d.as_millis() as u64);
+                    let err = ServiceError::DeadlineExceeded { budget_ms };
+                    let _ = write_response(&mut writer, &error_response(&err), true);
+                }
+                return Ok(());
+            }
+            Err(ReadError::Io(err)) => return Err(err),
         };
         let close = request.wants_close() || state.shutdown.load(Ordering::Acquire);
+        if request.header("x-retry-attempt").is_some() {
+            state.metrics.retry();
+        }
         let started = Instant::now();
-        let (endpoint, response) = route(state, &request);
+        state.active_requests.fetch_add(1, Ordering::AcqRel);
+        // The handler boundary: a panic anywhere inside routing or a
+        // handler is isolated to this request. Engine/session state stays
+        // consistent (all shared locks are acquired poison-tolerantly and
+        // memo inserts are all-or-nothing), so serving continues.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if let Some(action) = state
+                .fault_plan
+                .as_deref()
+                .and_then(|plan| plan.draw(FaultSite::Handler))
+            {
+                match action {
+                    FaultAction::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                    FaultAction::Panic => panic!("injected handler panic"),
+                    _ => {}
+                }
+            }
+            if let Some(needle) = &state.debug_panic_on {
+                if request.path.contains(needle.as_str()) {
+                    panic!("debug panic: {}", request.path);
+                }
+            }
+            route(state, &request)
+        }));
+        state.active_requests.fetch_sub(1, Ordering::AcqRel);
+        let (endpoint, response) = outcome.unwrap_or_else(|payload| {
+            state.metrics.panic_caught();
+            (
+                Endpoint::Other,
+                error_response(&ServiceError::Internal(panic_message(payload.as_ref()))),
+            )
+        });
+        if response.status == 408 {
+            state.metrics.deadline_exceeded();
+        }
         state
             .metrics
             .observe(endpoint, started.elapsed(), response.status < 400);
+        #[cfg(feature = "fault-injection")]
+        if let Some(action) = state
+            .fault_plan
+            .as_deref()
+            .and_then(|plan| plan.draw(FaultSite::PreWrite))
+        {
+            match action {
+                FaultAction::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                FaultAction::DropConnection => return Ok(()),
+                FaultAction::TruncateResponse => {
+                    let bytes = crate::http::response_bytes(&response, true);
+                    let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+                    let _ = writer.flush();
+                    return Ok(());
+                }
+                FaultAction::Panic => {}
+            }
+        }
         write_response(&mut writer, &response, close)?;
         if close {
             return Ok(());
@@ -254,8 +471,11 @@ fn error_status(err: &ServiceError) -> u16 {
     match err {
         ServiceError::BadRequest(_) => 400,
         ServiceError::SessionNotFound(_) => 404,
+        ServiceError::DeadlineExceeded { .. } => 408,
+        ServiceError::PayloadTooLarge { .. } => 413,
         ServiceError::Synthesis(_) | ServiceError::Table(_) => 422,
         ServiceError::Overloaded { .. } => 429,
+        ServiceError::Internal(_) => 500,
     }
 }
 
@@ -267,7 +487,25 @@ fn decode_error(err: WireError) -> Response {
     error_response(&ServiceError::BadRequest(err.to_string()))
 }
 
+/// The synthesis budget in force for one request: its `deadline-ms`
+/// header, else the server default. A malformed header is a typed 400.
+fn request_budget(state: &State, request: &Request) -> Result<Option<Duration>, Response> {
+    match request.header("deadline-ms") {
+        None => Ok(state.default_deadline),
+        Some(value) => match value.trim().parse::<u64>() {
+            Ok(ms) => Ok(Some(Duration::from_millis(ms))),
+            Err(_) => Err(error_response(&ServiceError::BadRequest(format!(
+                "bad deadline-ms header `{value}`"
+            )))),
+        },
+    }
+}
+
 fn route(state: &State, request: &Request) -> (Endpoint, Response) {
+    let budget = match request_budget(state, request) {
+        Ok(budget) => budget,
+        Err(response) => return (Endpoint::Other, response),
+    };
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (Endpoint::Other, Response::text(200, "ok\n".to_string())),
@@ -281,7 +519,7 @@ fn route(state: &State, request: &Request) -> (Endpoint, Response) {
                     Response::ndjson(404, err.encode_line() + "\n"),
                 );
             };
-            route_engine(state, engine, method, rest, &request.body)
+            route_engine(state, engine, method, rest, &request.body, budget)
         }
         _ => (
             Endpoint::Other,
@@ -299,10 +537,11 @@ fn route_engine(
     method: &str,
     rest: &[&str],
     body: &str,
+    budget: Option<Duration>,
 ) -> (Endpoint, Response) {
     match (method, rest) {
-        ("POST", ["learn"]) => (Endpoint::Learn, learn(state, engine, body)),
-        ("POST", ["apply"]) => (Endpoint::Apply, apply(state, engine, body)),
+        ("POST", ["learn"]) => (Endpoint::Learn, learn(state, engine, body, budget)),
+        ("POST", ["apply"]) => (Endpoint::Apply, apply(state, engine, body, budget)),
         ("POST", ["sessions"]) => (Endpoint::SessionCreate, session_create(state, engine, body)),
         (method, ["sessions", id, verb @ ..]) => {
             let Ok(id) = id.parse::<u64>() else {
@@ -311,7 +550,7 @@ fn route_engine(
                     error_response(&ServiceError::BadRequest(format!("bad session id `{id}`"))),
                 );
             };
-            route_session(state, method, id, verb, body)
+            route_session(state, method, id, verb, body, budget)
         }
         (method, rest) => (
             Endpoint::Other,
@@ -330,14 +569,18 @@ fn route_session(
     id: u64,
     verb: &[&str],
     body: &str,
+    budget: Option<Duration>,
 ) -> (Endpoint, Response) {
     match (method, verb) {
         ("GET", []) => (Endpoint::SessionAttach, session_attach(state, id)),
         ("DELETE", []) => (Endpoint::SessionClose, session_close(state, id)),
         ("POST", ["examples"]) => (Endpoint::AddExamples, session_examples(state, id, body)),
         ("POST", ["inputs"]) => (Endpoint::WatchInputs, session_inputs(state, id, body)),
-        ("GET", ["status"]) => (Endpoint::Status, session_status(state, id)),
-        ("POST", ["run_column"]) => (Endpoint::RunColumn, session_run_column(state, id, body)),
+        ("GET", ["status"]) => (Endpoint::Status, session_status(state, id, budget)),
+        ("POST", ["run_column"]) => (
+            Endpoint::RunColumn,
+            session_run_column(state, id, body, budget),
+        ),
         (method, verb) => (
             Endpoint::Other,
             error_response(&ServiceError::BadRequest(format!(
@@ -366,13 +609,45 @@ fn admitted(state: &State, work: impl FnOnce() -> Response) -> Response {
     }
 }
 
-fn learn(state: &State, engine: &Engine, body: &str) -> Response {
+/// When a deadline terminated *every* request of a batch, the batch
+/// answers a single top-level 408 instead of the usual 200 with embedded
+/// errors (a partial batch keeps its successes and stays a 200).
+fn whole_batch_deadline<'a>(
+    errors: impl Iterator<Item = Option<&'a ServiceError>>,
+) -> Option<ServiceError> {
+    let mut first = None;
+    let mut any = false;
+    for error in errors {
+        any = true;
+        match error {
+            Some(err @ ServiceError::DeadlineExceeded { .. }) => {
+                if first.is_none() {
+                    first = Some(err.clone());
+                }
+            }
+            _ => return None,
+        }
+    }
+    if any {
+        first
+    } else {
+        None
+    }
+}
+
+fn learn(state: &State, engine: &Engine, body: &str, budget: Option<Duration>) -> Response {
     let requests = match decode_lines(body) {
         Ok(requests) => requests,
         Err(err) => return decode_error(err),
     };
     admitted(state, || {
-        let responses = engine.learn_batch(&requests);
+        let responses = match budget {
+            Some(budget) => engine.learn_batch_with_budget(&requests, budget),
+            None => engine.learn_batch(&requests),
+        };
+        if let Some(err) = whole_batch_deadline(responses.iter().map(|r| r.result.as_ref().err())) {
+            return error_response(&err);
+        }
         let wire: Vec<WireLearnResponse> = responses
             .iter()
             .map(WireLearnResponse::from_response)
@@ -381,13 +656,19 @@ fn learn(state: &State, engine: &Engine, body: &str) -> Response {
     })
 }
 
-fn apply(state: &State, engine: &Engine, body: &str) -> Response {
+fn apply(state: &State, engine: &Engine, body: &str, budget: Option<Duration>) -> Response {
     let requests = match decode_lines(body) {
         Ok(requests) => requests,
         Err(err) => return decode_error(err),
     };
     admitted(state, || {
-        let responses = engine.apply_batch(&requests);
+        let responses = match budget {
+            Some(budget) => engine.apply_batch_with_budget(&requests, budget),
+            None => engine.apply_batch(&requests),
+        };
+        if let Some(err) = whole_batch_deadline(responses.iter().map(|r| r.result.as_ref().err())) {
+            return error_response(&err);
+        }
         Response::ndjson(200, encode_lines(&responses))
     })
 }
@@ -470,24 +751,30 @@ fn session_inputs(state: &State, id: u64, body: &str) -> Response {
     })
 }
 
-fn session_status(state: &State, id: u64) -> Response {
+fn session_status(state: &State, id: u64, budget: Option<Duration>) -> Response {
     admitted(state, || {
-        with_session(state, id, |session| match session.status() {
-            Ok(status) => Response::ndjson(200, status.encode_line() + "\n"),
-            Err(err) => error_response(&err),
+        with_session(state, id, |session| {
+            session.set_budget(budget);
+            match session.status() {
+                Ok(status) => Response::ndjson(200, status.encode_line() + "\n"),
+                Err(err) => error_response(&err),
+            }
         })
     })
 }
 
-fn session_run_column(state: &State, id: u64, body: &str) -> Response {
+fn session_run_column(state: &State, id: u64, body: &str, budget: Option<Duration>) -> Response {
     let rows = match decode_row_lines(body) {
         Ok(rows) => rows,
         Err(err) => return decode_error(err),
     };
     admitted(state, || {
-        with_session(state, id, |session| match session.run_column(&rows) {
-            Ok(cells) => Response::ndjson(200, encode_cell_lines(&cells)),
-            Err(err) => error_response(&err),
+        with_session(state, id, |session| {
+            session.set_budget(budget);
+            match session.run_column(&rows) {
+                Ok(cells) => Response::ndjson(200, encode_cell_lines(&cells)),
+                Err(err) => error_response(&err),
+            }
         })
     })
 }
@@ -500,6 +787,18 @@ fn metrics_response(state: &State) -> Response {
     let _ = writeln!(out, "sst_in_flight {}", state.admission.in_flight());
     let _ = writeln!(out, "# TYPE sst_queued gauge");
     let _ = writeln!(out, "sst_queued {}", state.admission.queued());
+    let _ = writeln!(out, "# TYPE sst_drain_state gauge");
+    let _ = writeln!(
+        out,
+        "sst_drain_state {}",
+        state.drain.load(Ordering::Acquire)
+    );
+    let _ = writeln!(out, "# TYPE sst_active_requests gauge");
+    let _ = writeln!(
+        out,
+        "sst_active_requests {}",
+        state.active_requests.load(Ordering::Acquire)
+    );
     let _ = writeln!(out, "# TYPE sst_sessions_live gauge");
     let _ = writeln!(out, "sst_sessions_live {}", state.sessions.live());
     let _ = writeln!(out, "# TYPE sst_sessions_evicted_total counter");

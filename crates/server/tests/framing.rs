@@ -1,0 +1,276 @@
+//! Hostile-peer hardening of the HTTP/1.1 framing layer, over real
+//! sockets: garbage bytes, oversized header lines, bad and oversized
+//! content-lengths, truncated bodies, mid-UTF-8 cuts, and slow-loris
+//! stalls must each surface as the right *typed* error (400/408/413) or
+//! a silent close — never a panic, never a hang — and the server must
+//! keep serving healthy requests afterwards.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sst_core::Example;
+use sst_server::{Client, Server, ServerConfig, MAX_BODY};
+use sst_service::{Engine, ServiceError, Wire};
+use sst_tables::{Database, Table};
+
+fn engine() -> Engine {
+    let table = Table::new(
+        "Comp",
+        vec!["Id", "Name"],
+        vec![
+            vec!["c1", "Microsoft"],
+            vec!["c2", "Google"],
+            vec!["c3", "Apple"],
+        ],
+    )
+    .unwrap();
+    Engine::new(Arc::new(Database::from_tables(vec![table]).unwrap()))
+}
+
+/// splitmix64 — the repo's standard seeded generator for fuzz inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Writes raw bytes, half-closes, and reads whatever the server answers
+/// before closing. The read timeout turns a server hang into a loud
+/// test failure instead of a stuck suite.
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(bytes).expect("write");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .expect("server must answer or close, never hang");
+    response
+}
+
+/// Status code and decoded typed error from a raw error response.
+fn parse_error(response: &[u8]) -> (u16, ServiceError) {
+    let text = String::from_utf8_lossy(response);
+    let status = text
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let error = body
+        .lines()
+        .find(|line| !line.trim().is_empty())
+        .and_then(|line| ServiceError::decode_line(line).ok())
+        .unwrap_or_else(|| panic!("error body is not one typed wire line: {body:?}"));
+    (status, error)
+}
+
+/// The server must still answer a clean request after absorbing abuse on
+/// other connections.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect after abuse");
+    assert!(client.healthz().expect("healthz after abuse"));
+}
+
+#[test]
+fn garbage_bytes_answer_typed_400_and_never_hang() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    for round in 0..48u64 {
+        let len = 1 + (splitmix64(round) % 512) as usize;
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| (splitmix64(round ^ (i as u64) << 17) & 0xff) as u8)
+            .collect();
+        let response = raw_exchange(addr, &bytes);
+        let (status, error) = parse_error(&response);
+        assert_eq!(status, 400, "garbage must answer 400: {bytes:?}");
+        assert!(
+            matches!(error, ServiceError::BadRequest(_)),
+            "garbage must decode as typed BadRequest, got {error:?}"
+        );
+    }
+    assert_still_serving(addr);
+}
+
+#[test]
+fn truncations_of_a_valid_request_answer_400_or_close_cleanly() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    // A valid learn request with a multi-byte UTF-8 cell, so truncation
+    // offsets land mid-request-line, mid-header, mid-body, and mid-code-
+    // point.
+    let body = "{\"examples\": [{\"inputs\": [\"c2\"], \"output\": \"Gøøglé日本\"}]}\n";
+    let full = format!(
+        "POST /v1/default/learn HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let full = full.as_bytes();
+    for round in 0..64u64 {
+        let cut = 1 + (splitmix64(round ^ 0xCAFE) % (full.len() as u64 - 1)) as usize;
+        let response = raw_exchange(addr, &full[..cut]);
+        if response.is_empty() {
+            // EOF before one full byte of a line: the silent-close path.
+            continue;
+        }
+        let (status, error) = parse_error(&response);
+        assert_eq!(status, 400, "truncation at {cut} must answer 400");
+        assert!(matches!(error, ServiceError::BadRequest(_)));
+    }
+    assert_still_serving(addr);
+}
+
+#[test]
+fn non_utf8_body_of_declared_length_answers_400() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    // Full declared length arrives, but the bytes cut a multi-byte code
+    // point in half: typed 400, not a panic in a String conversion.
+    let mut request = b"POST /v1/default/learn HTTP/1.1\r\ncontent-length: 4\r\n\r\n".to_vec();
+    request.extend_from_slice(&[b'a', 0xE6, 0x97, b'x']);
+    let (status, error) = parse_error(&raw_exchange(addr, &request));
+    assert_eq!(status, 400);
+    assert!(matches!(error, ServiceError::BadRequest(msg) if msg.contains("UTF-8")));
+    assert_still_serving(addr);
+}
+
+#[test]
+fn oversized_header_line_answers_400() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let request = format!(
+        "GET /healthz HTTP/1.1\r\nx-padding: {}\r\n\r\n",
+        "a".repeat(9 << 10)
+    );
+    let (status, error) = parse_error(&raw_exchange(addr, request.as_bytes()));
+    assert_eq!(status, 400);
+    assert!(matches!(error, ServiceError::BadRequest(msg) if msg.contains("too long")));
+    assert_still_serving(addr);
+}
+
+#[test]
+fn bad_and_oversized_content_lengths_answer_typed_400_and_413() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let request = "POST /v1/default/learn HTTP/1.1\r\ncontent-length: banana\r\n\r\n";
+    let (status, error) = parse_error(&raw_exchange(addr, request.as_bytes()));
+    assert_eq!(status, 400);
+    assert!(matches!(error, ServiceError::BadRequest(msg) if msg.contains("content-length")));
+
+    // One byte past the frame cap: typed 413 echoing the cap, without
+    // the server reading (or us sending) 64 MiB of body.
+    let request = format!(
+        "POST /v1/default/learn HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        MAX_BODY + 1
+    );
+    let (status, error) = parse_error(&raw_exchange(addr, request.as_bytes()));
+    assert_eq!(status, 413);
+    match error {
+        ServiceError::PayloadTooLarge { limit } => assert_eq!(limit, MAX_BODY),
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+    assert_still_serving(addr);
+}
+
+#[test]
+fn malformed_deadline_header_answers_typed_400() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let request = "GET /v1/default/sessions/1/status HTTP/1.1\r\ndeadline-ms: soon\r\n\r\n";
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = vec![0u8; 4096];
+    let n = stream.read(&mut response).expect("read response");
+    let (status, error) = parse_error(&response[..n]);
+    assert_eq!(status, 400);
+    assert!(matches!(error, ServiceError::BadRequest(msg) if msg.contains("deadline-ms")));
+}
+
+#[test]
+fn slow_loris_stall_answers_408_within_the_read_budget() {
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            request_read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Half a request, then silence: the peer never completes the frame.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/default/learn HTTP/1.1\r\ncontent-le")
+        .unwrap();
+    let started = Instant::now();
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .expect("server must answer 408, not hang");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "408 must arrive promptly, took {elapsed:?}"
+    );
+    let (status, error) = parse_error(&response);
+    assert_eq!(status, 408);
+    assert!(matches!(error, ServiceError::DeadlineExceeded { .. }));
+
+    // The stall is metered.
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.metrics_text().unwrap();
+    assert!(
+        metrics.contains("sst_timeouts_total 1"),
+        "stall must bump sst_timeouts_total: {metrics}"
+    );
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_silently() {
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Not a byte sent: the server closes without writing anything (no
+    // typed error — there is no request to answer).
+    let started = Instant::now();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("clean close");
+    assert!(response.is_empty(), "idle close must be silent");
+    assert!(started.elapsed() < Duration::from_secs(5));
+    // And a half-sent request followed by idleness still answers subsequent
+    // clean traffic on fresh connections.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let info = client
+        .create_session("default", &[Example::new(vec!["c2"], "Google")])
+        .unwrap();
+    assert!(client
+        .status("default", info.session)
+        .unwrap()
+        .is_converged());
+}

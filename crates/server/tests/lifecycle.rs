@@ -1,14 +1,16 @@
 //! Session lifecycle and admission-control behavior over real sockets:
 //! idle eviction fires on the deadline and answers the typed not-found
-//! thereafter, touches push the deadline forward, and saturating the
+//! thereafter, touches push the deadline forward, saturating the
 //! admission queue rejects with the typed 429 while dropping zero
-//! admitted requests.
+//! admitted requests, handler panics are isolated as typed 500s,
+//! deadline-budgeted learns abort with typed 408s and leave the caches
+//! clean, and graceful shutdown drains in-flight requests.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use sst_core::Example;
-use sst_server::{Client, ClientError, Server, ServerConfig};
+use sst_server::{Client, ClientConfig, ClientError, Server, ServerConfig, DRAIN_STOPPED};
 use sst_service::{Engine, LearnRequest, ServiceError};
 use sst_tables::{Database, Table};
 
@@ -144,4 +146,138 @@ fn saturating_the_admission_queue_rejects_with_429_and_drops_nothing() {
         .learn("default", &request())
         .expect("admitted after drain");
     assert!(after[0].result.is_ok());
+}
+
+#[test]
+fn handler_panics_are_isolated_as_typed_500_and_the_server_keeps_serving() {
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            debug_panic_on: Some("run_column".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let info = client
+        .create_session("default", &[Example::new(vec!["c2"], "Google")])
+        .unwrap();
+
+    // The rigged route panics inside the handler; the boundary converts
+    // it into a typed 500 instead of killing the connection thread.
+    let (status, error) =
+        expect_http(client.run_column("default", info.session, &[vec!["c1".to_string()]]));
+    assert_eq!(status, 500);
+    assert!(matches!(error, ServiceError::Internal(_)));
+    assert_eq!(server.caught_panics(), 1);
+
+    // Nothing was poisoned: the same connection, the same session, and
+    // every other route still work.
+    assert!(client
+        .status("default", info.session)
+        .unwrap()
+        .is_converged());
+    assert_eq!(server.live_sessions(), 1);
+    let metrics = client.metrics_text().unwrap();
+    assert!(
+        metrics.contains("sst_panics_total 1"),
+        "panic must be metered: {metrics}"
+    );
+}
+
+#[test]
+fn zero_deadline_learn_answers_typed_408_then_succeeds_without_a_budget() {
+    let server = Server::bind(engine(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            deadline_ms: Some(0),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let request = vec![LearnRequest::new(vec![Example::new(vec!["c2"], "Google")])];
+
+    // An already-expired budget: the learn aborts at its first
+    // checkpoint with the typed 408 (the whole-batch deadline rule —
+    // every request in the batch timed out).
+    let (status, error) = expect_http(client.learn("default", &request));
+    assert_eq!(status, 408);
+    assert!(matches!(
+        error,
+        ServiceError::DeadlineExceeded { budget_ms: 0 }
+    ));
+
+    // Dropping the deadline makes the identical request succeed on the
+    // same engine — the aborted attempt left no partial state behind.
+    client.set_deadline_ms(None);
+    let responses = client.learn("default", &request).unwrap();
+    assert_eq!(responses.len(), 1);
+    assert!(responses[0].result.is_ok());
+
+    let metrics = client.metrics_text().unwrap();
+    assert!(
+        metrics.contains("sst_deadline_exceeded_total 1"),
+        "408 must be metered: {metrics}"
+    );
+}
+
+#[test]
+fn server_default_deadline_applies_when_the_client_sends_none() {
+    let server = Server::bind(
+        engine(),
+        ServerConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let request = vec![LearnRequest::new(vec![Example::new(vec!["c2"], "Google")])];
+    let (status, error) = expect_http(client.learn("default", &request));
+    assert_eq!(status, 408);
+    assert!(matches!(error, ServiceError::DeadlineExceeded { .. }));
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_before_stopping() {
+    let mut server = Server::bind(
+        engine(),
+        ServerConfig {
+            debug_handler_delay: Some(Duration::from_millis(300)),
+            drain_deadline: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A request that is still executing when shutdown begins must get
+    // its full response.
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.learn(
+            "default",
+            &[LearnRequest::new(vec![Example::new(vec!["c2"], "Google")])],
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+
+    let responses = in_flight
+        .join()
+        .unwrap()
+        .expect("in-flight request must complete through the drain");
+    assert_eq!(responses.len(), 1);
+    assert!(responses[0].result.is_ok());
+    assert_eq!(server.drain_state(), DRAIN_STOPPED);
+    assert_eq!(server.active_requests(), 0);
+
+    // New connections are refused once stopped.
+    assert!(
+        Client::connect(addr).is_err() || {
+            let mut c = Client::connect(addr).unwrap();
+            c.healthz().is_err()
+        }
+    );
 }

@@ -1,10 +1,11 @@
 //! The [`Engine`]: shared warm state plus batch serving.
 
 use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
 
 use sst_core::{
-    DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisError, SynthesisOptions,
-    Synthesizer,
+    CancelToken, DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisError,
+    SynthesisOptions, Synthesizer,
 };
 use sst_par::Pool;
 use sst_tables::{ColId, Database, RowId, Symbol, Table, TableId};
@@ -32,6 +33,23 @@ pub(crate) struct EngineInner {
     /// The global worker pool: batch requests fan out across it, and its
     /// width also sizes each learn's parallel `Intersect_u` plane.
     pool: Pool,
+}
+
+/// Retypes a cooperative-cancellation abort as the service-level deadline
+/// error, stamping the budget that was in force. Every budgeted entry
+/// point funnels through this so the wire layer sees exactly one typed
+/// shape (HTTP 408) regardless of which synthesis phase the deadline
+/// interrupted.
+pub(crate) fn with_deadline_error<T>(
+    result: Result<T, ServiceError>,
+    budget: Duration,
+) -> Result<T, ServiceError> {
+    result.map_err(|e| match e {
+        ServiceError::Synthesis(SynthesisError::Cancelled) => ServiceError::DeadlineExceeded {
+            budget_ms: budget.as_millis() as u64,
+        },
+        other => other,
+    })
 }
 
 /// The serving front-end: owns one `Arc<Database>` of background
@@ -212,6 +230,25 @@ impl Engine {
         Ok(self.synthesizer().learn(examples)?)
     }
 
+    /// [`Engine::learn`] under a wall-clock budget: the synthesis is
+    /// cooperatively cancelled once `budget` elapses, every shared memo
+    /// stays valid (partial results are never inserted), and the abort
+    /// surfaces as [`ServiceError::DeadlineExceeded`]. A retry without a
+    /// budget is bit-identical to a cold learn (pinned by
+    /// `tests/cancellation_equivalence.rs`).
+    pub fn learn_with_budget(
+        &self,
+        examples: &[Example],
+        budget: Duration,
+    ) -> Result<LearnedPrograms, ServiceError> {
+        with_deadline_error(
+            self.synthesizer_with_budget(budget)
+                .learn(examples)
+                .map_err(ServiceError::from),
+            budget,
+        )
+    }
+
     /// Serves a batch of independent learning requests, fanned across the
     /// engine pool.
     ///
@@ -230,21 +267,37 @@ impl Engine {
     /// bit-identical at every inner width, so this is invisible; a
     /// single-request or serial-pool batch keeps the full inner width.
     pub fn learn_batch(&self, requests: &[LearnRequest]) -> Vec<LearnResponse> {
+        self.learn_batch_inner(requests, None)
+    }
+
+    /// [`Engine::learn_batch`] under one shared wall-clock budget for the
+    /// whole batch: every request races the same deadline, requests the
+    /// deadline interrupts answer [`ServiceError::DeadlineExceeded`]
+    /// individually, and requests that finished in time keep their
+    /// results. All shared memos stay valid either way.
+    pub fn learn_batch_with_budget(
+        &self,
+        requests: &[LearnRequest],
+        budget: Duration,
+    ) -> Vec<LearnResponse> {
+        self.learn_batch_inner(requests, Some(budget))
+    }
+
+    fn learn_batch_inner(
+        &self,
+        requests: &[LearnRequest],
+        budget: Option<Duration>,
+    ) -> Vec<LearnResponse> {
         let fans_out = self.inner.pool.is_parallel() && requests.len() > 1;
-        let synthesizer = if fans_out {
-            Synthesizer::with_shared_cache(
-                self.db(),
-                self.inner.options.to_builder().threads(1).build(),
-                Arc::clone(&self.inner.cache),
-            )
-        } else {
-            self.synthesizer()
-        };
+        let synthesizer = self.batch_synthesizer(fans_out, budget);
         let default_k = self.inner.options.top_k;
         self.inner.pool.par_map_indexed(requests, |i, request| {
-            let result = synthesizer
+            let mut result = synthesizer
                 .learn(&request.examples)
                 .map_err(ServiceError::from);
+            if let Some(budget) = budget {
+                result = with_deadline_error(result, budget);
+            }
             let top = result
                 .as_ref()
                 .map(|learned| learned.top_k(request.top_k.unwrap_or(default_k).max(1)))
@@ -255,6 +308,24 @@ impl Engine {
                 top,
             }
         })
+    }
+
+    /// The synthesizer view a batch entry point learns through: the shared
+    /// warm memo plane, a serial inner `Intersect_u` plane when the batch
+    /// itself fans out (see [`Engine::learn_batch`]), and — under a budget
+    /// — one deadline token shared by every request in the batch.
+    fn batch_synthesizer(&self, fans_out: bool, budget: Option<Duration>) -> Synthesizer {
+        if !fans_out && budget.is_none() {
+            return self.synthesizer();
+        }
+        let mut builder = self.inner.options.to_builder();
+        if fans_out {
+            builder = builder.threads(1);
+        }
+        if let Some(budget) = budget {
+            builder = builder.cancel_token(CancelToken::with_deadline(budget));
+        }
+        Synthesizer::with_shared_cache(self.db(), builder.build(), Arc::clone(&self.inner.cache))
     }
 
     /// Learns from `examples`, compiles the top-ranked program and applies
@@ -274,6 +345,23 @@ impl Engine {
         Ok(top.compile().run_column(rows, &self.inner.pool))
     }
 
+    /// [`Engine::apply`] under a wall-clock budget covering the learn
+    /// phase (the row application of an already-learned program is bounded
+    /// work and runs to completion). Deadline aborts surface as
+    /// [`ServiceError::DeadlineExceeded`]; all shared memos stay valid.
+    pub fn apply_with_budget(
+        &self,
+        examples: &[Example],
+        rows: &[Vec<String>],
+        budget: Duration,
+    ) -> Result<Vec<Option<String>>, ServiceError> {
+        let learned = self.learn_with_budget(examples, budget)?;
+        let top = learned
+            .top()
+            .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))?;
+        Ok(top.compile().run_column(rows, &self.inner.pool))
+    }
+
     /// Serves a batch of independent [`ApplyRequest`]s, fanned across the
     /// engine pool with the same discipline as [`Engine::learn_batch`]:
     /// request-ordered responses, one shared database snapshot and warm
@@ -282,20 +370,31 @@ impl Engine {
     /// `run_column`), since batch-level parallelism already saturates the
     /// pool. Results are bit-identical at every width.
     pub fn apply_batch(&self, requests: &[ApplyRequest]) -> Vec<ApplyResponse> {
+        self.apply_batch_inner(requests, None)
+    }
+
+    /// [`Engine::apply_batch`] under one shared wall-clock budget for the
+    /// whole batch, with the same per-request deadline typing as
+    /// [`Engine::learn_batch_with_budget`].
+    pub fn apply_batch_with_budget(
+        &self,
+        requests: &[ApplyRequest],
+        budget: Duration,
+    ) -> Vec<ApplyResponse> {
+        self.apply_batch_inner(requests, Some(budget))
+    }
+
+    fn apply_batch_inner(
+        &self,
+        requests: &[ApplyRequest],
+        budget: Option<Duration>,
+    ) -> Vec<ApplyResponse> {
         let fans_out = self.inner.pool.is_parallel() && requests.len() > 1;
-        let synthesizer = if fans_out {
-            Synthesizer::with_shared_cache(
-                self.db(),
-                self.inner.options.to_builder().threads(1).build(),
-                Arc::clone(&self.inner.cache),
-            )
-        } else {
-            self.synthesizer()
-        };
+        let synthesizer = self.batch_synthesizer(fans_out, budget);
         let serial = Pool::new(1);
         let row_pool: &Pool = if fans_out { &serial } else { &self.inner.pool };
         self.inner.pool.par_map_indexed(requests, |i, request| {
-            let result = synthesizer
+            let mut result = synthesizer
                 .learn(&request.examples)
                 .map_err(ServiceError::from)
                 .and_then(|learned| {
@@ -304,6 +403,9 @@ impl Engine {
                         .ok_or(ServiceError::Synthesis(SynthesisError::NoConsistentProgram))
                 })
                 .map(|top| top.compile().run_column(&request.rows, row_pool));
+            if let Some(budget) = budget {
+                result = with_deadline_error(result, budget);
+            }
             ApplyResponse { request: i, result }
         })
     }
@@ -320,6 +422,22 @@ impl Engine {
         Synthesizer::with_shared_cache(
             self.db(),
             self.inner.options.clone(),
+            Arc::clone(&self.inner.cache),
+        )
+    }
+
+    /// A synthesizer view whose learns race a fresh deadline of `budget`
+    /// from *now* — what the budgeted entry points and budgeted sessions
+    /// learn through. Shares the warm memo plane like
+    /// [`Engine::synthesizer`].
+    pub(crate) fn synthesizer_with_budget(&self, budget: Duration) -> Synthesizer {
+        Synthesizer::with_shared_cache(
+            self.db(),
+            self.inner
+                .options
+                .to_builder()
+                .cancel_token(CancelToken::with_deadline(budget))
+                .build(),
             Arc::clone(&self.inner.cache),
         )
     }

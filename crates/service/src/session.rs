@@ -1,6 +1,7 @@
 //! The [`Session`]: one §3.2 conversation as a stateful handle.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use sst_core::{
     distinguishing_input, highlight_ambiguous, CompiledProgram, Example, LearnedPrograms, Program,
@@ -9,7 +10,7 @@ use sst_core::{
 use sst_counting::BigUint;
 use sst_tables::{Table, TableId};
 
-use crate::engine::Engine;
+use crate::engine::{with_deadline_error, Engine};
 use crate::types::{ServiceError, SessionStatus};
 
 /// The cached result of the session's last learn, tagged with the state
@@ -80,6 +81,10 @@ pub struct Session {
     examples: Vec<Example>,
     inputs: Vec<Vec<String>>,
     learned: Option<CachedLearn>,
+    /// Wall-clock budget for each (re-)learn this session triggers; `None`
+    /// learns without a deadline. Set per request by the serving layer
+    /// (the `deadline-ms` header or the server default).
+    budget: Option<Duration>,
 }
 
 /// What [`Session::converge_with`] reached: how many examples the oracle
@@ -101,7 +106,23 @@ impl Session {
             examples: Vec::new(),
             inputs: Vec::new(),
             learned: None,
+            budget: None,
         }
+    }
+
+    /// Sets (or clears) the wall-clock budget covering each learn this
+    /// session triggers. A learn the deadline interrupts is cooperatively
+    /// cancelled — all shared memos stay valid, the session's cached learn
+    /// is untouched — and the query answers
+    /// [`ServiceError::DeadlineExceeded`]; the deadline starts ticking at
+    /// the query that triggers the learn, not at `set_budget`.
+    pub fn set_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
+    /// The session's learn budget, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
     }
 
     /// The engine this session learns through.
@@ -222,7 +243,10 @@ impl Session {
     /// *added* (structural — it changes the default lookup depth) still
     /// invalidates everyone.
     fn ensure_learned(&mut self) -> Result<(), ServiceError> {
-        let synthesizer = self.engine.synthesizer();
+        let synthesizer = match self.budget {
+            Some(budget) => self.engine.synthesizer_with_budget(budget),
+            None => self.engine.synthesizer(),
+        };
         let db = synthesizer.db_arc();
         let db_epoch = db.epoch();
         let hash = examples_hash(&self.examples);
@@ -243,7 +267,13 @@ impl Session {
                 }
             }
         }
-        let learned = synthesizer.learn(&self.examples)?;
+        let mut result = synthesizer
+            .learn(&self.examples)
+            .map_err(ServiceError::from);
+        if let Some(budget) = self.budget {
+            result = with_deadline_error(result, budget);
+        }
+        let learned = result?;
         self.learned = Some(CachedLearn {
             db_epoch,
             examples_hash: hash,

@@ -38,6 +38,25 @@ pub enum ServiceError {
     /// The request could not be decoded (malformed JSON, an unknown
     /// field shape, an undecodable body line).
     BadRequest(String),
+    /// The request's deadline expired before the work completed: the
+    /// in-flight synthesis was cooperatively cancelled (caches left
+    /// valid, partial results never inserted) and the request answers
+    /// HTTP 408. Carries the budget that was in force, in milliseconds.
+    DeadlineExceeded {
+        /// The request's time budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The request body exceeded the server's frame cap (HTTP 413).
+    /// Carries the cap in force, in bytes, so clients can re-chunk.
+    PayloadTooLarge {
+        /// The maximum accepted body size, in bytes.
+        limit: usize,
+    },
+    /// The server contained a crash while handling the request (HTTP
+    /// 500): a handler panicked and was isolated by the per-request
+    /// `catch_unwind` boundary. The engine state stays consistent; the
+    /// message is diagnostic only.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -56,6 +75,13 @@ impl fmt::Display for ServiceError {
                 "server overloaded: {in_flight} requests in flight, {queued} queued"
             ),
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded: request budget was {budget_ms} ms")
+            }
+            ServiceError::PayloadTooLarge { limit } => {
+                write!(f, "payload too large: body cap is {limit} bytes")
+            }
+            ServiceError::Internal(msg) => write!(f, "internal server error: {msg}"),
         }
     }
 }

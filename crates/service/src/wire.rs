@@ -767,6 +767,7 @@ impl Wire for SynthesisError {
             SynthesisError::NoConsistentProgram => {
                 Json::obj(vec![("kind", Json::Str("no_consistent_program".into()))])
             }
+            SynthesisError::Cancelled => Json::obj(vec![("kind", Json::Str("cancelled".into()))]),
         }
     }
 
@@ -774,6 +775,7 @@ impl Wire for SynthesisError {
         match v.field("kind")?.as_str()? {
             "no_examples" => Ok(SynthesisError::NoExamples),
             "no_consistent_program" => Ok(SynthesisError::NoConsistentProgram),
+            "cancelled" => Ok(SynthesisError::Cancelled),
             "arity_mismatch" => Ok(SynthesisError::ArityMismatch {
                 expected: v.field("expected")?.as_usize()?,
                 example: v.field("example")?.as_usize()?,
@@ -896,6 +898,18 @@ impl Wire for ServiceError {
                 ("kind", Json::Str("bad_request".into())),
                 ("message", Json::Str(msg.clone())),
             ]),
+            ServiceError::DeadlineExceeded { budget_ms } => Json::obj(vec![
+                ("kind", Json::Str("deadline_exceeded".into())),
+                ("budget_ms", Json::UInt(*budget_ms)),
+            ]),
+            ServiceError::PayloadTooLarge { limit } => Json::obj(vec![
+                ("kind", Json::Str("payload_too_large".into())),
+                ("limit", Json::UInt(*limit as u64)),
+            ]),
+            ServiceError::Internal(msg) => Json::obj(vec![
+                ("kind", Json::Str("internal".into())),
+                ("message", Json::Str(msg.clone())),
+            ]),
         }
     }
 
@@ -913,6 +927,15 @@ impl Wire for ServiceError {
                 queued: v.field("queued")?.as_usize()?,
             }),
             "bad_request" => Ok(ServiceError::BadRequest(
+                v.field("message")?.as_str()?.to_string(),
+            )),
+            "deadline_exceeded" => Ok(ServiceError::DeadlineExceeded {
+                budget_ms: v.field("budget_ms")?.as_u64()?,
+            }),
+            "payload_too_large" => Ok(ServiceError::PayloadTooLarge {
+                limit: v.field("limit")?.as_usize()?,
+            }),
+            "internal" => Ok(ServiceError::Internal(
                 v.field("message")?.as_str()?.to_string(),
             )),
             other => Err(WireError::new(format!("unknown service error `{other}`"))),

@@ -195,6 +195,12 @@ fn every_service_error_variant_survives_the_wire() {
             found: 5,
         }),
         ServiceError::Synthesis(SynthesisError::NoConsistentProgram),
+        ServiceError::Synthesis(SynthesisError::Cancelled),
+        ServiceError::DeadlineExceeded { budget_ms: 250 },
+        ServiceError::DeadlineExceeded { budget_ms: 0 },
+        ServiceError::PayloadTooLarge { limit: 64 << 20 },
+        ServiceError::Internal("handler panicked: index out of bounds".to_string()),
+        ServiceError::Internal(String::new()),
         ServiceError::Table(TableError::RaggedRow {
             row: 7,
             found: 2,
@@ -265,4 +271,70 @@ fn error_sides_round_trip() {
             queued: 3
         })
     ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decoder hardening: random truncations of valid NDJSON bodies must
+    /// come back as a typed `WireError`, never a panic or a bogus value.
+    #[test]
+    fn truncated_bodies_decode_to_typed_errors_never_panic(
+        inputs in prop::collection::vec(CELL, 1..3),
+        outputs in prop::collection::vec(CELL, 1..4),
+        cut_seed in 0usize..10_000,
+    ) {
+        let examples: Vec<Example> = outputs
+            .into_iter()
+            .map(|o| example(inputs.clone(), o))
+            .collect();
+        let body = encode_lines(&examples);
+        // Cut anywhere strictly inside the body, on a char boundary (the
+        // codec's byte-level robustness is covered by the garbage test
+        // below; decode takes &str so the cut must stay valid UTF-8).
+        if body.len() >= 2 {
+            let mut cut = 1 + cut_seed % (body.len() - 1);
+            while !body.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let truncated = &body[..cut];
+            // A cut landing exactly on a line boundary leaves a valid
+            // shorter stream; anything else must be a typed error.
+            if let Ok(decoded) = decode_lines::<Example>(truncated) {
+                prop_assert!(decoded.len() <= examples.len());
+            }
+        }
+    }
+
+    /// Garbage lines — random ASCII with JSON punctuation — must decode
+    /// to typed errors, never panic.
+    #[test]
+    fn garbage_lines_decode_to_typed_errors_never_panic(
+        line in "[ -~]{0,64}",
+    ) {
+        let _ = Example::decode_line(&line);
+        let _ = LearnRequest::decode_line(&line);
+        let _ = ApplyRequest::decode_line(&line);
+        let _ = ApplyResponse::decode_line(&line);
+        let _ = WireLearnResponse::decode_line(&line);
+        let _ = SessionStatus::decode_line(&line);
+        let _ = ServiceError::decode_line(&line);
+        let _ = decode_lines::<Example>(&line);
+        let _ = decode_row_lines(&line);
+        let _ = decode_cell_lines(&line);
+    }
+
+    /// Mid-escape and mid-structure cuts of an error line (the hardest
+    /// payloads: every variant carries escapes) are typed errors too.
+    #[test]
+    fn truncated_error_lines_decode_to_typed_errors(
+        budget in 0u64..10_000,
+        cut_seed in 0usize..10_000,
+    ) {
+        let line = ServiceError::DeadlineExceeded { budget_ms: budget }.encode_line();
+        let cut = 1 + cut_seed % line.len().max(2).min(line.len());
+        if cut < line.len() && line.is_char_boundary(cut) {
+            prop_assert!(ServiceError::decode_line(&line[..cut]).is_err());
+        }
+    }
 }

@@ -146,6 +146,21 @@
 //! typed `Overloaded` (429) instead of queueing unboundedly; `/metrics`
 //! exports per-endpoint latency quantiles and cache hit rates.
 //!
+//! The stack is hardened for hostile conditions: a `deadline-ms` request
+//! header (or [`ServerConfig`](server::ServerConfig) default) threads a
+//! cooperative [`CancelToken`](core::CancelToken) budget through the
+//! synthesis hot loops and answers a typed `DeadlineExceeded` (408) that
+//! leaves every cache clean; handler panics are isolated as typed
+//! `Internal` (500) responses; malformed frames answer typed 400s,
+//! oversized bodies a typed `PayloadTooLarge` (413); slow-loris and idle
+//! peers are timed out; and [`Server::shutdown`](server::Server::shutdown)
+//! drains in-flight requests before stopping. The
+//! [`Client`](server::Client) retries idempotent requests with capped,
+//! seeded-jitter backoff (see [`ClientConfig`](server::ClientConfig)).
+//! The `fault-injection` feature arms a seeded chaos plane that the
+//! `chaos_replay` harness uses to prove all of it under load — see the
+//! README's *Operations* section.
+//!
 //! ```
 //! use std::sync::Arc;
 //!
@@ -256,9 +271,10 @@ pub use sst_benchmarks as benchmarks;
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
     pub use sst_core::{
-        Example, LearnedPrograms, SynthesisOptions, SynthesisOptionsBuilder, Synthesizer,
+        CancelToken, Example, LearnedPrograms, SynthesisOptions, SynthesisOptionsBuilder,
+        Synthesizer,
     };
-    pub use sst_server::{Client, Server, ServerConfig};
+    pub use sst_server::{Client, ClientConfig, Server, ServerConfig};
     pub use sst_service::{
         ApplyRequest, ApplyResponse, Engine, LearnRequest, LearnResponse, ServiceError, Session,
         SessionStatus,

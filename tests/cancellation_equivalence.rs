@@ -1,0 +1,164 @@
+//! Pins the deadline-cancellation contract end to end, in-process and
+//! over the wire: an already-expired budget aborts a learn with the
+//! typed error in *bounded* time, the abort leaves every cache and memo
+//! untouched (partial results are never stored), and the identical
+//! request re-run without a budget answers **bit-identical** to a cold
+//! engine that never saw the aborted attempt.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use semantic_strings::benchmarks::all_tasks;
+use semantic_strings::prelude::*;
+use semantic_strings::server::ClientConfig;
+use semantic_strings::service::{encode_lines, WireLearnResponse};
+
+/// Wall-clock ceiling for one aborted learn: "bounded time" means the
+/// cancellation checkpoints fire within the first synthesis steps, not
+/// after the full search completes.
+const ABORT_BOUND: Duration = Duration::from_secs(2);
+
+fn task_examples(rows: &[Example]) -> Vec<Example> {
+    rows.iter().take(2).cloned().collect()
+}
+
+#[test]
+fn expired_budget_aborts_in_bounded_time_and_leaves_caches_clean() {
+    for task in all_tasks() {
+        let examples = task_examples(&task.rows);
+        let engine = Engine::new(Arc::new(task.db.clone()));
+
+        // The aborted attempt: typed error, bounded wall-clock.
+        let started = Instant::now();
+        let err = engine
+            .learn_with_budget(&examples, Duration::ZERO)
+            .expect_err("zero budget must abort");
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded { budget_ms: 0 }),
+            "task {} ({}): expected DeadlineExceeded, got {err:?}",
+            task.id,
+            task.name
+        );
+        assert!(
+            elapsed < ABORT_BOUND,
+            "task {} ({}): abort took {elapsed:?}",
+            task.id,
+            task.name
+        );
+
+        // Nothing partial entered the memo plane: the first full learn on
+        // the same engine is served from scratch (zero example-memo hits)…
+        let relearned = engine
+            .learn(&examples)
+            .unwrap_or_else(|e| panic!("task {} ({}): relearn failed: {e}", task.id, task.name));
+        assert_eq!(
+            engine.cache_stats().example_hits,
+            0,
+            "task {} ({}): the aborted learn leaked example structures into the cache",
+            task.id,
+            task.name
+        );
+
+        // …and matches a cold engine that never saw the abort, bit for bit
+        // at the wire level.
+        let cold = Engine::new(Arc::new(task.db.clone()))
+            .learn(&examples)
+            .unwrap_or_else(|e| panic!("task {} ({}): cold learn failed: {e}", task.id, task.name));
+        assert_eq!(
+            relearned.count(),
+            cold.count(),
+            "task {} ({}): program count drifted after an aborted learn",
+            task.id,
+            task.name
+        );
+        assert_eq!(relearned.size(), cold.size());
+        let inputs: Vec<Vec<String>> = task.rows.iter().map(|r| r.inputs.clone()).collect();
+        for row in &inputs {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            assert_eq!(
+                relearned.top().and_then(|p| p.run(&refs)),
+                cold.top().and_then(|p| p.run(&refs)),
+                "task {} ({}): top-program outputs drifted after an aborted learn",
+                task.id,
+                task.name
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_deadline_abort_then_budgetless_retry_is_bit_identical_to_a_cold_engine() {
+    let tasks = all_tasks();
+    let engines: Vec<(String, Engine)> = tasks
+        .iter()
+        .map(|task| {
+            (
+                format!("task-{}", task.id),
+                Engine::new(Arc::new(task.db.clone())),
+            )
+        })
+        .collect();
+    let server = Server::bind_named(engines, ServerConfig::default()).expect("bind server");
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            deadline_ms: Some(0),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+
+    for task in &tasks {
+        let name = format!("task-{}", task.id);
+        let requests = vec![LearnRequest::new(task_examples(&task.rows))];
+        let body = encode_lines(&requests);
+
+        // With the expired budget: typed 408 in bounded time (the
+        // whole-batch rule — every request in the batch timed out).
+        client.set_deadline_ms(Some(0));
+        let started = Instant::now();
+        let result = client.learn(&name, &requests);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < ABORT_BOUND,
+            "task {} ({}): wire abort took {elapsed:?}",
+            task.id,
+            task.name
+        );
+        match result {
+            Err(semantic_strings::server::ClientError::Http { status: 408, error }) => {
+                assert!(
+                    matches!(error, ServiceError::DeadlineExceeded { budget_ms: 0 }),
+                    "task {} ({}): wrong typed error {error:?}",
+                    task.id,
+                    task.name
+                );
+            }
+            other => panic!(
+                "task {} ({}): expected typed 408, got {other:?}",
+                task.id, task.name
+            ),
+        }
+
+        // The identical request without a deadline must answer the exact
+        // bytes a cold engine (no aborted attempt in its history) encodes.
+        client.set_deadline_ms(None);
+        let (status, wire_body) = client
+            .request("POST", &format!("/v1/{name}/learn"), &body)
+            .expect("budgetless retry");
+        assert_eq!(status, 200);
+        let cold: Vec<WireLearnResponse> = Engine::new(Arc::new(task.db.clone()))
+            .learn_batch(&requests)
+            .iter()
+            .map(WireLearnResponse::from_response)
+            .collect();
+        assert_eq!(
+            wire_body,
+            encode_lines(&cold),
+            "task {} ({}): post-abort learn bytes drifted from a cold engine",
+            task.id,
+            task.name
+        );
+    }
+}
