@@ -9,6 +9,9 @@
 //! bytecode plane — interpreted vs compiled single-row nanoseconds and
 //! `run_column` rows/sec at each pool width over a synthesized
 //! `--apply-rows`-row column, with an `outputs_match` bit CI asserts.
+//! An `arena` section reports the hash-consed id-plane underneath the
+//! memo cache: per-task intern traffic, distinct stored values, the
+//! dedup ratio, and per-session resident bytes.
 //! Two sections probe the incremental database plane over a
 //! `--scale-rows`-row lookup table: `mutate` (index rebuild ms vs
 //! per-row incremental insert/update/delete µs, and warm-`DagCache`
@@ -47,8 +50,9 @@
 use std::time::Duration;
 
 use sst_bench::{
-    apply_micro, dag_cache_times, evaluate_tasks_served_with_options, evaluate_tasks_with_options,
-    generate_u_time, intersect_micro_times, mutate_micro, reach_at_scale, ApplyReport,
+    apply_micro, arena_micro, dag_cache_times, evaluate_tasks_served_with_options,
+    evaluate_tasks_with_options, generate_u_time, intersect_micro_times, mutate_micro,
+    reach_at_scale, ApplyReport, ArenaReport,
 };
 use sst_benchmarks::Category;
 use sst_core::SynthesisOptions;
@@ -206,6 +210,15 @@ fn main() {
 
     let mutate = mutate_micro(scale_rows);
     let scale = reach_at_scale(scale_rows);
+    // Arena hash-consing per task (only meaningful with the memo plane
+    // on — with `--no-dag-cache` nothing ever reaches the arena).
+    let arena: Vec<ArenaReport> = tasks
+        .iter()
+        .map(|t| arena_micro(t, options.clone()))
+        .collect();
+    let arena_stored: u64 = arena.iter().map(|a| a.stored).sum();
+    let arena_interned: u64 = arena.iter().map(|a| a.interned).sum();
+    let arena_resident: u64 = arena.iter().map(|a| a.resident_bytes).sum();
 
     println!("{{");
     println!(
@@ -344,6 +357,37 @@ fn main() {
         scale.size,
         scale.top_correct,
     );
+    println!("  \"arena\": {{");
+    println!("    \"tasks\": [");
+    for (i, a) in arena.iter().enumerate() {
+        let comma = if i + 1 < arena.len() { "," } else { "" };
+        println!(
+            "      {{\"id\": {}, \"name\": \"{}\", \"stored\": {}, \
+             \"interned\": {}, \"hashcons_hits\": {}, \"dedup_ratio\": {:.3}, \
+             \"session_resident_bytes\": {}}}{comma}",
+            a.id,
+            json_escape(a.name),
+            a.stored,
+            a.interned,
+            a.hashcons_hits,
+            a.dedup_ratio,
+            a.resident_bytes,
+        );
+    }
+    println!("    ],");
+    println!("    \"stored\": {arena_stored},");
+    println!("    \"interned\": {arena_interned},");
+    println!("    \"hashcons_hits\": {},", arena_interned - arena_stored);
+    println!(
+        "    \"dedup_ratio\": {:.3},",
+        if arena_stored == 0 {
+            1.0
+        } else {
+            arena_interned as f64 / arena_stored as f64
+        }
+    );
+    println!("    \"resident_bytes\": {arena_resident}");
+    println!("  }},");
     println!("  \"totals\": {{");
     println!("    \"tasks\": {},", reports.len());
     println!("    \"converged\": {converged},");

@@ -624,6 +624,57 @@ pub fn reach_at_scale(rows: usize) -> ScaleReport {
     }
 }
 
+/// Arena hash-consing observables of one task — the `arena` section of
+/// the perf snapshot. One engine, one session converged through the §3.2
+/// protocol plus one warm whole-set relearn, then the memo plane's arena
+/// counters: distinct values stored, intern traffic, hash-cons hits, and
+/// the session's resident bytes.
+#[derive(Debug)]
+pub struct ArenaReport {
+    /// Task id (1..=50).
+    pub id: usize,
+    /// Task name.
+    pub name: &'static str,
+    /// Distinct values in the arena after the protocol.
+    pub stored: u64,
+    /// Total intern calls (repeat structure hash-conses instead of
+    /// allocating).
+    pub interned: u64,
+    /// Intern calls answered by an existing value.
+    pub hashcons_hits: u64,
+    /// `interned / stored` — how much structure sharing the arena
+    /// collapsed (2.0 means half of all interned structures already
+    /// existed).
+    pub dedup_ratio: f64,
+    /// Estimated resident bytes of this session's arena.
+    pub resident_bytes: u64,
+}
+
+/// Runs one task's interaction protocol on an [`Engine`] and reads back
+/// the arena counters ([`Engine::arena_stats`]).
+pub fn arena_micro(task: &BenchmarkTask, options: SynthesisOptions) -> ArenaReport {
+    let engine = Engine::with_options(Arc::new(task.db.clone()), options);
+    let mut session = engine.session();
+    session
+        .converge_with(&task.rows, MAX_EXAMPLES)
+        .unwrap_or_else(|e| panic!("task {} ({}) failed to learn: {e}", task.id, task.name));
+    // One warm whole-set relearn: repeated structures must intern into
+    // existing ids, so this call moves `interned` but barely `stored`.
+    engine
+        .learn(session.examples())
+        .expect("converged example set must be learnable");
+    let stats = engine.arena_stats();
+    ArenaReport {
+        id: task.id,
+        name: task.name,
+        stored: stats.stored,
+        interned: stats.interned,
+        hashcons_hits: stats.hits(),
+        dedup_ratio: stats.dedup_ratio(),
+        resident_bytes: stats.resident_bytes,
+    }
+}
+
 /// Formats a duration in seconds with millisecond resolution.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

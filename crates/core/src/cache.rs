@@ -28,13 +28,15 @@
 //!   serves a cheap clone (`Arc`-shared DAGs, shallow condition handles)
 //!   instead.
 //! * **Example-pair intersections** — whole `Intersect_u` results keyed by
-//!   the cache-assigned *uids* of the two operands. Every structure the
-//!   cache hands out (example memo hit or stored intersection result)
-//!   carries a uid naming exactly that value, so a `(uid, uid)` key
-//!   identifies the operand *values*, not addresses — a re-learn on a
-//!   grown prefix replays `d₁ ∩ d₂ ∩ … ∩ dₖ` as k−1 memo hits and only
-//!   intersects the genuinely new final example. Uids are monotone for the
-//!   cache's lifetime and never reused, so a stale uid can at worst miss.
+//!   the [`StructId`]s of the two operands. Every structure the cache
+//!   hands out (example memo hit or stored intersection result) carries
+//!   its hash-consed arena id — a *content address*: equal ids ⇔
+//!   structurally equal values, in this process or any process that
+//!   restored the same arena. A `(id, id)` key therefore identifies the
+//!   operand *values*, never addresses — a re-learn on a grown prefix
+//!   replays `d₁ ∩ d₂ ∩ … ∩ dₖ` as k−1 memo hits and only intersects the
+//!   genuinely new final example. Arena ids are never reused or rebound,
+//!   so a stale id can at worst miss.
 //!
 //! # Concurrency
 //!
@@ -51,7 +53,7 @@
 //! Only the example memo is scoped to one database state. Per-value DAGs
 //! are pure functions of the ordered source-symbol list behind their
 //! `SourcesEpoch` key, and intersection entries are pure structural
-//! functions of the uid-named operand *values* — neither reads the
+//! functions of the id-named operand *values* — neither reads the
 //! database, so both survive every mutation. The cache records the
 //! [`Database::epoch`] it was filled under; [`DagCache::validate`] clears
 //! the example memo when the epoch moved, and the delta-aware
@@ -63,18 +65,31 @@
 //! keyed to other tables warm. Structural mutations (a table added changes
 //! the default depth bound) and entries generated without the substring
 //! gate (whose activations aren't summarized by node values) fall back to
-//! eviction. Epoch interning and uid assignment never restart, so stale
-//! keys can never collide with post-mutation entries.
+//! eviction. Epoch interning never restarts and arena ids are content
+//! addresses, so stale keys can never collide with post-mutation entries.
+//!
+//! # The arena underneath
+//!
+//! Every structure the cache retains is also interned into a per-cache
+//! [`Arena`] (hash-consed, append-only): that is where [`StructId`]s come
+//! from, what the snapshot codec serializes ([`DagCache::encode_snapshot`]
+//! / [`DagCache::decode_snapshot`]), and why memo flushes are safe — the
+//! arena is never cleared, so an id held by in-flight work still names its
+//! value after a flush.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use std::sync::Arc;
 
+use sst_arena::{
+    Arena, ArenaStats, DagId, Reader, SnapshotError, StructId, SymDecoder, SymEncoder, Writer,
+};
 use sst_lookup::NodeId;
 use sst_syntactic::Dag;
 use sst_tables::{Database, IntMap, Symbol, TableId};
 
+use crate::arena_plane::{extract_struct, intern_struct, ExtractCtx};
 use crate::dstruct::SemDStruct;
 
 /// Identity of one σ ∪ η̃ snapshot: equal epochs ⇔ equal ordered source
@@ -106,12 +121,12 @@ pub(crate) struct ExampleDeps {
     pub(crate) vals: Box<[Symbol]>,
 }
 
-/// One example-memo entry: the structure, its uid, and (when the
+/// One example-memo entry: the structure, its arena id, and (when the
 /// generation ran with the substring gate on) the reads that make it
 /// revalidatable across non-structural mutations.
 #[derive(Debug, Clone)]
 struct ExampleEntry {
-    uid: u64,
+    uid: StructId,
     d: SemDStruct,
     /// `None` = not revalidatable (gate-off generation): evicted on any
     /// epoch move.
@@ -152,6 +167,10 @@ const MAX_EXAMPLE_ENTRIES: usize = 1 << 12;
 /// example memo (its entries are the same shape).
 const MAX_INTERSECTION_ENTRIES: usize = 1 << 12;
 
+/// One memoized DAG: its arena id (the name the snapshot codec writes)
+/// plus the shared live structure.
+type DagEntry = (DagId, Arc<Dag<NodeId>>);
+
 /// The lock-guarded cache state (see [`DagCache`]).
 #[derive(Debug, Default)]
 struct CacheState {
@@ -164,13 +183,19 @@ struct CacheState {
     /// session keeps its `SourcesEpoch` for the step) can never collide
     /// with a later snapshot's id and serve a stale DAG.
     next_epoch: u32,
-    /// `(sources epoch, value) → DAG of all expressions producing the
-    /// value over that snapshot`.
-    dags: IntMap<(u32, Symbol), Arc<Dag<NodeId>>>,
+    /// `(sources epoch, value) → (arena id, DAG) of all expressions
+    /// producing the value over that snapshot`. The arena id names the
+    /// same DAG for the snapshot codec; live hits share the `Arc`.
+    dags: IntMap<(u32, Symbol), DagEntry>,
     /// Whole-example generation memo.
     examples: IntMap<ExampleKey, ExampleEntry>,
-    /// Example-pair intersection memo: operand uids → (uid, structure).
-    intersections: IntMap<(u64, u64), (u64, SemDStruct)>,
+    /// Example-pair intersection memo: operand ids → (result id,
+    /// structure).
+    intersections: IntMap<(StructId, StructId), (StructId, SemDStruct)>,
+    /// The id-plane every retained structure is interned into. Append-only
+    /// and **never cleared** — memo flushes drop entries, not values, so
+    /// ids held by in-flight work stay valid forever.
+    arena: Arena,
 }
 
 /// Lock-free hit/miss counters.
@@ -200,10 +225,6 @@ struct AtomicStats {
 pub struct DagCache {
     state: RwLock<CacheState>,
     stats: AtomicStats,
-    /// Next structure uid; monotone forever (survives flushes *and*
-    /// validation clears), so an intersection key formed from a uid can
-    /// never alias a different value.
-    next_uid: AtomicU64,
 }
 
 impl DagCache {
@@ -335,27 +356,30 @@ impl DagCache {
         value: Symbol,
         build: impl FnOnce() -> Dag<NodeId>,
     ) -> Arc<Dag<NodeId>> {
-        if let Some(dag) = self.read().dags.get(&(epoch.0, value)) {
+        if let Some((_, dag)) = self.read().dags.get(&(epoch.0, value)) {
             self.stats.dag_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(dag);
         }
         self.stats.dag_misses.fetch_add(1, Ordering::Relaxed);
         let dag = Arc::new(build());
         let mut state = self.write();
-        if let Some(hit) = state.dags.get(&(epoch.0, value)) {
+        if let Some((_, hit)) = state.dags.get(&(epoch.0, value)) {
             return Arc::clone(hit); // raced: keep the first insert canonical
         }
         if state.dags.len() >= MAX_DAG_ENTRIES {
             // Epochs key into `dags`, so both flush together; the next
-            // sync re-interns the live snapshot.
+            // sync re-interns the live snapshot. (The arena keeps the
+            // values — ids outlive the memo.)
             state.dags.clear();
             state.epochs.clear();
         }
-        state.dags.insert((epoch.0, value), Arc::clone(&dag));
+        let id = state.arena.intern_dag(&dag);
+        state.dags.insert((epoch.0, value), (id, Arc::clone(&dag)));
         dag
     }
 
-    /// A previously generated per-example structure and its uid, if any.
+    /// A previously generated per-example structure and its arena id, if
+    /// any.
     ///
     /// `db_epoch` is the database epoch the caller validated against;
     /// probes and stores are epoch-checked under the lock, so a cache
@@ -368,7 +392,7 @@ impl DagCache {
         db_epoch: u64,
         inputs: &[Symbol],
         output: Symbol,
-    ) -> Option<(u64, SemDStruct)> {
+    ) -> Option<(StructId, SemDStruct)> {
         let key = ExampleKey {
             inputs: inputs.into(),
             output,
@@ -387,13 +411,13 @@ impl DagCache {
     }
 
     /// Stores a freshly generated per-example structure, returning its
-    /// uid. `deps` records what the generation read (for selective
+    /// arena id. `deps` records what the generation read (for selective
     /// retention by [`DagCache::validate_db`]); `None` marks the entry
-    /// non-revalidatable. If a racing learn stored the key first, that
-    /// (value-identical) entry's uid wins; if the cache was concurrently
-    /// rebound to a different database epoch, the structure is *not*
-    /// stored (it would poison the new epoch's entries) and a fresh uid is
-    /// returned — a never-stored uid can only ever miss downstream.
+    /// non-revalidatable. The id is a content address, so racing stores of
+    /// the same key trivially converge; if the cache was concurrently
+    /// rebound to a different database epoch, the structure is interned
+    /// (interning is db-independent) but *not* memoized — it would poison
+    /// the new epoch's entries.
     pub(crate) fn store_example(
         &self,
         db_epoch: u64,
@@ -401,14 +425,15 @@ impl DagCache {
         output: Symbol,
         d: &SemDStruct,
         deps: Option<ExampleDeps>,
-    ) -> u64 {
+    ) -> StructId {
         let key = ExampleKey {
             inputs: inputs.into(),
             output,
         };
         let mut state = self.write();
+        let uid = intern_struct(&mut state.arena, d);
         if state.db_epoch != db_epoch {
-            return self.next_uid.fetch_add(1, Ordering::Relaxed);
+            return uid;
         }
         if let Some(e) = state.examples.get(&key) {
             return e.uid;
@@ -416,7 +441,6 @@ impl DagCache {
         if state.examples.len() >= MAX_EXAMPLE_ENTRIES {
             state.examples.clear();
         }
-        let uid = self.next_uid.fetch_add(1, Ordering::Relaxed);
         state.examples.insert(
             key,
             ExampleEntry {
@@ -428,10 +452,15 @@ impl DagCache {
         uid
     }
 
-    /// A previously intersected example pair (by operand uids) and the
-    /// result's own uid, if cached. Epoch-checked like
+    /// A previously intersected example pair (by operand arena ids) and
+    /// the result's own id, if cached. Epoch-checked like
     /// [`DagCache::example`].
-    pub(crate) fn intersection(&self, db_epoch: u64, a: u64, b: u64) -> Option<(u64, SemDStruct)> {
+    pub(crate) fn intersection(
+        &self,
+        db_epoch: u64,
+        a: StructId,
+        b: StructId,
+    ) -> Option<(StructId, SemDStruct)> {
         let state = self.read();
         match state.intersections.get(&(a, b)) {
             Some((uid, d)) if state.db_epoch == db_epoch => {
@@ -445,13 +474,22 @@ impl DagCache {
         }
     }
 
-    /// Stores one intersection result under its operand uids, returning
-    /// the result's uid (first insert wins on a race; a stale epoch skips
-    /// the insert, like [`DagCache::store_example`]).
-    pub(crate) fn store_intersection(&self, db_epoch: u64, a: u64, b: u64, d: &SemDStruct) -> u64 {
+    /// Stores one intersection result under its operand ids, returning the
+    /// result's arena id (first insert wins on a race — trivially
+    /// value-consistent, since ids are content addresses; a stale epoch
+    /// interns but skips the memo insert, like
+    /// [`DagCache::store_example`]).
+    pub(crate) fn store_intersection(
+        &self,
+        db_epoch: u64,
+        a: StructId,
+        b: StructId,
+        d: &SemDStruct,
+    ) -> StructId {
         let mut state = self.write();
+        let uid = intern_struct(&mut state.arena, d);
         if state.db_epoch != db_epoch {
-            return self.next_uid.fetch_add(1, Ordering::Relaxed);
+            return uid;
         }
         if let Some((uid, _)) = state.intersections.get(&(a, b)) {
             return *uid;
@@ -459,9 +497,186 @@ impl DagCache {
         if state.intersections.len() >= MAX_INTERSECTION_ENTRIES {
             state.intersections.clear();
         }
-        let uid = self.next_uid.fetch_add(1, Ordering::Relaxed);
         state.intersections.insert((a, b), (uid, d.clone()));
         uid
+    }
+
+    /// Hash-cons counters of the underlying arena (distinct values,
+    /// intern traffic, resident-bytes estimate).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.read().arena.stats()
+    }
+
+    /// Writes the cache's learned state — the arena and all three memos,
+    /// entries as arena ids — into a snapshot payload. Hit/miss counters
+    /// and the database-epoch binding are deliberately not serialized:
+    /// both are process-local (the restoring side binds to its own
+    /// restored database's epoch).
+    pub fn encode_snapshot(&self, w: &mut Writer, sym: &mut SymEncoder) {
+        let state = self.read();
+        state.arena.encode(w, sym);
+        w.u32(state.epochs.len() as u32);
+        for (syms, &id) in state.epochs.iter() {
+            w.u32(syms.len() as u32);
+            for &s in syms.iter() {
+                sym.sym(s, w);
+            }
+            w.u32(id);
+        }
+        w.u32(state.next_epoch);
+        w.u32(state.dags.len() as u32);
+        for (&(epoch, value), &(id, _)) in state.dags.iter() {
+            w.u32(epoch);
+            sym.sym(value, w);
+            w.u32(id.0);
+        }
+        w.u32(state.examples.len() as u32);
+        for (key, entry) in state.examples.iter() {
+            w.u32(key.inputs.len() as u32);
+            for &s in key.inputs.iter() {
+                sym.sym(s, w);
+            }
+            sym.sym(key.output, w);
+            w.u32(entry.uid.0);
+            match &entry.deps {
+                None => w.bool(false),
+                Some(deps) => {
+                    w.bool(true);
+                    w.u32(deps.tables.len() as u32);
+                    for &t in deps.tables.iter() {
+                        w.u32(t);
+                    }
+                    w.u32(deps.vals.len() as u32);
+                    for &v in deps.vals.iter() {
+                        sym.sym(v, w);
+                    }
+                }
+            }
+        }
+        w.u32(state.intersections.len() as u32);
+        for (&(a, b), &(uid, _)) in state.intersections.iter() {
+            w.u32(a.0);
+            w.u32(b.0);
+            w.u32(uid.0);
+        }
+    }
+
+    /// Reads a cache written by [`DagCache::encode_snapshot`], extracting
+    /// every memoized structure back out of the restored arena (one shared
+    /// [`ExtractCtx`], so restored entries re-share `Arc` allocations like
+    /// a live fill would). Every id is bounds- and structure-validated —
+    /// a crafted payload fails typed, never panics. The cache binds to
+    /// `db_epoch`, the restoring process's epoch for the restored
+    /// database; counters start at zero.
+    pub fn decode_snapshot(
+        r: &mut Reader<'_>,
+        sym: &SymDecoder,
+        db_epoch: u64,
+    ) -> Result<DagCache, SnapshotError> {
+        fn corrupt(why: impl Into<String>) -> SnapshotError {
+            SnapshotError::Corrupt(why.into())
+        }
+        let arena = Arena::decode(r, sym)?;
+        let mut state = CacheState {
+            db_epoch,
+            ..CacheState::default()
+        };
+        let n = r.count()?;
+        let mut epoch_lens: IntMap<u32, u32> = IntMap::default();
+        for _ in 0..n {
+            let len = r.count()?;
+            let mut syms = Vec::with_capacity(len);
+            for _ in 0..len {
+                syms.push(sym.sym(r)?);
+            }
+            let id = r.u32()?;
+            if epoch_lens.insert(id, syms.len() as u32).is_some() {
+                return Err(corrupt(format!("duplicate sources epoch {id}")));
+            }
+            if state.epochs.insert(syms.into(), id).is_some() {
+                return Err(corrupt("duplicate sources-epoch symbol list"));
+            }
+        }
+        state.next_epoch = r.u32()?;
+        if state.epochs.values().any(|&id| id >= state.next_epoch) {
+            return Err(corrupt("sources epoch beyond next_epoch"));
+        }
+        let n = r.count()?;
+        let mut ctx = ExtractCtx::new();
+        for _ in 0..n {
+            let epoch = r.u32()?;
+            let value = sym.sym(r)?;
+            let id = DagId(r.u32()?);
+            let Some(&num_nodes) = epoch_lens.get(&epoch) else {
+                return Err(corrupt(format!(
+                    "dag memo references unknown epoch {epoch}"
+                )));
+            };
+            arena.validate_dag_nodes(id, num_nodes)?;
+            let dag = Arc::new(arena.extract_dag(id));
+            if state.dags.insert((epoch, value), (id, dag)).is_some() {
+                return Err(corrupt("duplicate dag-memo key"));
+            }
+        }
+        let n = r.count()?;
+        for _ in 0..n {
+            let len = r.count()?;
+            let mut inputs = Vec::with_capacity(len);
+            for _ in 0..len {
+                inputs.push(sym.sym(r)?);
+            }
+            let output = sym.sym(r)?;
+            let uid = StructId(r.u32()?);
+            arena.validate_struct(uid)?;
+            let deps = if r.bool()? {
+                let n_tables = r.count()?;
+                let mut tables = Vec::with_capacity(n_tables);
+                for _ in 0..n_tables {
+                    tables.push(r.u32()? as TableId);
+                }
+                let n_vals = r.count()?;
+                let mut vals = Vec::with_capacity(n_vals);
+                for _ in 0..n_vals {
+                    vals.push(sym.sym(r)?);
+                }
+                Some(ExampleDeps {
+                    tables: tables.into(),
+                    vals: vals.into(),
+                })
+            } else {
+                None
+            };
+            let d = extract_struct(&arena, uid, &mut ctx);
+            let key = ExampleKey {
+                inputs: inputs.into(),
+                output,
+            };
+            if state
+                .examples
+                .insert(key, ExampleEntry { uid, d, deps })
+                .is_some()
+            {
+                return Err(corrupt("duplicate example-memo key"));
+            }
+        }
+        let n = r.count()?;
+        for _ in 0..n {
+            let a = StructId(r.u32()?);
+            let b = StructId(r.u32()?);
+            let uid = StructId(r.u32()?);
+            for id in [a, b, uid] {
+                arena.validate_struct(id)?;
+            }
+            let d = extract_struct(&arena, uid, &mut ctx);
+            if state.intersections.insert((a, b), (uid, d)).is_some() {
+                return Err(corrupt("duplicate intersection-memo key"));
+            }
+        }
+        state.arena = arena;
+        Ok(DagCache {
+            state: RwLock::new(state),
+            stats: AtomicStats::default(),
+        })
     }
 }
 
@@ -634,15 +849,32 @@ mod tests {
         assert_eq!(c.example_entries(), 0, "structural delta clears examples");
     }
 
+    /// A tiny structure distinguishable by its node value.
+    fn named_struct(tag: &str) -> SemDStruct {
+        SemDStruct {
+            nodes: vec![crate::dstruct::SemNode {
+                vals: vec![Symbol::intern(tag)],
+                progs: vec![crate::dstruct::GenLookupU::Var(0)],
+            }],
+            top: None,
+        }
+    }
+
     #[test]
-    fn intersection_memo_keys_by_uid_pair() {
+    fn intersection_memo_keys_by_struct_id_pair() {
         let c = DagCache::new();
-        let d = SemDStruct::default();
-        let ua = c.store_example(0, &[Symbol::intern("ia")], Symbol::intern("oa"), &d, None);
-        let ub = c.store_example(0, &[Symbol::intern("ib")], Symbol::intern("ob"), &d, None);
-        assert_ne!(ua, ub, "distinct entries, distinct uids");
+        let da = named_struct("sid-a");
+        let db = named_struct("sid-b");
+        let ua = c.store_example(0, &[Symbol::intern("ia")], Symbol::intern("oa"), &da, None);
+        let ub = c.store_example(0, &[Symbol::intern("ib")], Symbol::intern("ob"), &db, None);
+        assert_ne!(ua, ub, "distinct values, distinct ids");
+        // Ids are content addresses: the same value under a different
+        // example key names the same id.
+        let ua2 = c.store_example(0, &[Symbol::intern("ic")], Symbol::intern("oc"), &da, None);
+        assert_eq!(ua, ua2, "equal values intern to equal ids");
         assert!(c.intersection(0, ua, ub).is_none());
-        let uid = c.store_intersection(0, ua, ub, &d);
+        let uid = c.store_intersection(0, ua, ub, &da);
+        assert_eq!(uid, ua, "the result id is the result value's id");
         let (hit_uid, _) = c.intersection(0, ua, ub).expect("stored");
         assert_eq!(hit_uid, uid);
         assert!(
@@ -653,36 +885,132 @@ mod tests {
         // A probe validated against a different db epoch must miss even
         // though the key is present (cross-database cache sharing).
         assert!(c.intersection(42, ua, ub).is_none());
-        // Validation to a new db state *keeps* the intersection memo: uids
-        // name operand values (monotone, never reused), so the pure
+        // Validation to a new db state *keeps* the intersection memo: ids
+        // name operand values (never reused or rebound), so the pure
         // `d₁ ∩ d₂` result stays sound across mutations.
         c.validate(99);
         let (rebound_uid, _) = c.intersection(99, ua, ub).expect("pure memo survives");
         assert_eq!(rebound_uid, uid);
-        // Stores against a stale epoch are still dropped (they could be
-        // mid-flight results from a diverged database sharing the cache).
-        let stale_uid = c.store_intersection(0, ub, ua, &d);
-        assert!(stale_uid > uid, "uids never restart");
+        // Stores against a stale epoch still name the value (interning is
+        // db-independent) but are not memoized — they could be mid-flight
+        // results from a diverged database sharing the cache.
+        let stale_uid = c.store_intersection(0, ub, ua, &db);
+        assert_eq!(stale_uid, ub, "content address even when not stored");
         assert_eq!(c.intersection_entries(), 1, "stale-epoch store dropped");
-        let uid2 = c.store_intersection(99, ub, ua, &d);
-        assert!(uid2 > stale_uid, "uids never restart");
+        let uid2 = c.store_intersection(99, ub, ua, &db);
+        assert_eq!(uid2, ub);
         assert_eq!(c.intersection_entries(), 2);
     }
 
     #[test]
     fn store_example_is_first_insert_wins() {
         let c = DagCache::new();
-        let d = SemDStruct::default();
+        let d = named_struct("fiw");
         let ins = [Symbol::intern("fi")];
         let out = Symbol::intern("fo");
         let u1 = c.store_example(0, &ins, out, &d, None);
         let u2 = c.store_example(0, &ins, out, &d, None);
-        assert_eq!(u1, u2, "re-store returns the canonical uid");
+        assert_eq!(u1, u2, "re-store returns the canonical id");
         let (hit, _) = c.example(0, &ins, out).expect("stored");
         assert_eq!(hit, u1);
         assert!(
             c.example(7, &ins, out).is_none(),
             "epoch-mismatched probe misses"
+        );
+    }
+
+    #[test]
+    fn arena_stats_track_dedup() {
+        let c = DagCache::new();
+        let d = named_struct("dup");
+        c.store_example(0, &[Symbol::intern("a1")], Symbol::intern("b1"), &d, None);
+        c.store_example(0, &[Symbol::intern("a2")], Symbol::intern("b2"), &d, None);
+        let stats = c.arena_stats();
+        assert!(stats.hits() > 0, "second intern of the same value hits");
+        assert!(stats.dedup_ratio() > 1.0);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_cache_state() {
+        use sst_arena::{SymDecoder, SymEncoder};
+
+        let c = DagCache::new();
+        c.validate(5);
+        let e = c.epoch_of(&[Symbol::intern("snap-src")]);
+        let dag_val = Symbol::intern("snap-val");
+        c.dag_for(e, dag_val, || dag(3));
+        let da = named_struct("snap-a");
+        let db = named_struct("snap-b");
+        let ins = [Symbol::intern("snap-in")];
+        let out = Symbol::intern("snap-out");
+        let deps = ExampleDeps {
+            tables: Box::new([0]),
+            vals: Box::new([Symbol::intern("snap-in")]),
+        };
+        let ua = c.store_example(5, &ins, out, &da, Some(deps));
+        let ub = c.store_example(5, &[Symbol::intern("snap-in2")], out, &db, None);
+        c.store_intersection(5, ua, ub, &da);
+
+        let mut body = sst_arena::Writer::new();
+        let mut enc = SymEncoder::new();
+        c.encode_snapshot(&mut body, &mut enc);
+        let mut w = sst_arena::Writer::new();
+        enc.write_table(&mut w);
+        let body = body.into_bytes();
+        w.raw(&body);
+        let bytes = w.into_bytes();
+
+        let mut r = sst_arena::Reader::new(&bytes);
+        let dec = SymDecoder::read_table(&mut r).unwrap();
+        let restored = DagCache::decode_snapshot(&mut r, &dec, 77).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(restored.db_epoch(), 77, "binds to the caller's epoch");
+        assert_eq!(restored.example_entries(), 2);
+        assert_eq!(restored.intersection_entries(), 1);
+        assert_eq!(restored.dag_entries(), 1);
+        // Warm probes hit and return the same ids.
+        let (uid, d) = restored.example(77, &ins, out).expect("warm example");
+        assert_eq!(uid, ua);
+        assert_eq!(d.nodes[0].vals, da.nodes[0].vals);
+        let (iuid, _) = restored
+            .intersection(77, ua, ub)
+            .expect("warm intersection");
+        assert_eq!(iuid, ua);
+        let hit = restored.dag_for(
+            restored.epoch_of(&[Symbol::intern("snap-src")]),
+            dag_val,
+            || unreachable!("must be warm"),
+        );
+        assert_eq!(hit.num_nodes, 3);
+        assert!(restored.stats().example_hits > 0);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_ids() {
+        use sst_arena::{SymDecoder, SymEncoder};
+
+        let c = DagCache::new();
+        let d = named_struct("oob");
+        c.store_example(0, &[Symbol::intern("oi")], Symbol::intern("oo"), &d, None);
+        let mut body = sst_arena::Writer::new();
+        let mut enc = SymEncoder::new();
+        c.encode_snapshot(&mut body, &mut enc);
+        let mut w = sst_arena::Writer::new();
+        enc.write_table(&mut w);
+        let body = body.into_bytes();
+        // The example entry's struct id is the last u32 before its deps
+        // flag byte (one trailing u32 intersection count + none follow);
+        // rather than byte-surgery, decode a truncated payload instead.
+        w.raw(&body[..body.len() - 4]);
+        let bytes = w.into_bytes();
+        let mut r = sst_arena::Reader::new(&bytes);
+        let dec = SymDecoder::read_table(&mut r).unwrap();
+        let err = DagCache::decode_snapshot(&mut r, &dec, 0).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::Corrupt(_)),
+            "typed error, no panic: {err}"
         );
     }
 

@@ -29,6 +29,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use sst_arena::StructId;
 use sst_lookup::reach::{reach, Activation, ReachPolicy, ReachState};
 use sst_lookup::NodeId;
 use sst_par::CancelToken;
@@ -335,11 +336,11 @@ pub fn generate_str_u_cached(
     generate_str_u_keyed(db, inputs, output, opts, cache, &CancelToken::default()).0
 }
 
-/// [`generate_str_u_cached`] that also reports the structure's cache uid,
+/// [`generate_str_u_cached`] that also reports the structure's arena id,
 /// the key half of the example-pair intersection memo (`Synthesizer::learn`
-/// keys `d₁ ∩ d₂` on the operands' uids). A cancellation observed during
+/// keys `d₁ ∩ d₂` on the operands' ids). A cancellation observed during
 /// the build skips the whole-example store (the partial structure never
-/// enters the memo) and reports no uid.
+/// enters the memo) and reports no id.
 pub(crate) fn generate_str_u_keyed(
     db: &Database,
     inputs: &[&str],
@@ -347,7 +348,7 @@ pub(crate) fn generate_str_u_keyed(
     opts: &LuOptions,
     cache: &DagCache,
     cancel: &CancelToken,
-) -> (SemDStruct, Option<u64>) {
+) -> (SemDStruct, Option<StructId>) {
     // Whole-example memo: `Synthesize` on a growing example prefix (the
     // §3.2 loop) replays generation for every earlier example; generation
     // is deterministic in (db, inputs, output, opts), so an unmutated

@@ -52,6 +52,7 @@
 //! );
 //! ```
 
+mod arena_plane;
 mod cache;
 mod compiled;
 mod dstruct;
@@ -64,6 +65,7 @@ mod paraphrase;
 mod rank;
 mod synthesizer;
 
+pub use arena_plane::{extract_struct, intern_struct, ExtractCtx};
 pub use cache::{DagCache, DagCacheStats, SourcesEpoch};
 pub use compiled::{ApplyScratch, CompiledProgram};
 pub use dstruct::{GenCondU, GenLookupU, GenPredU, SemDStruct, SemNode};

@@ -7,6 +7,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
+use sst_arena::StructId;
 use sst_counting::BigUint;
 use sst_par::{CancelToken, Pool};
 use sst_syntactic::TokenSet;
@@ -380,7 +381,7 @@ impl Synthesizer {
         let db_epoch = self.db.epoch();
         let cancel = &self.options.cancel;
         let cache: Option<&DagCache> = self.options.dag_cache.then_some(&*self.cache);
-        let generate = |e: &Example| -> (SemDStruct, Option<u64>) {
+        let generate = |e: &Example| -> (SemDStruct, Option<StructId>) {
             match cache {
                 Some(c) => generate_str_u_keyed(
                     &self.db,
@@ -459,24 +460,25 @@ impl Synthesizer {
 }
 
 /// One `d ∩ next` step of the learn loop: served from the example-pair
-/// intersection memo when both operands carry cache uids (their values are
-/// then exactly the memo key's), computed through the parallel plane and
-/// stored otherwise. Chained steps stay memoized because the stored
-/// result's own uid keys the next step. A cancellation observed during the
-/// compute skips the store — partial intersections never enter the memo —
-/// and the caller aborts the learn at its own checkpoint.
+/// intersection memo when both operands carry arena ids (ids are content
+/// addresses, so the operands' *values* are then exactly the memo key's),
+/// computed through the parallel plane and stored otherwise. Chained steps
+/// stay memoized because the stored result's own id keys the next step. A
+/// cancellation observed during the compute skips the store — partial
+/// intersections never enter the memo — and the caller aborts the learn at
+/// its own checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn intersect_step(
     cache: Option<&DagCache>,
     db_epoch: u64,
     a: SemDStruct,
-    a_uid: Option<u64>,
+    a_uid: Option<StructId>,
     b: &SemDStruct,
-    b_uid: Option<u64>,
+    b_uid: Option<StructId>,
     pool: &Pool,
     parallel_edge_product_min: usize,
     cancel: &CancelToken,
-) -> (SemDStruct, Option<u64>) {
+) -> (SemDStruct, Option<StructId>) {
     match (cache, a_uid, b_uid) {
         (Some(c), Some(ia), Some(ib)) => {
             if let Some((uid, hit)) = c.intersection(db_epoch, ia, ib) {

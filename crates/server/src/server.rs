@@ -66,7 +66,8 @@ use std::io::Write;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -117,6 +118,22 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] waits for in-flight requests to
     /// finish after it stops accepting, before giving up on them.
     pub drain_deadline: Duration,
+    /// Where the `default` engine's snapshot lives. Required for
+    /// [`ServerConfig::warm_start_on_boot`] and
+    /// [`ServerConfig::snapshot_on_shutdown`]; also feeds the
+    /// `sst_snapshot_bytes` / `sst_snapshot_age_seconds` gauges.
+    pub snapshot_path: Option<PathBuf>,
+    /// Persist the `default` engine's warm state to
+    /// [`ServerConfig::snapshot_path`] during [`Server::shutdown`], after
+    /// in-flight requests drain (so the file sees every memo they
+    /// inserted). Best-effort: a failed write never blocks shutdown.
+    pub snapshot_on_shutdown: bool,
+    /// Restore the `default` engine from [`ServerConfig::snapshot_path`]
+    /// at bind time, replacing the cold engine handed to
+    /// [`Server::bind`]. A missing, corrupt, or options-mismatched
+    /// snapshot falls back to the cold engine — a bad file can never keep
+    /// the server from booting.
+    pub warm_start_on_boot: bool,
     /// Test hook: hold each admitted synthesis request this long before
     /// doing the work, so saturation tests can fill the admission queue
     /// deterministically.
@@ -146,6 +163,9 @@ impl Default for ServerConfig {
             request_read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(30)),
             drain_deadline: Duration::from_secs(5),
+            snapshot_path: None,
+            snapshot_on_shutdown: false,
+            warm_start_on_boot: false,
             debug_handler_delay: None,
             debug_panic_on: None,
             #[cfg(feature = "fault-injection")]
@@ -173,6 +193,11 @@ struct State {
     read_limits: ReadLimits,
     write_timeout: Option<Duration>,
     drain_deadline: Duration,
+    snapshot_path: Option<PathBuf>,
+    snapshot_on_shutdown: bool,
+    /// Wall-clock nanoseconds the boot-time snapshot restore took; `0`
+    /// means a cold boot (no restore, or the restore failed).
+    restore_ns: AtomicU64,
     debug_handler_delay: Option<Duration>,
     debug_panic_on: Option<String>,
     #[cfg(feature = "fault-injection")]
@@ -202,9 +227,27 @@ impl Server {
     }
 
     /// Serves several engines, each addressed by its name in the path.
-    pub fn bind_named(engines: Vec<(String, Engine)>, config: ServerConfig) -> io::Result<Server> {
+    pub fn bind_named(
+        mut engines: Vec<(String, Engine)>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Warm start: replace the cold `default` engine with one restored
+        // from the snapshot file. Any failure (missing file, corruption,
+        // options mismatch) keeps the cold engine — booting always wins.
+        let mut restore_ns = 0u64;
+        if config.warm_start_on_boot {
+            if let Some(path) = &config.snapshot_path {
+                if let Some(slot) = engines.iter_mut().find(|(name, _)| name == "default") {
+                    let started = Instant::now();
+                    if let Ok(warm) = Engine::restore_from(path, slot.1.options().clone()) {
+                        restore_ns = started.elapsed().as_nanos() as u64;
+                        slot.1 = warm;
+                    }
+                }
+            }
+        }
         let engine_names: Vec<String> = engines.iter().map(|(name, _)| name.clone()).collect();
         let state = Arc::new(State {
             engines: engines.into_iter().collect(),
@@ -219,6 +262,9 @@ impl Server {
             },
             write_timeout: config.write_timeout,
             drain_deadline: config.drain_deadline,
+            snapshot_path: config.snapshot_path,
+            snapshot_on_shutdown: config.snapshot_on_shutdown,
+            restore_ns: AtomicU64::new(restore_ns),
             debug_handler_delay: config.debug_handler_delay,
             debug_panic_on: config.debug_panic_on,
             #[cfg(feature = "fault-injection")]
@@ -285,6 +331,13 @@ impl Server {
         self.state.drain.load(Ordering::Acquire)
     }
 
+    /// True iff the `default` engine was restored from a snapshot at bind
+    /// time ([`ServerConfig::warm_start_on_boot`] with a readable,
+    /// options-compatible file).
+    pub fn warm_started(&self) -> bool {
+        self.state.restore_ns.load(Ordering::Acquire) > 0
+    }
+
     /// Gracefully stops the server: stops accepting connections, waits up
     /// to [`ServerConfig::drain_deadline`] for in-flight requests to
     /// finish (they get their responses; the keep-alive loop marks every
@@ -303,6 +356,17 @@ impl Server {
         let deadline = Instant::now() + self.state.drain_deadline;
         while self.state.active_requests.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
+        }
+        // Persist after the drain, so the snapshot carries every memo the
+        // in-flight requests inserted. Best-effort by design: a full disk
+        // must not turn shutdown into a hang or a panic.
+        if self.state.snapshot_on_shutdown {
+            if let (Some(path), Some(engine)) = (
+                self.state.snapshot_path.as_ref(),
+                self.state.engines.get("default"),
+            ) {
+                let _ = engine.snapshot_to(path);
+            }
         }
         self.state.drain.store(DRAIN_STOPPED, Ordering::Release);
         if let Some(sweeper) = self.sweeper.take() {
@@ -475,7 +539,7 @@ fn error_status(err: &ServiceError) -> u16 {
         ServiceError::PayloadTooLarge { .. } => 413,
         ServiceError::Synthesis(_) | ServiceError::Table(_) => 422,
         ServiceError::Overloaded { .. } => 429,
-        ServiceError::Internal(_) => 500,
+        ServiceError::Internal(_) | ServiceError::Snapshot(_) => 500,
     }
 }
 
@@ -826,5 +890,48 @@ fn metrics_response(state: &State) -> Response {
             );
         }
     }
+    out.push_str("# TYPE sst_arena_nodes gauge\n");
+    out.push_str("# TYPE sst_arena_interned_total counter\n");
+    out.push_str("# TYPE sst_arena_hashcons_hits_total counter\n");
+    out.push_str("# TYPE sst_arena_resident_bytes gauge\n");
+    for name in &state.engine_names {
+        let arena = state.engines[name].arena_stats();
+        let _ = writeln!(out, "sst_arena_nodes{{engine=\"{name}\"}} {}", arena.stored);
+        let _ = writeln!(
+            out,
+            "sst_arena_interned_total{{engine=\"{name}\"}} {}",
+            arena.interned
+        );
+        let _ = writeln!(
+            out,
+            "sst_arena_hashcons_hits_total{{engine=\"{name}\"}} {}",
+            arena.hits()
+        );
+        let _ = writeln!(
+            out,
+            "sst_arena_resident_bytes{{engine=\"{name}\"}} {}",
+            arena.resident_bytes
+        );
+    }
+    // Snapshot gauges read the file at render time: the numbers describe
+    // the durable artifact itself, not a counter the server could drift
+    // away from across restarts.
+    if let Some(path) = &state.snapshot_path {
+        if let Ok(meta) = std::fs::metadata(path) {
+            let _ = writeln!(out, "# TYPE sst_snapshot_bytes gauge");
+            let _ = writeln!(out, "sst_snapshot_bytes {}", meta.len());
+            if let Some(age) = meta.modified().ok().and_then(|m| m.elapsed().ok()) {
+                let _ = writeln!(out, "# TYPE sst_snapshot_age_seconds gauge");
+                let _ = writeln!(out, "sst_snapshot_age_seconds {}", age.as_secs());
+            }
+        }
+    }
+    let restore_ns = state.restore_ns.load(Ordering::Acquire);
+    let _ = writeln!(out, "# TYPE sst_snapshot_restore_seconds gauge");
+    let _ = writeln!(
+        out,
+        "sst_snapshot_restore_seconds {:.9}",
+        restore_ns as f64 / 1e9
+    );
     Response::text(200, out)
 }

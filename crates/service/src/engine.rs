@@ -1,8 +1,10 @@
 //! The [`Engine`]: shared warm state plus batch serving.
 
+use std::path::Path;
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
+use sst_arena::ArenaStats;
 use sst_core::{
     CancelToken, DagCache, DagCacheStats, Example, LearnedPrograms, SynthesisError,
     SynthesisOptions, Synthesizer,
@@ -119,6 +121,48 @@ impl Engine {
     /// Hit/miss counters of the shared memo plane.
     pub fn cache_stats(&self) -> DagCacheStats {
         self.inner.cache.stats()
+    }
+
+    /// Hash-cons counters of the memo plane's arena (distinct values,
+    /// intern traffic, resident-bytes estimate) — the `/metrics` and
+    /// `perf_snapshot` observable.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.inner.cache.arena_stats()
+    }
+
+    /// Persists the engine's warm state — database, interned symbols, and
+    /// the arena-resident memo plane — to `path` as one versioned binary
+    /// snapshot (temp file + rename; a crash never tears the file).
+    /// Returns the snapshot size in bytes.
+    ///
+    /// The cache is revalidated against the current database state first,
+    /// so the snapshot never carries entries from a database the file
+    /// doesn't contain.
+    pub fn snapshot_to(&self, path: &Path) -> Result<u64, ServiceError> {
+        self.validate_cache();
+        let db = self.db();
+        crate::snapshot::write_snapshot(path, &db, &self.inner.cache, &self.inner.options)
+    }
+
+    /// Restores an engine from a snapshot written by
+    /// [`Engine::snapshot_to`] — in this process or any other. The file is
+    /// fully validated (frame checksum, id bounds, structural checks);
+    /// corruption answers [`ServiceError::Snapshot`], never a panic. The
+    /// restore also refuses a snapshot whose generation options differ
+    /// from `options` (its memo entries would be unsound), so a warm
+    /// restart must boot with the same configuration it snapshotted
+    /// under.
+    pub fn restore_from(path: &Path, options: SynthesisOptions) -> Result<Engine, ServiceError> {
+        let (db, cache) = crate::snapshot::read_snapshot(path, &options)?;
+        let pool = Pool::new(options.threads);
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                db: RwLock::new(db),
+                cache: Arc::new(cache),
+                options,
+                pool,
+            }),
+        })
     }
 
     /// Opens a new interactive learning session. Sessions are cheap (an

@@ -76,11 +76,13 @@
 
 mod engine;
 mod session;
+mod snapshot;
 mod types;
 pub mod wire;
 
 pub use engine::Engine;
 pub use session::{Session, SessionConvergence};
+pub use sst_arena::ArenaStats;
 pub use types::{
     ApplyRequest, ApplyResponse, LearnRequest, LearnResponse, ServiceError, SessionStatus,
 };

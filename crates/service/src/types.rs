@@ -57,6 +57,10 @@ pub enum ServiceError {
     /// `catch_unwind` boundary. The engine state stays consistent; the
     /// message is diagnostic only.
     Internal(String),
+    /// A snapshot persist or restore failed: io error, corrupt or
+    /// truncated file, version mismatch, or an options fingerprint that
+    /// does not match the engine being restored.
+    Snapshot(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -82,6 +86,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "payload too large: body cap is {limit} bytes")
             }
             ServiceError::Internal(msg) => write!(f, "internal server error: {msg}"),
+            ServiceError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }
@@ -105,6 +110,12 @@ impl From<SynthesisError> for ServiceError {
 impl From<TableError> for ServiceError {
     fn from(e: TableError) -> Self {
         ServiceError::Table(e)
+    }
+}
+
+impl From<sst_arena::SnapshotError> for ServiceError {
+    fn from(e: sst_arena::SnapshotError) -> Self {
+        ServiceError::Snapshot(e.to_string())
     }
 }
 

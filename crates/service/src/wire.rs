@@ -910,6 +910,10 @@ impl Wire for ServiceError {
                 ("kind", Json::Str("internal".into())),
                 ("message", Json::Str(msg.clone())),
             ]),
+            ServiceError::Snapshot(msg) => Json::obj(vec![
+                ("kind", Json::Str("snapshot".into())),
+                ("message", Json::Str(msg.clone())),
+            ]),
         }
     }
 
@@ -936,6 +940,9 @@ impl Wire for ServiceError {
                 limit: v.field("limit")?.as_usize()?,
             }),
             "internal" => Ok(ServiceError::Internal(
+                v.field("message")?.as_str()?.to_string(),
+            )),
+            "snapshot" => Ok(ServiceError::Snapshot(
                 v.field("message")?.as_str()?.to_string(),
             )),
             other => Err(WireError::new(format!("unknown service error `{other}`"))),

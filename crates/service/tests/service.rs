@@ -456,3 +456,94 @@ fn replacing_an_example_at_the_same_count_invalidates_the_learn_cache() {
     session.add_example(Example::new(vec!["p1"], "Laptop"));
     assert_eq!(session.run(&["p3"]).unwrap(), forward);
 }
+
+/// A snapshot taken after learning restores into a fresh engine that
+/// answers the same requests identically — and answers them *warm*: the
+/// replays are served from the restored memo plane, not re-derived.
+#[test]
+fn snapshot_restore_round_trips_and_serves_warm_replays() {
+    let path = std::env::temp_dir().join(format!(
+        "sst-service-snap-roundtrip-{}.snap",
+        std::process::id()
+    ));
+    let engine = comp_engine();
+    let examples = vec![
+        Example::new(vec!["c2"], "Google"),
+        Example::new(vec!["c3"], "Apple"),
+    ];
+    let cold = engine.learn(&examples).unwrap();
+    let bytes = engine.snapshot_to(&path).unwrap();
+    assert!(bytes > 0);
+
+    let restored = Engine::restore_from(&path, SynthesisOptions::default()).unwrap();
+    let before = restored.cache_stats();
+    assert_eq!(before.example_hits + before.intersect_hits, 0);
+    let warm = restored.learn(&examples).unwrap();
+    assert_eq!(warm.count(), cold.count());
+    assert_eq!(warm.size(), cold.size());
+    for (a, b) in cold.top_ranked().iter().zip(warm.top_ranked().iter()) {
+        assert_eq!(a.run(&["c1"]), b.run(&["c1"]));
+        assert_eq!(a.run(&["c4"]), b.run(&["c4"]));
+    }
+    let after = restored.cache_stats();
+    assert!(
+        after.example_hits > 0,
+        "replay must be memo-served: {after:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A snapshot taken under one generation configuration refuses to restore
+/// into a differently configured engine — typed, not silent unsoundness.
+#[test]
+fn snapshot_restore_refuses_mismatched_options() {
+    let path = std::env::temp_dir().join(format!(
+        "sst-service-snap-options-{}.snap",
+        std::process::id()
+    ));
+    let engine = comp_engine();
+    engine.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+    engine.snapshot_to(&path).unwrap();
+
+    let other = SynthesisOptions::builder().max_depth(7).build();
+    let err = Engine::restore_from(&path, other).unwrap_err();
+    assert!(matches!(err, ServiceError::Snapshot(_)), "got {err:?}");
+    assert!(err.to_string().contains("fingerprint"), "got {err}");
+
+    // Non-generation knobs (threads, top_k) are outside the fingerprint.
+    let reranked = SynthesisOptions::builder().threads(1).top_k(3).build();
+    Engine::restore_from(&path, reranked).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corrupting any byte of a snapshot yields a typed [`ServiceError`],
+/// never a panic or a silently wrong engine.
+#[test]
+fn snapshot_restore_rejects_corruption_typed() {
+    let path = std::env::temp_dir().join(format!(
+        "sst-service-snap-corrupt-{}.snap",
+        std::process::id()
+    ));
+    let engine = comp_engine();
+    engine.learn(&[Example::new(vec!["c2"], "Google")]).unwrap();
+    engine.snapshot_to(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    // Flip one payload byte: checksum mismatch.
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    std::fs::write(&path, &bad).unwrap();
+    let err = Engine::restore_from(&path, SynthesisOptions::default()).unwrap_err();
+    assert!(matches!(err, ServiceError::Snapshot(_)), "got {err:?}");
+
+    // Truncate: typed error too.
+    std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+    let err = Engine::restore_from(&path, SynthesisOptions::default()).unwrap_err();
+    assert!(matches!(err, ServiceError::Snapshot(_)), "got {err:?}");
+
+    // Missing file.
+    std::fs::remove_file(&path).ok();
+    let err = Engine::restore_from(&path, SynthesisOptions::default()).unwrap_err();
+    assert!(matches!(err, ServiceError::Snapshot(_)), "got {err:?}");
+}

@@ -225,6 +225,8 @@ fn every_service_error_variant_survives_the_wire() {
             queued: 1024,
         },
         ServiceError::BadRequest("no route for GET /nope\n\ttab".to_string()),
+        ServiceError::Snapshot("corrupt frame: checksum mismatch".to_string()),
+        ServiceError::Snapshot(String::new()),
     ];
     for err in variants {
         let line = err.encode_line();

@@ -166,6 +166,36 @@ impl Table {
         Ok(table)
     }
 
+    /// Rebuilds a table from snapshot parts: name, columns, live rows and
+    /// already-resolved candidate keys (column ids, in key order).
+    ///
+    /// Key columns are bounds-checked but **not** re-verified for
+    /// uniqueness: a snapshotted table may have been mutated past a
+    /// declared key (in-place mutation never re-checks keys either), and
+    /// [`Table::find_unique_row`] already scans defensively. All derived
+    /// state (postings, value/substring indexes) is rebuilt from the rows.
+    pub fn from_parts(
+        name: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<String>>,
+        keys: Vec<Vec<ColId>>,
+    ) -> Result<Self, TableError> {
+        let width = columns.len();
+        let mut table = Self::build(name, columns, rows)?;
+        if keys.is_empty() {
+            return Err(TableError::NoCandidateKey(table.name));
+        }
+        for key in &keys {
+            for &c in key {
+                if c as usize >= width {
+                    return Err(TableError::UnknownColumn(format!("#{c}")));
+                }
+            }
+        }
+        table.candidate_keys = keys;
+        Ok(table)
+    }
+
     fn build<N, C, R>(name: N, columns: Vec<C>, rows: Vec<Vec<R>>) -> Result<Self, TableError>
     where
         N: Into<String>,

@@ -52,9 +52,12 @@ fn main() {
     );
     println!("In English: {}", session.paraphrase().unwrap());
 
-    // ...and the conversation continues until nothing is highlighted:
-    // each round, the tool flags the rows worth double-checking and the
-    // user fixes the first one.
+    // ...and the conversation continues until nothing is highlighted.
+    // This is *active* example solicitation: instead of making the user
+    // scan every flagged row, each round the tool asks for the one input
+    // whose answer splits the surviving hypotheses fastest —
+    // `distinguishing_input()` — and only falls back to the first flagged
+    // row when no single row separates the top programs.
     let mut rounds = 0;
     loop {
         match session.status().expect("learnable") {
@@ -64,17 +67,26 @@ fn main() {
                     "Rows flagged for inspection (>=2 distinct outputs among top programs): {:?}",
                     ambiguous_inputs.iter().map(|r| &r[0]).collect::<Vec<_>>()
                 );
-                if let Some(row) = session.distinguishing_input().expect("learnable") {
-                    println!("Cheapest distinguishing input: {}", row[0]);
-                }
-                let fix = &ambiguous_inputs[0][0];
+                let solicited = match session.distinguishing_input().expect("learnable") {
+                    Some(row) => {
+                        println!("Tool asks: what should {:?} produce?", row[0]);
+                        row[0].clone()
+                    }
+                    None => {
+                        println!(
+                            "No single distinguishing row; falling back to {:?}",
+                            ambiguous_inputs[0][0]
+                        );
+                        ambiguous_inputs[0][0].clone()
+                    }
+                };
                 let output = truth
                     .iter()
-                    .find(|(id, _)| id == fix)
-                    .expect("flagged row is on the spreadsheet")
+                    .find(|(id, _)| *id == solicited)
+                    .expect("solicited row is on the spreadsheet")
                     .1;
-                println!("User fixes {fix} -> {output}");
-                session.add_example(Example::new(vec![fix.clone()], output));
+                println!("User answers {solicited} -> {output}");
+                session.add_example(Example::new(vec![solicited], output));
             }
         }
         rounds += 1;

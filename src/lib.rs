@@ -22,6 +22,10 @@
 //!   (§6): time, months, ordinals, currencies, phone codes, US states.
 //! * [`benchmarks`] — the reconstructed 50-task evaluation suite (§7) and
 //!   synthetic worst-case workload generators.
+//! * [`arena`] — the hash-consed id-plane under the memo cache: flat
+//!   typed stores interning DAG nodes, predicate programs and whole
+//!   program-set structures as dense `u32` ids, plus the versioned
+//!   binary snapshot codec.
 //! * [`counting`] — arbitrary-precision counters for program-set sizes.
 //! * [`par`] — vendored scoped work-stealing pool powering the parallel
 //!   `Intersect_u` plane and batch serving (deterministic-order
@@ -233,6 +237,36 @@
 //! assert_eq!(session.run(&["c1"]).unwrap().as_deref(), Some("Microsoft Corp"));
 //! ```
 //!
+//! # The arena id-plane and snapshots
+//!
+//! Underneath the memo cache sits an arena ([`sst_arena`], re-exported as
+//! [`arena`]): every learned structure — position sets, token sequences,
+//! atoms, DAGs, predicate programs, whole program-set structures — is
+//! *hash-consed* into flat typed stores, so structurally equal
+//! subprograms are stored once per engine and named by a dense `u32` id.
+//! Content addressing changes the memo keys: the example-pair
+//! intersection memo is keyed by `(StructId, StructId)` — the *values*
+//! of the operands — instead of `Arc` pointer identity or monotone uids,
+//! so two examples that independently produce equal structures share one
+//! memo line. This is sound precisely because equal ids mean equal
+//! structure: an intersection result is a pure function of its operand
+//! values. Everything observable stays bit-identical (pinned by the
+//! `dag_memo_equivalence`, `parallel_equivalence` and
+//! `service_equivalence` harnesses).
+//!
+//! The id-plane is also what makes the engine *persistable*: ids are
+//! process-independent names, so
+//! [`Engine::snapshot_to`](service::Engine::snapshot_to) can write the
+//! database, interner symbols and arena-resident memo plane as one
+//! versioned, checksummed binary file, and
+//! [`Engine::restore_from`](service::Engine::restore_from) rebuilds an
+//! engine in a fresh process that serves replayed requests memo-warm.
+//! The server wires this up as
+//! [`ServerConfig::snapshot_path`](server::ServerConfig::snapshot_path) /
+//! `snapshot_on_shutdown` / `warm_start_on_boot` — see the README's
+//! *Snapshots & warm start* section for the file format and operational
+//! caveats.
+//!
 //! # Low-level API
 //!
 //! The stateless [`Synthesizer`](core::Synthesizer) underneath the service
@@ -256,6 +290,7 @@
 //! assert_eq!(learned.top().unwrap().run(&["c3"]).unwrap(), "Apple");
 //! ```
 
+pub use sst_arena as arena;
 pub use sst_core as core;
 pub use sst_counting as counting;
 pub use sst_datatypes as datatypes;
